@@ -1,0 +1,171 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! LUF vs LRU eviction for DARTS, the Ready window, task stealing,
+//! the DARTS candidate threshold, and the OPTI early exit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsched_bench::run_named;
+use memsched_platform::{run, PlatformSpec};
+use memsched_schedulers::{DartsConfig, DartsScheduler, DmdaScheduler, HfpScheduler};
+use memsched_schedulers::NamedScheduler as S;
+use memsched_workloads::{constants::GEMM2D_DATA_BYTES, gemm_2d, gemm_2d_random};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// DARTS eviction policy: LUF vs the runtime LRU, under memory pressure.
+fn bench_eviction(c: &mut Criterion) {
+    let ts = gemm_2d(24);
+    let spec = PlatformSpec::v100(1).with_memory(8 * GEMM2D_DATA_BYTES);
+    let mut group = c.benchmark_group("ablation_darts_eviction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for named in [S::Darts, S::DartsLuf] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(named.label()),
+            &named,
+            |b, named| b.iter(|| black_box(run_named(named, &ts, &spec))),
+        );
+    }
+    group.finish();
+}
+
+/// Ready scan window of DMDAR: 1 (FIFO) → 512.
+fn bench_ready_window(c: &mut Criterion) {
+    let ts = gemm_2d_random(20, 5);
+    let spec = PlatformSpec::v100(2).with_memory(8 * GEMM2D_DATA_BYTES);
+    let mut group = c.benchmark_group("ablation_ready_window");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for window in [1usize, 16, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                let mut sched = DmdaScheduler::dmdar().with_window(w);
+                black_box(run(&ts, &spec, &mut sched).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Task stealing on/off for mHFP.
+fn bench_stealing(c: &mut Criterion) {
+    let ts = gemm_2d(20);
+    let spec = PlatformSpec::v100(4).with_memory(8 * GEMM2D_DATA_BYTES);
+    let mut group = c.benchmark_group("ablation_mhfp_stealing");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("with_stealing", |b| {
+        b.iter(|| {
+            let mut sched = HfpScheduler::new();
+            black_box(run(&ts, &spec, &mut sched).unwrap())
+        })
+    });
+    group.bench_function("without_stealing", |b| {
+        b.iter(|| {
+            let mut sched = HfpScheduler::new().without_stealing();
+            black_box(run(&ts, &spec, &mut sched).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// DARTS candidate threshold: unbounded vs tight caps (Figure 8's trick).
+fn bench_threshold(c: &mut Criterion) {
+    let ts = gemm_2d(32);
+    let spec = PlatformSpec::v100(4).with_memory(10 * GEMM2D_DATA_BYTES);
+    let mut group = c.benchmark_group("ablation_darts_threshold");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for cap in [0usize, 8, 32, 128] {
+        let label = if cap == 0 { "unbounded".into() } else { cap.to_string() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cap, |b, &cap| {
+            b.iter(|| {
+                let cfg = if cap == 0 {
+                    DartsConfig::luf()
+                } else {
+                    DartsConfig::luf().with_threshold(cap)
+                };
+                let mut sched = DartsScheduler::new(cfg);
+                black_box(run(&ts, &spec, &mut sched).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// OPTI early exit on the task-heavy Cholesky workload (Figure 11's trick).
+fn bench_opti(c: &mut Criterion) {
+    let ts = memsched_workloads::cholesky(20);
+    let spec = PlatformSpec::v100(4);
+    let mut group = c.benchmark_group("ablation_darts_opti");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for named in [S::DartsLuf3, S::DartsLufOpti3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(named.label()),
+            &named,
+            |b, named| b.iter(|| black_box(run_named(named, &ts, &spec))),
+        );
+    }
+    group.finish();
+}
+
+/// NVLink fabric on/off (the §VI future-work platform).
+fn bench_nvlink(c: &mut Criterion) {
+    let ts = gemm_2d(24);
+    let mem = 10 * GEMM2D_DATA_BYTES;
+    let pci = PlatformSpec::v100(4).with_memory(mem);
+    let mut nvl = pci.clone();
+    nvl.nvlink_bandwidth = Some(memsched_platform::NVLINK_BANDWIDTH);
+    let mut group = c.benchmark_group("ablation_nvlink");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for (label, spec) in [("pci_only", &pci), ("nvlink", &nvl)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), spec, |b, spec| {
+            b.iter(|| black_box(run_named(&S::DartsLuf, &ts, spec)))
+        });
+    }
+    group.finish();
+}
+
+/// Hypergraph vs clique-expansion (METIS-style) partitioning model.
+fn bench_partition_model(c: &mut Criterion) {
+    use memsched_schedulers::{HmetisRScheduler, PartitionerOptions};
+    let ts = gemm_2d(20);
+    let spec = PlatformSpec::v100(4).with_memory(8 * GEMM2D_DATA_BYTES);
+    let mut group = c.benchmark_group("ablation_partition_model");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for clique in [false, true] {
+        let label = if clique { "clique_graph" } else { "hypergraph" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &clique, |b, &clique| {
+            b.iter(|| {
+                let mut sched = HmetisRScheduler::with_options(PartitionerOptions {
+                    nruns: 4,
+                    clique_expansion: clique,
+                    ..Default::default()
+                });
+                black_box(run(&ts, &spec, &mut sched).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eviction,
+    bench_ready_window,
+    bench_stealing,
+    bench_threshold,
+    bench_opti,
+    bench_nvlink,
+    bench_partition_model
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks of the discrete-event engine itself: event throughput as a
+//! function of task count, pipeline depth, and GPU count, using the
+//! trivial EAGER policy so the engine dominates the measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memsched_bench::run_named;
+use memsched_platform::{run, PlatformSpec};
+use memsched_schedulers::{EagerScheduler, NamedScheduler};
+use memsched_workloads::{constants::GEMM2D_DATA_BYTES, gemm_2d};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_task_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_task_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for n in [10usize, 20, 40, 80] {
+        let ts = gemm_2d(n);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &ts, |b, ts| {
+            let spec = PlatformSpec::v100(2);
+            b.iter(|| {
+                let mut sched = EagerScheduler::new();
+                black_box(run(ts, &spec, &mut sched).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_depth(c: &mut Criterion) {
+    let ts = gemm_2d(24);
+    let mut group = c.benchmark_group("engine_pipeline_depth");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for depth in [1usize, 2, 4, 8] {
+        let spec = PlatformSpec::v100(2)
+            .with_memory(10 * GEMM2D_DATA_BYTES)
+            .with_pipeline_depth(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &spec, |b, spec| {
+            b.iter(|| black_box(run_named(&NamedScheduler::DartsLuf, &ts, spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpu_count(c: &mut Criterion) {
+    let ts = gemm_2d(32);
+    let mut group = c.benchmark_group("engine_gpu_count");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for k in [1usize, 2, 4, 8] {
+        let spec = PlatformSpec::v100(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &spec, |b, spec| {
+            b.iter(|| black_box(run_named(&NamedScheduler::Eager, &ts, spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_task_scaling, bench_pipeline_depth, bench_gpu_count);
+criterion_main!(benches);

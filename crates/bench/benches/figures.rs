@@ -1,0 +1,122 @@
+//! One benchmark group per paper figure: a reduced working-set point of
+//! the exact configuration the figure binary sweeps, for every scheduler
+//! series in that figure. Regenerating the full curves is the job of the
+//! `memsched-experiments` binaries; these benches track the cost of each
+//! (scheduler × workload × platform) cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsched_bench::run_named;
+use memsched_platform::PlatformSpec;
+use memsched_schedulers::NamedScheduler as S;
+use memsched_workloads::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+struct FigureBench {
+    id: &'static str,
+    spec: PlatformSpec,
+    workload: Workload,
+    schedulers: Vec<S>,
+}
+
+fn figure_benches() -> Vec<FigureBench> {
+    vec![
+        FigureBench {
+            id: "fig03_gemm2d_1gpu",
+            spec: PlatformSpec::v100(1),
+            workload: Workload::Gemm2d { n: 20 },
+            schedulers: vec![S::Eager, S::Dmdar, S::Darts, S::DartsLuf, S::Mhfp],
+        },
+        FigureBench {
+            id: "fig04_transfers_1gpu",
+            spec: PlatformSpec::v100(1),
+            workload: Workload::Gemm2d { n: 24 },
+            schedulers: vec![S::Eager, S::Dmdar, S::DartsLuf],
+        },
+        FigureBench {
+            id: "fig05_gemm2d_2gpu",
+            spec: PlatformSpec::v100(2),
+            workload: Workload::Gemm2d { n: 24 },
+            schedulers: vec![S::Eager, S::Dmdar, S::DartsLuf, S::HmetisR, S::Mhfp],
+        },
+        FigureBench {
+            id: "fig06_gemm2d_2gpu_sched_time",
+            spec: PlatformSpec::v100(2),
+            workload: Workload::Gemm2d { n: 28 },
+            schedulers: vec![S::Dmdar, S::DartsLuf, S::HmetisR],
+        },
+        FigureBench {
+            id: "fig07_transfers_2gpu",
+            spec: PlatformSpec::v100(2),
+            workload: Workload::Gemm2d { n: 28 },
+            schedulers: vec![S::Eager, S::Dmdar, S::DartsLuf, S::HmetisR],
+        },
+        FigureBench {
+            id: "fig08_gemm2d_4gpu",
+            spec: PlatformSpec::v100(4),
+            workload: Workload::Gemm2d { n: 32 },
+            schedulers: vec![S::Dmdar, S::DartsLuf, S::DartsLufThreshold(32), S::HmetisR],
+        },
+        FigureBench {
+            id: "fig09_random_order_2gpu",
+            spec: PlatformSpec::v100(2),
+            workload: Workload::Gemm2dRandom { n: 20, seed: 42 },
+            schedulers: vec![S::Eager, S::Dmdar, S::DartsLuf, S::HmetisR],
+        },
+        FigureBench {
+            id: "fig10_gemm3d_4gpu",
+            spec: PlatformSpec::v100(4),
+            workload: Workload::Gemm3d { n: 10 },
+            schedulers: vec![S::Dmdar, S::DartsLuf, S::DartsLuf3, S::HmetisR],
+        },
+        FigureBench {
+            id: "fig11_cholesky_4gpu",
+            spec: PlatformSpec::v100(4),
+            workload: Workload::Cholesky { n: 16 },
+            schedulers: vec![S::Dmdar, S::DartsLuf, S::DartsLufOpti3, S::HmetisR],
+        },
+        FigureBench {
+            id: "fig12_sparse_4gpu",
+            spec: PlatformSpec::v100(4),
+            workload: Workload::Sparse2d {
+                n: 120,
+                density: 0.02,
+                seed: 7,
+            },
+            schedulers: vec![S::Dmdar, S::DartsLuf, S::DartsLufOpti, S::HmetisR],
+        },
+        FigureBench {
+            id: "fig13_sparse_unlimited",
+            spec: PlatformSpec::v100_unlimited(4),
+            workload: Workload::Sparse2d {
+                n: 120,
+                density: 0.02,
+                seed: 7,
+            },
+            schedulers: vec![S::Dmdar, S::DartsLuf, S::DartsLufOpti, S::HmetisR],
+        },
+    ]
+}
+
+fn bench_figures(c: &mut Criterion) {
+    for fig in figure_benches() {
+        let ts = fig.workload.generate();
+        let mut group = c.benchmark_group(fig.id);
+        group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+        for named in &fig.schedulers {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(named.label()),
+                named,
+                |b, named| {
+                    b.iter(|| black_box(run_named(named, &ts, &fig.spec)));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

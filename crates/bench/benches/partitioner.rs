@@ -1,0 +1,70 @@
+//! Benchmarks of the hMETIS-substitute hypergraph partitioner: scaling
+//! with task-grid size, restart count (Nruns), and thread count — the
+//! "partitioning time" that Figures 6, 8 and 13 show dominating
+//! hMETIS+R's end-to-end performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsched_hypergraph::{partition, PartitionConfig};
+use memsched_schedulers::HmetisRScheduler;
+use memsched_workloads::gemm_2d;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for n in [10usize, 20, 40] {
+        let ts = gemm_2d(n);
+        let hg = HmetisRScheduler::build_hypergraph(&ts);
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &hg, |b, hg| {
+            let cfg = PartitionConfig::for_parts(4).with_nruns(4).with_threads(1);
+            b.iter(|| black_box(partition(hg, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_nruns(c: &mut Criterion) {
+    let ts = gemm_2d(24);
+    let hg = HmetisRScheduler::build_hypergraph(&ts);
+    let mut group = c.benchmark_group("partitioner_nruns");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for nruns in [1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(nruns), &nruns, |b, &nruns| {
+            let cfg = PartitionConfig::for_parts(2)
+                .with_nruns(nruns)
+                .with_threads(1);
+            b.iter(|| black_box(partition(&hg, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let ts = gemm_2d(30);
+    let hg = HmetisRScheduler::build_hypergraph(&ts);
+    let mut group = c.benchmark_group("partitioner_threads");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let cfg = PartitionConfig::for_parts(4)
+                    .with_nruns(8)
+                    .with_threads(threads);
+                b.iter(|| black_box(partition(&hg, &cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_nruns, bench_threads);
+criterion_main!(benches);

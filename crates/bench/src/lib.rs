@@ -1,0 +1,23 @@
+//! # memsched-bench
+//!
+//! Criterion benchmarks: one group per paper figure (reduced sweeps of the
+//! same configurations the figure binaries run at full size) plus
+//! ablations of the design choices called out in DESIGN.md (LUF vs LRU,
+//! Ready window, stealing, partitioner restarts, DARTS threshold).
+//!
+//! Run with `cargo bench --workspace`. The figure benches measure the
+//! wall time of a complete simulated run, which is dominated by the
+//! scheduler's own decision cost — i.e. they benchmark the schedulers,
+//! not the simulated GPUs.
+
+#![warn(missing_docs)]
+
+use memsched_model::TaskSet;
+use memsched_platform::{run, PlatformSpec, RunReport};
+use memsched_schedulers::NamedScheduler;
+
+/// Run `named` on `ts`/`spec`, panicking on failure (bench helper).
+pub fn run_named(named: &NamedScheduler, ts: &TaskSet, spec: &PlatformSpec) -> RunReport {
+    let mut sched = named.build();
+    run(ts, spec, sched.as_mut()).unwrap_or_else(|e| panic!("{named:?}: {e}"))
+}

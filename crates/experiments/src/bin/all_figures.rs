@@ -1,0 +1,11 @@
+//! Regenerates every figure in sequence. Usage: `all_figures [--quick]`.
+use memsched_experiments::figures;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for fig in figures::all_figures() {
+        let fig = if quick { figures::quick(fig) } else { fig };
+        fig.run_and_print(None);
+        println!();
+    }
+}

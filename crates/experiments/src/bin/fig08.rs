@@ -1,0 +1,14 @@
+//! Regenerates Figure 08 of the paper. Usage: `fig08 [--quick] [--json PATH]`.
+use memsched_experiments::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let fig = if quick { figures::quick(figures::fig08()) } else { figures::fig08() };
+    fig.run_and_print(json);
+}

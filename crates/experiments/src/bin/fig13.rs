@@ -1,0 +1,14 @@
+//! Regenerates Figure 13 of the paper. Usage: `fig13 [--quick] [--json PATH]`.
+use memsched_experiments::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let fig = if quick { figures::quick(figures::fig13()) } else { figures::fig13() };
+    fig.run_and_print(json);
+}

@@ -1,0 +1,331 @@
+//! Sweep harness: runs a set of schedulers over a size sweep of a
+//! workload family and prints the series of one paper figure.
+
+use memsched_model::TaskSet;
+use memsched_platform::{run, PlatformSpec, RunReport};
+use memsched_schedulers::NamedScheduler;
+use memsched_workloads::Workload;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which metric the figure plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Throughput in GFlop/s (higher is better) — Figures 3, 5, 6, 8–13.
+    Gflops,
+    /// Total data transferred in MB (lower is better) — Figures 4, 7.
+    TransfersMb,
+}
+
+/// One measured cell of a figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// Figure id, e.g. "fig03".
+    pub figure: String,
+    /// Workload label.
+    pub workload: String,
+    /// Working-set size in MB (the x axis).
+    pub ws_mb: f64,
+    /// Number of GPUs.
+    pub gpus: usize,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Simulated throughput ignoring scheduling cost.
+    pub gflops: f64,
+    /// Throughput including measured scheduling wall time (the paper's
+    /// default reporting).
+    pub gflops_with_sched: f64,
+    /// Total host→GPU transfers in MB.
+    pub transfers_mb: f64,
+    /// Number of load operations.
+    pub loads: u64,
+    /// Number of evictions.
+    pub evictions: u64,
+    /// Simulated makespan in milliseconds.
+    pub makespan_ms: f64,
+    /// Static scheduling phase (partitioning/packing) wall time in ms.
+    pub prepare_ms: f64,
+    /// Dynamic scheduling callbacks wall time in ms.
+    pub sched_ms: f64,
+    /// `max_k nb_k` (Objective 1).
+    pub max_load: usize,
+}
+
+impl Row {
+    fn from_report(
+        figure: &str,
+        workload: &Workload,
+        ws_mb: f64,
+        gpus: usize,
+        r: &RunReport,
+    ) -> Self {
+        Self {
+            figure: figure.to_string(),
+            workload: workload.label(),
+            ws_mb,
+            gpus,
+            scheduler: r.scheduler.clone(),
+            gflops: r.gflops(),
+            gflops_with_sched: r.gflops_with_sched(),
+            transfers_mb: r.transfers_mb(),
+            loads: r.total_loads,
+            evictions: r.total_evictions,
+            makespan_ms: r.makespan as f64 / 1e6,
+            prepare_ms: r.prepare_wall as f64 / 1e6,
+            sched_ms: r.sched_wall as f64 / 1e6,
+            max_load: r.max_load(),
+        }
+    }
+}
+
+/// One point of the sweep: a workload instance plus the schedulers that
+/// the paper plots at this size (expensive static schedulers are dropped
+/// from large sizes, exactly as the paper does for mHFP).
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The workload at this size.
+    pub workload: Workload,
+    /// Schedulers to run at this point.
+    pub schedulers: Vec<NamedScheduler>,
+}
+
+/// Description of one figure to regenerate.
+#[derive(Clone, Debug)]
+pub struct FigureSpec {
+    /// Figure id ("fig03" … "fig13").
+    pub id: &'static str,
+    /// Human title (matches the paper caption).
+    pub title: &'static str,
+    /// Platform (GPU count, memory clamp).
+    pub spec: PlatformSpec,
+    /// The sweep.
+    pub points: Vec<SweepPoint>,
+    /// Plotted metric.
+    pub metric: Metric,
+}
+
+impl FigureSpec {
+    /// Run every cell (size × scheduler), in parallel worker threads.
+    /// Results are sorted by (working set, scheduler).
+    pub fn run(&self) -> Vec<Row> {
+        // Materialize cells.
+        let cells: Vec<(Workload, NamedScheduler)> = self
+            .points
+            .iter()
+            .flat_map(|p| {
+                p.schedulers
+                    .iter()
+                    .map(move |s| (p.workload, s.clone()))
+            })
+            .collect();
+
+        let next = AtomicUsize::new(0);
+        let rows = Mutex::new(Vec::with_capacity(cells.len()));
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(1)
+            .min(cells.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let (workload, named) = &cells[i];
+                    let row = self.run_cell(workload, named);
+                    rows.lock().push(row);
+                });
+            }
+        });
+
+        let mut rows = rows.into_inner();
+        rows.sort_by(|a, b| {
+            a.ws_mb
+                .total_cmp(&b.ws_mb)
+                .then_with(|| a.scheduler.cmp(&b.scheduler))
+        });
+        rows
+    }
+
+    /// Run a single cell.
+    pub fn run_cell(&self, workload: &Workload, named: &NamedScheduler) -> Row {
+        let ts = workload.generate();
+        let ws_mb = ts.working_set_bytes() as f64 / 1e6;
+        let mut sched = named.build();
+        let report = run(&ts, &self.spec, sched.as_mut())
+            .unwrap_or_else(|e| panic!("{} / {:?} failed: {e}", self.id, named));
+        Row::from_report(self.id, workload, ws_mb, self.spec.num_gpus, &report)
+    }
+
+    /// The roofline of the figure: the aggregate platform throughput.
+    pub fn roofline_gflops(&self) -> f64 {
+        self.spec.total_gflops()
+    }
+
+    /// The PCI-limit curve value (Figure 4): max MB transferable during
+    /// the compute-roofline time of this task set.
+    pub fn pci_limit_mb(&self, ts: &TaskSet) -> f64 {
+        memsched_model::bounds::pci_bus_limit_bytes(
+            ts,
+            self.spec.num_gpus,
+            self.spec.gpu_gflops,
+            self.spec.bus_bandwidth,
+        ) / 1e6
+    }
+
+    /// Render rows as CSV (header + one line per row).
+    pub fn to_csv(&self, rows: &[Row]) -> String {
+        let mut out = String::from(
+            "figure,workload,ws_mb,gpus,scheduler,gflops,gflops_with_sched,\
+             transfers_mb,loads,evictions,makespan_ms,prepare_ms,sched_ms,max_load\n",
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{},{},{:.1},{},{},{:.1},{:.1},{:.1},{},{},{:.3},{:.3},{:.3},{}\n",
+                r.figure,
+                r.workload.replace(',', ";"),
+                r.ws_mb,
+                r.gpus,
+                r.scheduler,
+                r.gflops,
+                r.gflops_with_sched,
+                r.transfers_mb,
+                r.loads,
+                r.evictions,
+                r.makespan_ms,
+                r.prepare_ms,
+                r.sched_ms,
+                r.max_load
+            ));
+        }
+        out
+    }
+
+    /// Render a compact human-readable table of the figure's metric:
+    /// one line per working-set size, one column per scheduler.
+    pub fn to_table(&self, rows: &[Row]) -> String {
+        let mut schedulers: Vec<&str> = rows.iter().map(|r| r.scheduler.as_str()).collect();
+        schedulers.sort_unstable();
+        schedulers.dedup();
+        let mut sizes: Vec<f64> = rows.iter().map(|r| r.ws_mb).collect();
+        sizes.sort_by(f64::total_cmp);
+        sizes.dedup();
+
+        let metric_of = |r: &Row| match self.metric {
+            Metric::Gflops => r.gflops_with_sched,
+            Metric::TransfersMb => r.transfers_mb,
+        };
+
+        let mut out = format!(
+            "# {} — {}\n# metric: {}\n",
+            self.id,
+            self.title,
+            match self.metric {
+                Metric::Gflops => "GFlop/s (scheduling time included)",
+                Metric::TransfersMb => "data transfers (MB)",
+            }
+        );
+        out.push_str(&format!("{:>10}", "WS(MB)"));
+        for s in &schedulers {
+            out.push_str(&format!(" {s:>24}"));
+        }
+        out.push('\n');
+        for &ws in &sizes {
+            out.push_str(&format!("{ws:>10.0}"));
+            for s in &schedulers {
+                let cell = rows
+                    .iter()
+                    .find(|r| r.ws_mb == ws && r.scheduler == *s)
+                    .map(|r| format!("{:.0}", metric_of(r)))
+                    .unwrap_or_else(|| "-".into());
+                out.push_str(&format!(" {cell:>24}"));
+            }
+            out.push('\n');
+        }
+        if self.metric == Metric::Gflops {
+            out.push_str(&format!(
+                "# roofline: {:.0} GFlop/s\n",
+                self.roofline_gflops()
+            ));
+        }
+        out
+    }
+
+    /// Run the figure and print the table, the paper-shape check verdicts
+    /// and the CSV to stdout; also write JSON when `json_path` is given.
+    pub fn run_and_print(&self, json_path: Option<&str>) {
+        let rows = self.run();
+        print!("{}", self.to_table(&rows));
+        if self.metric == Metric::Gflops {
+            let checks = crate::checks::shape_checks(self.id, &rows, self.roofline_gflops());
+            print!("{}", crate::checks::render(&checks));
+        }
+        println!();
+        print!("{}", self.to_csv(&rows));
+        if let Some(path) = json_path {
+            let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+            std::fs::write(path, json).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_figure() -> FigureSpec {
+        let item = memsched_workloads::constants::GEMM2D_DATA_BYTES;
+        FigureSpec {
+            id: "test",
+            title: "tiny",
+            spec: PlatformSpec::v100(2).with_memory(6 * item),
+            points: vec![
+                SweepPoint {
+                    workload: Workload::Gemm2d { n: 4 },
+                    schedulers: vec![NamedScheduler::Eager, NamedScheduler::DartsLuf],
+                },
+                SweepPoint {
+                    workload: Workload::Gemm2d { n: 6 },
+                    schedulers: vec![NamedScheduler::Eager],
+                },
+            ],
+            metric: Metric::Gflops,
+        }
+    }
+
+    #[test]
+    fn run_produces_one_row_per_cell() {
+        let fig = tiny_figure();
+        let rows = fig.run();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.windows(2).all(|w| w[0].ws_mb <= w[1].ws_mb));
+        for r in &rows {
+            assert!(r.gflops > 0.0);
+            assert!(r.gflops_with_sched <= r.gflops + 1e-9);
+            assert!(r.loads >= 8, "at least compulsory loads");
+        }
+    }
+
+    #[test]
+    fn csv_and_table_are_well_formed() {
+        let fig = tiny_figure();
+        let rows = fig.run();
+        let csv = fig.to_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert!(csv.starts_with("figure,workload"));
+        let table = fig.to_table(&rows);
+        assert!(table.contains("DARTS+LUF"));
+        assert!(table.contains("EAGER"));
+        assert!(table.contains("roofline"));
+    }
+
+    #[test]
+    fn roofline_scales_with_gpu_count() {
+        let fig = tiny_figure();
+        assert_eq!(fig.roofline_gflops(), 2.0 * 13_253.0);
+    }
+}

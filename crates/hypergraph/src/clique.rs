@@ -1,0 +1,142 @@
+//! Clique (graph) expansion of the task hypergraph — the METIS-style
+//! model the paper argues *against* in §IV-B.
+//!
+//! Yoo et al. model data reuse as a plain graph: tasks are vertices and
+//! an edge of weight `w` connects every pair of tasks sharing a data item
+//! of size `w`. The paper points out the flaw: a data item shared by
+//! three tasks `Ta, Tb, Tc` becomes three edges `(Ta,Tb), (Ta,Tc),
+//! (Tb,Tc)`, so its weight is counted three times; the hypergraph model
+//! (one hyperedge `{Ta, Tb, Tc}`) counts it once. This module implements
+//! the clique expansion so the two models can be compared head to head.
+
+use crate::hg::{evaluate, Hypergraph, PartitionQuality};
+use crate::partition::{partition, PartitionConfig, Partitioning};
+
+/// Nets larger than this are not expanded (a `p`-pin net creates
+/// `p(p−1)/2` edges; huge nets would dominate the graph while carrying
+/// little locality signal — METIS users typically drop them too).
+pub const MAX_CLIQUE_NET: usize = 128;
+
+/// Expand every net into its clique of 2-pin edges. Edge weights follow
+/// the standard `w/(p−1)` normalization so that cutting a net "in half"
+/// costs about `w`; parallel edges from different nets are merged.
+pub fn clique_expand(hg: &Hypergraph) -> Hypergraph {
+    // Accumulate merged edge weights.
+    let mut edges: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+    for n in 0..hg.num_nets() {
+        let pins = hg.pins(n);
+        let p = pins.len();
+        if p < 2 || p > MAX_CLIQUE_NET {
+            continue;
+        }
+        // Scaled weight; keep at least 1 so the edge is not free.
+        let w = (hg.nweight(n) / (p as u64 - 1)).max(1);
+        for i in 0..p {
+            for j in (i + 1)..p {
+                *edges.entry((pins[i], pins[j])).or_insert(0) += w;
+            }
+        }
+    }
+    let mut nets = Vec::with_capacity(edges.len());
+    let mut weights = Vec::with_capacity(edges.len());
+    // Sort for determinism.
+    let mut sorted: Vec<_> = edges.into_iter().collect();
+    sorted.sort_unstable();
+    for ((a, b), w) in sorted {
+        nets.push(vec![a, b]);
+        weights.push(w);
+    }
+    let vweights: Vec<u64> = (0..hg.num_vertices()).map(|v| hg.vweight(v)).collect();
+    Hypergraph::new(hg.num_vertices(), nets, vweights, weights)
+}
+
+/// Partition via the clique expansion (the §IV-B "METIS" baseline), but
+/// report quality against the **original** hypergraph so the two models
+/// are compared on the metric that actually matters (data replication).
+pub fn partition_clique(hg: &Hypergraph, config: &PartitionConfig) -> Partitioning {
+    let graph = clique_expand(hg);
+    let p = partition(&graph, config);
+    let quality: PartitionQuality = evaluate(hg, &p.parts, config.k);
+    Partitioning {
+        parts: p.parts,
+        quality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example: one data item shared by three tasks.
+    #[test]
+    fn triple_counting_of_shared_data() {
+        let hg = Hypergraph::unit(3, vec![vec![0, 1, 2]]);
+        let graph = clique_expand(&hg);
+        // One 3-pin net becomes three 2-pin edges.
+        assert_eq!(graph.num_nets(), 3);
+        // Separating T0 from {T1, T2}: the hypergraph model counts the
+        // data once (λ−1 = 1)…
+        let parts = vec![0u32, 1, 1];
+        assert_eq!(evaluate(&hg, &parts, 2).connectivity_minus_one, 1);
+        // …the graph model cuts two of the three edges.
+        assert_eq!(evaluate(&graph, &parts, 2).cut_nets, 2);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        // Two nets over the same pair stack their weights.
+        let hg = Hypergraph::new(2, vec![vec![0, 1], vec![0, 1]], vec![1, 1], vec![5, 7]);
+        let graph = clique_expand(&hg);
+        assert_eq!(graph.num_nets(), 1);
+        assert_eq!(graph.nweight(0), 12);
+    }
+
+    #[test]
+    fn weight_normalization_divides_by_arity() {
+        let hg = Hypergraph::new(3, vec![vec![0, 1, 2]], vec![1; 3], vec![10]);
+        let graph = clique_expand(&hg);
+        // w/(p-1) = 10/2 = 5 on each of the three edges.
+        for n in 0..3 {
+            assert_eq!(graph.nweight(n), 5);
+        }
+    }
+
+    #[test]
+    fn oversized_nets_are_skipped() {
+        let big: Vec<u32> = (0..200).collect();
+        let hg = Hypergraph::unit(200, vec![big, vec![0, 1]]);
+        let graph = clique_expand(&hg);
+        assert_eq!(graph.num_nets(), 1, "only the small net expands");
+    }
+
+    #[test]
+    fn clique_partition_reports_hypergraph_quality() {
+        // 4x4 grid; both models should find a decent split, and the
+        // reported quality must be the hypergraph connectivity-1.
+        let n = 4;
+        let mut nets = Vec::new();
+        for i in 0..n {
+            nets.push((0..n).map(|j| (i * n + j) as u32).collect());
+        }
+        for j in 0..n {
+            nets.push((0..n).map(|i| (i * n + j) as u32).collect());
+        }
+        let hg = Hypergraph::unit(n * n, nets);
+        let cfg = PartitionConfig::for_parts(2).with_nruns(4).with_threads(1);
+        let via_graph = partition_clique(&hg, &cfg);
+        let via_hg = partition(&hg, &cfg);
+        let direct = evaluate(&hg, &via_graph.parts, 2);
+        assert_eq!(
+            direct.connectivity_minus_one,
+            via_graph.quality.connectivity_minus_one
+        );
+        // The hypergraph model never does worse on its own metric here.
+        assert!(
+            via_hg.quality.connectivity_minus_one
+                <= via_graph.quality.connectivity_minus_one + 2,
+            "hypergraph {} vs clique {}",
+            via_hg.quality.connectivity_minus_one,
+            via_graph.quality.connectivity_minus_one
+        );
+    }
+}

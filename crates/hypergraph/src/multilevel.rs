@@ -1,0 +1,384 @@
+//! Multilevel bisection: heavy-connectivity coarsening, randomized greedy
+//! initial partitioning and Fiduccia–Mattheyses refinement.
+//!
+//! This is the classic hMETIS recipe (Karypis & Kumar): repeatedly contract
+//! pairs of vertices that share many nets until the hypergraph is small,
+//! bisect the small hypergraph, then project the bisection back level by
+//! level, running FM at each level to repair the cut.
+
+use crate::hg::Hypergraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Stop coarsening below this many vertices.
+const COARSEN_TARGET: usize = 160;
+/// Give up coarsening when a level shrinks less than this factor.
+const MIN_SHRINK: f64 = 0.95;
+/// Nets larger than this are ignored during matching (they carry little
+/// locality signal and make matching quadratic).
+const MAX_MATCH_NET: usize = 256;
+/// FM passes per level.
+const MAX_FM_PASSES: usize = 8;
+
+/// One coarsening level: the coarse hypergraph plus the fine→coarse map.
+struct Level {
+    coarse: Hypergraph,
+    map: Vec<u32>,
+}
+
+/// Bisect `hg` into parts of target weights `(w0, w1)` (best effort,
+/// tolerance `eps` as a fraction of total weight). Returns the part vector
+/// and its connectivity−1 cost.
+pub fn bisect(hg: &Hypergraph, w0: u64, w1: u64, eps: f64, seed: u64) -> (Vec<u32>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Coarsen.
+    let mut levels: Vec<Level> = Vec::new();
+    let mut current = hg.clone();
+    while current.num_vertices() > COARSEN_TARGET {
+        let (coarse, map) = coarsen_once(&current, &mut rng);
+        let shrink = coarse.num_vertices() as f64 / current.num_vertices() as f64;
+        let stop = shrink > MIN_SHRINK;
+        levels.push(Level {
+            coarse: coarse.clone(),
+            map,
+        });
+        current = coarse;
+        if stop {
+            break;
+        }
+    }
+
+    // Initial partition on the coarsest level.
+    let total = current.total_vweight();
+    let max0 = target_cap(w0, total, eps);
+    let max1 = target_cap(w1, total, eps);
+    let mut parts = greedy_initial(&current, w0, w1, &mut rng);
+    fm_refine(&current, &mut parts, max0, max1, MAX_FM_PASSES);
+
+    // Uncoarsen with refinement.
+    for level in levels.iter().rev() {
+        let fine_n = level.map.len();
+        let mut fine_parts = vec![0u32; fine_n];
+        for (v, &c) in level.map.iter().enumerate() {
+            fine_parts[v] = parts[c as usize];
+        }
+        parts = fine_parts;
+        let fine_hg = parent_of(&levels, level, hg);
+        fm_refine(fine_hg, &mut parts, max0, max1, MAX_FM_PASSES);
+    }
+
+    let cost = bisection_cost(hg, &parts);
+    (parts, cost)
+}
+
+/// The hypergraph one level finer than `level`.
+fn parent_of<'a>(levels: &'a [Level], level: &Level, original: &'a Hypergraph) -> &'a Hypergraph {
+    let idx = levels
+        .iter()
+        .position(|l| std::ptr::eq(l, level))
+        .expect("level belongs to the stack");
+    if idx == 0 {
+        original
+    } else {
+        &levels[idx - 1].coarse
+    }
+}
+
+fn target_cap(target: u64, total: u64, eps: f64) -> u64 {
+    target + (total as f64 * eps) as u64
+}
+
+/// Connectivity−1 of a bisection (λ ∈ {1, 2}, so this equals the cut).
+fn bisection_cost(hg: &Hypergraph, parts: &[u32]) -> u64 {
+    let mut cost = 0;
+    for n in 0..hg.num_nets() {
+        let pins = hg.pins(n);
+        let first = parts[pins[0] as usize];
+        if pins.iter().any(|&p| parts[p as usize] != first) {
+            cost += hg.nweight(n);
+        }
+    }
+    cost
+}
+
+/// One level of heavy-connectivity matching.
+fn coarsen_once(hg: &Hypergraph, rng: &mut StdRng) -> (Hypergraph, Vec<u32>) {
+    let n = hg.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    let mut matched = vec![u32::MAX; n]; // coarse id per fine vertex
+    let mut next_coarse = 0u32;
+    // Scratch for neighbor scores.
+    let mut score = vec![0u64; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for &v in &order {
+        if matched[v as usize] != u32::MAX {
+            continue;
+        }
+        // Score unmatched neighbors by shared-net weight.
+        touched.clear();
+        for &net in hg.nets_of(v as usize) {
+            let pins = hg.pins(net as usize);
+            if pins.len() > MAX_MATCH_NET {
+                continue;
+            }
+            // Weight each shared net by w/(|pins|−1), the standard
+            // heavy-connectivity normalization.
+            let w = hg.nweight(net as usize).max(1) * 256 / (pins.len() as u64 - 1).max(1);
+            for &u in pins {
+                if u == v || matched[u as usize] != u32::MAX {
+                    continue;
+                }
+                if score[u as usize] == 0 {
+                    touched.push(u);
+                }
+                score[u as usize] += w;
+            }
+        }
+        let best = touched
+            .iter()
+            .copied()
+            .max_by_key(|&u| (score[u as usize], u));
+        let cid = next_coarse;
+        next_coarse += 1;
+        matched[v as usize] = cid;
+        if let Some(u) = best {
+            matched[u as usize] = cid;
+        }
+        for &u in &touched {
+            score[u as usize] = 0;
+        }
+    }
+
+    // Build the coarse hypergraph.
+    let cn = next_coarse as usize;
+    let mut cweights = vec![0u64; cn];
+    for v in 0..n {
+        cweights[matched[v] as usize] += hg.vweight(v);
+    }
+    let mut nets: Vec<Vec<u32>> = Vec::with_capacity(hg.num_nets());
+    let mut nweights: Vec<u64> = Vec::with_capacity(hg.num_nets());
+    for net in 0..hg.num_nets() {
+        let mut pins: Vec<u32> = hg.pins(net).iter().map(|&p| matched[p as usize]).collect();
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() >= 2 {
+            nets.push(pins);
+            nweights.push(hg.nweight(net));
+        }
+    }
+    (Hypergraph::new(cn, nets, cweights, nweights), matched)
+}
+
+/// Randomized greedy growth: grow part 0 from a random seed along nets
+/// until it reaches `w0 / (w0 + w1)` of the total weight.
+fn greedy_initial(hg: &Hypergraph, w0: u64, w1: u64, rng: &mut StdRng) -> Vec<u32> {
+    let n = hg.num_vertices();
+    let total = hg.total_vweight();
+    let target0 = (total as u128 * w0 as u128 / (w0 + w1).max(1) as u128) as u64;
+    let mut parts = vec![1u32; n];
+    let mut weight0 = 0u64;
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut in_part0 = vec![false; n];
+
+    while weight0 < target0 {
+        let v = match frontier.pop() {
+            Some(v) if !in_part0[v as usize] => v,
+            Some(_) => continue,
+            None => {
+                // New random seed among remaining vertices.
+                let candidates: Vec<u32> = (0..n as u32).filter(|&v| !in_part0[v as usize]).collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                candidates[rng.random_range(0..candidates.len())]
+            }
+        };
+        in_part0[v as usize] = true;
+        parts[v as usize] = 0;
+        weight0 += hg.vweight(v as usize);
+        for &net in hg.nets_of(v as usize) {
+            let pins = hg.pins(net as usize);
+            if pins.len() > MAX_MATCH_NET {
+                continue;
+            }
+            for &u in pins {
+                if !in_part0[u as usize] {
+                    frontier.push(u);
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// Fiduccia–Mattheyses refinement of a bisection under per-part caps.
+fn fm_refine(hg: &Hypergraph, parts: &mut [u32], max0: u64, max1: u64, passes: usize) {
+    let n = hg.num_vertices();
+    let caps = [max0, max1];
+    for _ in 0..passes {
+        // Pin counts per side for every net.
+        let mut side_pins = vec![[0u32; 2]; hg.num_nets()];
+        for v in 0..n {
+            for &net in hg.nets_of(v) {
+                side_pins[net as usize][parts[v] as usize] += 1;
+            }
+        }
+        let mut weights = [0u64, 0];
+        for v in 0..n {
+            weights[parts[v] as usize] += hg.vweight(v);
+        }
+
+        let gain_of = |v: usize, parts: &[u32], side_pins: &[[u32; 2]]| -> i64 {
+            let s = parts[v] as usize;
+            let mut gain = 0i64;
+            for &net in hg.nets_of(v) {
+                let sp = &side_pins[net as usize];
+                let w = hg.nweight(net as usize) as i64;
+                if sp[s] == 1 {
+                    gain += w; // net leaves the cut
+                }
+                if sp[1 - s] == 0 {
+                    gain -= w; // net enters the cut
+                }
+            }
+            gain
+        };
+
+        // Lazy max-heap of (gain, vertex).
+        let mut heap: std::collections::BinaryHeap<(i64, u32)> = (0..n)
+            .map(|v| (gain_of(v, parts, &side_pins), v as u32))
+            .collect();
+        let mut locked = vec![false; n];
+        let mut moves: Vec<u32> = Vec::new();
+        let mut best_prefix = 0usize;
+        let mut cur_delta = 0i64;
+        let mut best_delta = 0i64;
+
+        while let Some((g, v)) = heap.pop() {
+            let vu = v as usize;
+            if locked[vu] {
+                continue;
+            }
+            let real = gain_of(vu, parts, &side_pins);
+            if real != g {
+                heap.push((real, v)); // stale entry, reinsert
+                continue;
+            }
+            let s = parts[vu] as usize;
+            let t = 1 - s;
+            if weights[t] + hg.vweight(vu) > caps[t] {
+                // Cannot move without breaking balance; lock in place.
+                locked[vu] = true;
+                continue;
+            }
+            // Apply the move.
+            locked[vu] = true;
+            parts[vu] = t as u32;
+            weights[s] -= hg.vweight(vu);
+            weights[t] += hg.vweight(vu);
+            for &net in hg.nets_of(vu) {
+                side_pins[net as usize][s] -= 1;
+                side_pins[net as usize][t] += 1;
+                // Neighbors' gains changed; push fresh entries lazily.
+                let pins = hg.pins(net as usize);
+                if pins.len() <= MAX_MATCH_NET {
+                    for &u in pins {
+                        if !locked[u as usize] {
+                            heap.push((gain_of(u as usize, parts, &side_pins), u));
+                        }
+                    }
+                }
+            }
+            cur_delta += real;
+            moves.push(v);
+            if cur_delta > best_delta {
+                best_delta = cur_delta;
+                best_prefix = moves.len();
+            }
+        }
+
+        // Roll back the tail beyond the best prefix.
+        for &v in &moves[best_prefix..] {
+            parts[v as usize] ^= 1;
+        }
+        if best_delta <= 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hg::{evaluate, grid2};
+
+    /// An n×n grid hypergraph (task grid with row/column nets).
+    fn grid(n: usize) -> Hypergraph {
+        let mut nets = Vec::new();
+        for i in 0..n {
+            nets.push((0..n).map(|j| (i * n + j) as u32).collect());
+        }
+        for j in 0..n {
+            nets.push((0..n).map(|i| (i * n + j) as u32).collect());
+        }
+        Hypergraph::unit(n * n, nets)
+    }
+
+    #[test]
+    fn bisect_tiny_grid_is_balanced() {
+        let hg = grid2();
+        let (parts, cost) = bisect(&hg, 2, 2, 0.01, 7);
+        let q = evaluate(&hg, &parts, 2);
+        assert_eq!(q.max_part_weight, 2);
+        assert_eq!(q.min_part_weight, 2);
+        // Optimal bisection cuts exactly 2 of the 4 nets.
+        assert_eq!(cost, 2);
+    }
+
+    #[test]
+    fn bisect_grid_finds_row_or_column_split() {
+        let n = 8;
+        let hg = grid(n);
+        let (parts, cost) = bisect(&hg, (n * n / 2) as u64, (n * n / 2) as u64, 0.02, 3);
+        let q = evaluate(&hg, &parts, 2);
+        // Perfect split cuts n nets (all columns or all rows).
+        assert!(cost <= (2 * n) as u64, "cost = {cost}");
+        assert!(q.max_part_weight <= (n * n / 2 + n) as u64);
+        assert_eq!(q.max_part_weight + q.min_part_weight, (n * n) as u64);
+    }
+
+    #[test]
+    fn coarsening_shrinks_and_projects() {
+        let hg = grid(12);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (coarse, map) = coarsen_once(&hg, &mut rng);
+        assert!(coarse.num_vertices() < hg.num_vertices());
+        assert!(coarse.num_vertices() >= hg.num_vertices() / 2);
+        assert_eq!(map.len(), hg.num_vertices());
+        assert_eq!(coarse.total_vweight(), hg.total_vweight());
+    }
+
+    #[test]
+    fn unbalanced_targets_are_respected() {
+        let n = 6;
+        let hg = grid(n);
+        // 1:2 split (e.g. bisecting for 3 GPUs).
+        let (parts, _) = bisect(&hg, 12, 24, 0.05, 11);
+        let q = evaluate(&hg, &parts, 2);
+        assert!(q.min_part_weight >= 8, "min = {}", q.min_part_weight);
+        assert!(q.max_part_weight <= 28, "max = {}", q.max_part_weight);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let hg = grid(6);
+        let (p1, c1) = bisect(&hg, 18, 18, 0.01, 5);
+        let (p2, c2) = bisect(&hg, 18, 18, 0.01, 5);
+        assert_eq!(p1, p2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,301 @@
+//! K-way partitioning by recursive bisection, with random restarts.
+//!
+//! Mirrors the hMETIS configuration used in the paper (§IV-B): near-perfect
+//! balance (`UBfactor = 1`), `Nruns = 20` random starts keeping the best
+//! connectivity−1 result. Restarts run in parallel worker threads.
+
+use crate::hg::{evaluate, Hypergraph, PartitionQuality};
+use crate::multilevel::bisect;
+
+/// Configuration of [`partition`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionConfig {
+    /// Number of parts `K` (one per GPU).
+    pub k: usize,
+    /// Allowed imbalance as a fraction of the total weight added to each
+    /// part's target (hMETIS `UBfactor`, as a fraction: 0.01 ≈ UBfactor 1).
+    pub ub_factor: f64,
+    /// Number of random restarts (hMETIS `Nruns`).
+    pub nruns: usize,
+    /// Base RNG seed; restart `i` uses `seed + i`.
+    pub seed: u64,
+    /// Worker threads for the restarts (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            ub_factor: 0.01,
+            nruns: 20,
+            seed: 0x5eed,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get().min(8))
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// Config for `k` parts with the paper's defaults.
+    pub fn for_parts(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: set the number of restarts.
+    pub fn with_nruns(mut self, nruns: usize) -> Self {
+        assert!(nruns >= 1, "need at least one run");
+        self.nruns = nruns;
+        self
+    }
+
+    /// Builder: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: set the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+}
+
+/// Result of [`partition`].
+#[derive(Clone, Debug)]
+pub struct Partitioning {
+    /// Part id (in `0..k`) per vertex.
+    pub parts: Vec<u32>,
+    /// Quality of the returned partition.
+    pub quality: PartitionQuality,
+}
+
+/// Partition `hg` into `config.k` parts, minimizing connectivity−1 under
+/// the balance constraint. Deterministic for a fixed config (restarts have
+/// fixed seeds; ties resolve to the lowest restart index).
+pub fn partition(hg: &Hypergraph, config: &PartitionConfig) -> Partitioning {
+    assert!(config.k >= 1, "need at least one part");
+    assert!(
+        hg.num_vertices() >= config.k,
+        "cannot split {} vertices into {} parts",
+        hg.num_vertices(),
+        config.k
+    );
+    if config.k == 1 {
+        let parts = vec![0u32; hg.num_vertices()];
+        let quality = evaluate(hg, &parts, 1);
+        return Partitioning { parts, quality };
+    }
+
+    let run_once = |seed: u64| -> (Vec<u32>, u64) {
+        let mut parts = vec![0u32; hg.num_vertices()];
+        recursive_bisect(hg, config.k, config.ub_factor, seed, 0, &mut parts);
+        let cost = evaluate(hg, &parts, config.k).connectivity_minus_one;
+        (parts, cost)
+    };
+
+    let results: Vec<(usize, Vec<u32>, u64)> = if config.threads <= 1 || config.nruns == 1 {
+        (0..config.nruns)
+            .map(|i| {
+                let (p, c) = run_once(config.seed.wrapping_add(i as u64));
+                (i, p, c)
+            })
+            .collect()
+    } else {
+        let mut results = Vec::with_capacity(config.nruns);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.nruns)
+                .map(|i| {
+                    let run_once = &run_once;
+                    scope.spawn(move || {
+                        let (p, c) = run_once(config.seed.wrapping_add(i as u64));
+                        (i, p, c)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("restart thread panicked"));
+            }
+        });
+        results
+    };
+
+    let (_, parts, _) = results
+        .into_iter()
+        .min_by_key(|(i, _, c)| (*c, *i))
+        .expect("nruns >= 1");
+    let quality = evaluate(hg, &parts, config.k);
+    Partitioning { parts, quality }
+}
+
+/// Recursively bisect the sub-hypergraph induced by the vertices currently
+/// labelled `part_base`, producing labels `part_base..part_base + k`.
+fn recursive_bisect(
+    hg: &Hypergraph,
+    k: usize,
+    ub: f64,
+    seed: u64,
+    part_base: u32,
+    parts: &mut [u32],
+) {
+    if k <= 1 {
+        return;
+    }
+    let members: Vec<u32> = (0..parts.len() as u32)
+        .filter(|&v| parts[v as usize] == part_base)
+        .collect();
+    let (sub, _back) = induce(hg, &members);
+    let k0 = k.div_ceil(2);
+    let k1 = k - k0;
+    let total = sub.total_vweight();
+    let w0 = (total as u128 * k0 as u128 / k as u128) as u64;
+    let w1 = total - w0;
+    let (sub_parts, _) = bisect(&sub, w0, w1, ub, seed);
+
+    // Relabel: side 1 gets labels starting at part_base + k0.
+    for (local, &v) in members.iter().enumerate() {
+        if sub_parts[local] == 1 {
+            parts[v as usize] = part_base + k0 as u32;
+        }
+    }
+    recursive_bisect(hg, k0, ub, seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1), part_base, parts);
+    recursive_bisect(
+        hg,
+        k1,
+        ub,
+        seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(2),
+        part_base + k0 as u32,
+        parts,
+    );
+}
+
+/// Extract the sub-hypergraph induced by `members` (nets restricted to the
+/// member set; nets with < 2 remaining pins dropped). Returns the
+/// sub-hypergraph and the local→global vertex map.
+fn induce(hg: &Hypergraph, members: &[u32]) -> (Hypergraph, Vec<u32>) {
+    let mut local = vec![u32::MAX; hg.num_vertices()];
+    for (i, &v) in members.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+    let mut nets = Vec::new();
+    let mut nweights = Vec::new();
+    let mut seen_net = vec![false; hg.num_nets()];
+    for &v in members {
+        for &net in hg.nets_of(v as usize) {
+            if seen_net[net as usize] {
+                continue;
+            }
+            seen_net[net as usize] = true;
+            let pins: Vec<u32> = hg
+                .pins(net as usize)
+                .iter()
+                .filter_map(|&p| {
+                    let l = local[p as usize];
+                    (l != u32::MAX).then_some(l)
+                })
+                .collect();
+            if pins.len() >= 2 {
+                nets.push(pins);
+                nweights.push(hg.nweight(net as usize));
+            }
+        }
+    }
+    let vweights: Vec<u64> = members.iter().map(|&v| hg.vweight(v as usize)).collect();
+    (
+        Hypergraph::new(members.len(), nets, vweights, nweights),
+        members.to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Hypergraph {
+        let mut nets = Vec::new();
+        for i in 0..n {
+            nets.push((0..n).map(|j| (i * n + j) as u32).collect());
+        }
+        for j in 0..n {
+            nets.push((0..n).map(|i| (i * n + j) as u32).collect());
+        }
+        Hypergraph::unit(n * n, nets)
+    }
+
+    #[test]
+    fn one_part_is_trivial() {
+        let hg = grid(4);
+        let p = partition(&hg, &PartitionConfig::for_parts(1));
+        assert!(p.parts.iter().all(|&x| x == 0));
+        assert_eq!(p.quality.connectivity_minus_one, 0);
+    }
+
+    #[test]
+    fn two_parts_balanced_grid() {
+        let hg = grid(8);
+        let cfg = PartitionConfig::for_parts(2).with_nruns(4).with_threads(1);
+        let p = partition(&hg, &cfg);
+        assert_eq!(p.quality.max_part_weight + p.quality.min_part_weight, 64);
+        assert!(p.quality.max_part_weight <= 33, "balance violated");
+        // A good split cuts about one family of nets (8); allow slack.
+        assert!(
+            p.quality.connectivity_minus_one <= 16,
+            "cut = {}",
+            p.quality.connectivity_minus_one
+        );
+    }
+
+    #[test]
+    fn four_parts_cover_all_labels() {
+        let hg = grid(8);
+        let cfg = PartitionConfig::for_parts(4).with_nruns(4).with_threads(1);
+        let p = partition(&hg, &cfg);
+        let mut counts = [0usize; 4];
+        for &x in &p.parts {
+            counts[x as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c >= 12, "part {i} too small: {c} (want ~16)");
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let hg = grid(6);
+        let base = PartitionConfig::for_parts(2).with_nruns(6).with_seed(9);
+        let seq = partition(&hg, &base.clone().with_threads(1));
+        let par = partition(&hg, &base.with_threads(4));
+        assert_eq!(seq.parts, par.parts);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let hg = grid(7);
+        let cfg = PartitionConfig::for_parts(3).with_nruns(3).with_threads(2);
+        let a = partition(&hg, &cfg);
+        let b = partition(&hg, &cfg);
+        assert_eq!(a.parts, b.parts);
+    }
+
+    #[test]
+    fn three_parts_roughly_balanced() {
+        let hg = grid(9); // 81 vertices
+        let cfg = PartitionConfig::for_parts(3).with_nruns(4).with_threads(1);
+        let p = partition(&hg, &cfg);
+        assert!(p.quality.max_part_weight <= 32, "max = {}", p.quality.max_part_weight);
+        assert!(p.quality.min_part_weight >= 21, "min = {}", p.quality.min_part_weight);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_parts_than_vertices_rejected() {
+        let hg = Hypergraph::unit(2, vec![vec![0, 1]]);
+        partition(&hg, &PartitionConfig::for_parts(3));
+    }
+}

@@ -1,0 +1,400 @@
+//! The bipartite task/data sharing model of the paper (§III).
+//!
+//! A [`TaskSet`] stores the bipartite graph `G = (T ∪ D, E)` in CSR form on
+//! both sides: for each task the list of its input data `D(Ti)`, and for
+//! each data item the list of tasks that consume it. Data items carry a
+//! size in bytes and tasks a flop count so that heterogeneous variants of
+//! the model (mentioned at the end of §III) are supported; the paper's
+//! uniform model is the special case where all sizes and flop counts are
+//! equal.
+
+use crate::ids::{DataId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Compressed sparse row adjacency used for both directions of the
+/// bipartite graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Csr {
+    pub offsets: Vec<u32>,
+    pub targets: Vec<u32>,
+}
+
+impl Csr {
+    fn row(&self, i: usize) -> &[u32] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+/// A set of independent tasks sharing read-only input data.
+///
+/// Build one with [`TaskSetBuilder`]. All queries are O(1) or O(degree).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskSet {
+    /// task -> sorted input data ids
+    task_data: Csr,
+    /// data -> sorted consumer task ids
+    data_tasks: Csr,
+    /// size in bytes of each data item
+    data_size: Vec<u64>,
+    /// flop count of each task
+    task_flops: Vec<f64>,
+    /// sum of input sizes per task (cached)
+    task_footprint: Vec<u64>,
+}
+
+impl TaskSet {
+    /// Number of tasks `m`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.task_flops.len()
+    }
+
+    /// Number of data items `n`.
+    #[inline]
+    pub fn num_data(&self) -> usize {
+        self.data_size.len()
+    }
+
+    /// Iterator over all task ids in submission order.
+    pub fn tasks(&self) -> impl ExactSizeIterator<Item = TaskId> + '_ {
+        (0..self.num_tasks() as u32).map(TaskId)
+    }
+
+    /// Iterator over all data ids.
+    pub fn data(&self) -> impl ExactSizeIterator<Item = DataId> + '_ {
+        (0..self.num_data() as u32).map(DataId)
+    }
+
+    /// The input data `D(Ti)` of a task, sorted by id.
+    #[inline]
+    pub fn inputs(&self, t: TaskId) -> &[u32] {
+        self.task_data.row(t.index())
+    }
+
+    /// The input data of a task as typed ids.
+    pub fn input_ids(&self, t: TaskId) -> impl ExactSizeIterator<Item = DataId> + '_ {
+        self.inputs(t).iter().map(|&d| DataId(d))
+    }
+
+    /// The tasks consuming a data item, sorted by id.
+    #[inline]
+    pub fn consumers(&self, d: DataId) -> &[u32] {
+        self.data_tasks.row(d.index())
+    }
+
+    /// The tasks consuming a data item as typed ids.
+    pub fn consumer_ids(&self, d: DataId) -> impl ExactSizeIterator<Item = TaskId> + '_ {
+        self.consumers(d).iter().map(|&t| TaskId(t))
+    }
+
+    /// Size in bytes of a data item.
+    #[inline]
+    pub fn data_size(&self, d: DataId) -> u64 {
+        self.data_size[d.index()]
+    }
+
+    /// Flop count of a task.
+    #[inline]
+    pub fn flops(&self, t: TaskId) -> f64 {
+        self.task_flops[t.index()]
+    }
+
+    /// Total flops over all tasks.
+    pub fn total_flops(&self) -> f64 {
+        self.task_flops.iter().sum()
+    }
+
+    /// Sum of the input sizes of a task (bytes that must be resident to run it).
+    #[inline]
+    pub fn task_footprint(&self, t: TaskId) -> u64 {
+        self.task_footprint[t.index()]
+    }
+
+    /// Total bytes over all distinct data items (the *working set* of the
+    /// paper's x axes).
+    pub fn working_set_bytes(&self) -> u64 {
+        self.data_size.iter().sum()
+    }
+
+    /// True when every data item has the same size (the paper's base model).
+    pub fn uniform_data_size(&self) -> bool {
+        self.data_size.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Number of input data items shared by two tasks (intersection of the
+    /// two sorted input lists). Used by HFP package affinity.
+    pub fn shared_inputs(&self, a: TaskId, b: TaskId) -> usize {
+        let (mut i, mut j) = (0, 0);
+        let (da, db) = (self.inputs(a), self.inputs(b));
+        let mut shared = 0;
+        while i < da.len() && j < db.len() {
+            match da[i].cmp(&db[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    shared += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        shared
+    }
+
+    /// Bytes of input data shared by two tasks.
+    pub fn shared_bytes(&self, a: TaskId, b: TaskId) -> u64 {
+        let (mut i, mut j) = (0, 0);
+        let (da, db) = (self.inputs(a), self.inputs(b));
+        let mut bytes = 0;
+        while i < da.len() && j < db.len() {
+            match da[i].cmp(&db[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    bytes += self.data_size[da[i] as usize];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Maximum number of inputs over all tasks.
+    pub fn max_inputs_per_task(&self) -> usize {
+        (0..self.num_tasks())
+            .map(|t| self.task_data.row(t).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Incremental builder for [`TaskSet`].
+///
+/// ```
+/// use memsched_model::{TaskSetBuilder, DataId};
+///
+/// let mut b = TaskSetBuilder::new();
+/// let d0 = b.add_data(1024);
+/// let d1 = b.add_data(1024);
+/// let _t = b.add_task(&[d0, d1], 1.0e9);
+/// let ts = b.build();
+/// assert_eq!(ts.num_tasks(), 1);
+/// assert_eq!(ts.consumers(DataId(0)), &[0]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TaskSetBuilder {
+    data_size: Vec<u64>,
+    task_inputs: Vec<Vec<u32>>,
+    task_flops: Vec<f64>,
+}
+
+impl TaskSetBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a data item of `size` bytes and return its id.
+    pub fn add_data(&mut self, size: u64) -> DataId {
+        assert!(size > 0, "data items must have a positive size");
+        let id = DataId::from_usize(self.data_size.len());
+        self.data_size.push(size);
+        id
+    }
+
+    /// Register `count` data items of identical `size`, returning the first id.
+    pub fn add_data_block(&mut self, count: usize, size: u64) -> DataId {
+        let first = DataId::from_usize(self.data_size.len());
+        for _ in 0..count {
+            self.add_data(size);
+        }
+        first
+    }
+
+    /// Register a task reading `inputs` and performing `flops` floating
+    /// point operations. Duplicate inputs are deduplicated.
+    pub fn add_task(&mut self, inputs: &[DataId], flops: f64) -> TaskId {
+        assert!(!inputs.is_empty(), "tasks must have at least one input");
+        assert!(flops >= 0.0, "flops must be non-negative");
+        let mut ins: Vec<u32> = inputs
+            .iter()
+            .map(|d| {
+                assert!(
+                    d.index() < self.data_size.len(),
+                    "task references unknown data {d}"
+                );
+                d.0
+            })
+            .collect();
+        ins.sort_unstable();
+        ins.dedup();
+        let id = TaskId::from_usize(self.task_inputs.len());
+        self.task_inputs.push(ins);
+        self.task_flops.push(flops);
+        id
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.task_inputs.len()
+    }
+
+    /// Number of data items added so far.
+    pub fn num_data(&self) -> usize {
+        self.data_size.len()
+    }
+
+    /// Finalize into an immutable [`TaskSet`].
+    pub fn build(self) -> TaskSet {
+        let m = self.task_inputs.len();
+        let n = self.data_size.len();
+
+        let mut task_offsets = Vec::with_capacity(m + 1);
+        task_offsets.push(0u32);
+        let total_pins: usize = self.task_inputs.iter().map(Vec::len).sum();
+        let mut task_targets = Vec::with_capacity(total_pins);
+        let mut task_footprint = Vec::with_capacity(m);
+        for ins in &self.task_inputs {
+            task_targets.extend_from_slice(ins);
+            task_offsets.push(task_targets.len() as u32);
+            task_footprint.push(ins.iter().map(|&d| self.data_size[d as usize]).sum());
+        }
+
+        // Transpose task->data into data->task, keeping consumer lists sorted
+        // (tasks are visited in increasing id order).
+        let mut degree = vec![0u32; n];
+        for &d in &task_targets {
+            degree[d as usize] += 1;
+        }
+        let mut data_offsets = Vec::with_capacity(n + 1);
+        data_offsets.push(0u32);
+        for &deg in &degree {
+            data_offsets.push(data_offsets.last().unwrap() + deg);
+        }
+        let mut cursor: Vec<u32> = data_offsets[..n].to_vec();
+        let mut data_targets = vec![0u32; total_pins];
+        for (t, ins) in self.task_inputs.iter().enumerate() {
+            for &d in ins {
+                data_targets[cursor[d as usize] as usize] = t as u32;
+                cursor[d as usize] += 1;
+            }
+        }
+
+        TaskSet {
+            task_data: Csr {
+                offsets: task_offsets,
+                targets: task_targets,
+            },
+            data_tasks: Csr {
+                offsets: data_offsets,
+                targets: data_targets,
+            },
+            data_size: self.data_size,
+            task_flops: self.task_flops,
+            task_footprint,
+        }
+    }
+}
+
+/// Construct the 9-task / 6-data example of Figure 1 of the paper
+/// (2D grid dependencies: task `T(i,j)` reads row data `D(i)` and column
+/// data `D(3+j)`, all of unit size).
+///
+/// Task ids are row-major: `T0..T8`; data `D0..D2` are the rows and
+/// `D3..D5` the columns.
+pub fn figure1_example() -> TaskSet {
+    let mut b = TaskSetBuilder::new();
+    let rows: Vec<DataId> = (0..3).map(|_| b.add_data(1)).collect();
+    let cols: Vec<DataId> = (0..3).map(|_| b.add_data(1)).collect();
+    for i in 0..3 {
+        for j in 0..3 {
+            b.add_task(&[rows[i], cols[j]], 1.0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_bipartite_graph() {
+        let ts = figure1_example();
+        assert_eq!(ts.num_tasks(), 9);
+        assert_eq!(ts.num_data(), 6);
+        // T4 = (row 1, col 1) -> D1 and D4
+        assert_eq!(ts.inputs(TaskId(4)), &[1, 4]);
+        // D0 (row 0) consumed by T0, T1, T2
+        assert_eq!(ts.consumers(DataId(0)), &[0, 1, 2]);
+        // D3 (col 0) consumed by T0, T3, T6
+        assert_eq!(ts.consumers(DataId(3)), &[0, 3, 6]);
+        assert_eq!(ts.working_set_bytes(), 6);
+        assert!(ts.uniform_data_size());
+        assert_eq!(ts.max_inputs_per_task(), 2);
+    }
+
+    #[test]
+    fn duplicate_inputs_are_deduplicated() {
+        let mut b = TaskSetBuilder::new();
+        let d = b.add_data(10);
+        let t = b.add_task(&[d, d, d], 5.0);
+        let ts = b.build();
+        assert_eq!(ts.inputs(t), &[0]);
+        assert_eq!(ts.task_footprint(t), 10);
+    }
+
+    #[test]
+    fn shared_inputs_counts_intersection() {
+        let ts = figure1_example();
+        // T0=(D0,D3), T1=(D0,D4): share D0.
+        assert_eq!(ts.shared_inputs(TaskId(0), TaskId(1)), 1);
+        assert_eq!(ts.shared_bytes(TaskId(0), TaskId(1)), 1);
+        // T0=(D0,D3), T4=(D1,D4): share nothing.
+        assert_eq!(ts.shared_inputs(TaskId(0), TaskId(4)), 0);
+        // A task shares all its inputs with itself.
+        assert_eq!(ts.shared_inputs(TaskId(0), TaskId(0)), 2);
+    }
+
+    #[test]
+    fn footprints_and_flops_accumulate() {
+        let mut b = TaskSetBuilder::new();
+        let d0 = b.add_data(100);
+        let d1 = b.add_data(200);
+        b.add_task(&[d0], 1.0);
+        b.add_task(&[d0, d1], 2.0);
+        let ts = b.build();
+        assert_eq!(ts.task_footprint(TaskId(0)), 100);
+        assert_eq!(ts.task_footprint(TaskId(1)), 300);
+        assert_eq!(ts.total_flops(), 3.0);
+        assert_eq!(ts.working_set_bytes(), 300);
+        assert!(!ts.uniform_data_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown data")]
+    fn task_with_unknown_data_panics() {
+        let mut b = TaskSetBuilder::new();
+        b.add_task(&[DataId(0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn task_without_inputs_panics() {
+        let mut b = TaskSetBuilder::new();
+        b.add_task(&[], 1.0);
+    }
+
+    #[test]
+    fn add_data_block_returns_first_id() {
+        let mut b = TaskSetBuilder::new();
+        let first = b.add_data_block(4, 7);
+        assert_eq!(first, DataId(0));
+        assert_eq!(b.num_data(), 4);
+        let second = b.add_data(7);
+        assert_eq!(second, DataId(4));
+    }
+}

@@ -1,0 +1,797 @@
+//! The discrete-event runtime engine.
+//!
+//! A faithful-in-spirit miniature of StarPU's execution model, which is
+//! what the paper's evaluation runs on (natively and over SimGrid):
+//!
+//! * **pull-mode workers** — whenever a GPU has room in its execution
+//!   pipeline it asks the scheduling policy for a task
+//!   ([`Scheduler::pop_task`]);
+//! * **prefetching** — inputs of queued tasks are fetched ahead of time so
+//!   transfers overlap the current execution;
+//! * **a shared PCI bus** — all host→GPU transfers are serialized through
+//!   one FIFO bus of fixed bandwidth (the topology of Figure 2);
+//! * **bounded GPU memory with eviction** — when a fetch does not fit, a
+//!   victim is chosen (scheduler hook first — that is how DARTS installs
+//!   LUF — with LRU as the default, like StarPU);
+//! * **pinning** — inputs of the running task and in-flight transfers are
+//!   not evictable, which both matches the model's
+//!   `V(k,i) ∩ D(σ(k,i)) = ∅` constraint and makes the engine
+//!   deadlock-free.
+//!
+//! The engine is single-threaded and fully deterministic: identical
+//! inputs produce identical reports, event ties are broken by issue
+//! order.
+
+use crate::memory::GpuMemory;
+use crate::report::{GpuRunStats, RunReport, TraceEvent};
+use crate::scheduler::{RuntimeView, Scheduler};
+use crate::spec::{Nanos, PlatformSpec};
+use memsched_model::{DataId, GpuId, TaskId, TaskSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Engine options.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Record a [`TraceEvent`] log of the run.
+    pub collect_trace: bool,
+    /// Abort after this many processed events (safety net against buggy
+    /// scheduling policies; the default is generous).
+    pub max_events: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            collect_trace: false,
+            max_events: u64::MAX,
+        }
+    }
+}
+
+/// Failure modes of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// A task's inputs do not fit in a GPU memory at all.
+    TaskTooLarge {
+        /// The offending task.
+        task: TaskId,
+        /// Its input footprint.
+        footprint: u64,
+        /// The per-GPU memory capacity.
+        capacity: u64,
+    },
+    /// The scheduler stopped producing tasks while some remain unfinished.
+    SchedulerStuck {
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
+    /// `max_events` exceeded.
+    EventBudgetExceeded,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::TaskTooLarge {
+                task,
+                footprint,
+                capacity,
+            } => write!(
+                f,
+                "task {task} needs {footprint} B of inputs but GPUs only have {capacity} B"
+            ),
+            RunError::SchedulerStuck { completed, total } => write!(
+                f,
+                "scheduler stalled after {completed}/{total} tasks completed"
+            ),
+            RunError::EventBudgetExceeded => write!(f, "event budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A transfer to `gpu` completed; `src` is the peer GPU for NVLink
+    /// transfers (`u32::MAX` = host memory over the PCI bus).
+    TransferDone { gpu: u32, data: u32, src: u32 },
+    TaskDone { gpu: u32, task: u32 },
+}
+
+/// `src` sentinel for host→GPU transfers.
+const FROM_HOST: u32 = u32::MAX;
+
+/// Run `scheduler` over `ts` on `spec`, returning the execution report.
+pub fn run(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+) -> Result<RunReport, RunError> {
+    run_with_config(ts, spec, scheduler, &RunConfig::default()).map(|(r, _)| r)
+}
+
+/// As [`run`], with engine options; also returns the trace when enabled.
+pub fn run_with_config(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    config: &RunConfig,
+) -> Result<(RunReport, Vec<TraceEvent>), RunError> {
+    let k = spec.num_gpus;
+    let m = ts.num_tasks();
+
+    // Reject tasks that can never run before starting the clock.
+    for t in ts.tasks() {
+        if ts.task_footprint(t) > spec.memory_bytes {
+            return Err(RunError::TaskTooLarge {
+                task: t,
+                footprint: ts.task_footprint(t),
+                capacity: spec.memory_bytes,
+            });
+        }
+    }
+
+    let prepare_started = Instant::now();
+    scheduler.prepare(ts, spec);
+    let prepare_wall = prepare_started.elapsed().as_nanos() as Nanos;
+
+    let mut st = State {
+        now: 0,
+        seq: 0,
+        events: BinaryHeap::new(),
+        mem: (0..k)
+            .map(|_| GpuMemory::new(spec.memory_bytes, ts.num_data()))
+            .collect(),
+        pipeline: vec![Vec::new(); k],
+        running: vec![false; k],
+        stalled_pop: vec![false; k],
+        gpu_free_at: vec![0; k],
+        bus_free_at: 0,
+        nvlink_free_at: 0,
+        busy: vec![0; k],
+        tasks_done: vec![0; k],
+        nvlink_loads: vec![0; k],
+        nvlink_bytes: vec![0; k],
+        completed: 0,
+        flops_done: 0.0,
+        trace: Vec::new(),
+    };
+
+    let mut sched_wall: Vec<Nanos> = vec![0; k];
+    let mut processed: u64 = 0;
+    loop {
+        for g in 0..k {
+            progress(ts, spec, scheduler, &mut st, &mut sched_wall, g, config);
+        }
+        if st.completed == m {
+            break;
+        }
+        let Some(Reverse((time, _, ev))) = st.events.pop() else {
+            // No pending events and tasks remain: every worker was given a
+            // chance to make progress above, so the schedule is stuck.
+            return Err(RunError::SchedulerStuck {
+                completed: st.completed,
+                total: m,
+            });
+        };
+        st.now = time;
+        processed += 1;
+        if processed > config.max_events {
+            return Err(RunError::EventBudgetExceeded);
+        }
+        match ev {
+            Event::TransferDone { gpu, data, src } => {
+                let g = gpu as usize;
+                let d = DataId(data);
+                st.mem[g].finish_load(d, ts.data_size(d), st.now);
+                if src != FROM_HOST {
+                    // Release the read pin on the NVLink source replica.
+                    st.mem[src as usize].unpin(d);
+                    st.nvlink_loads[g] += 1;
+                    st.nvlink_bytes[g] += ts.data_size(d);
+                }
+                if config.collect_trace {
+                    st.trace.push(TraceEvent::LoadDone {
+                        at: st.now,
+                        gpu: g,
+                        data: data as usize,
+                    });
+                }
+                // New residency can unblock pops (e.g. DARTS's free-task
+                // counts change when a load lands).
+                st.stalled_pop.iter_mut().for_each(|s| *s = false);
+                let view = st.view(ts, spec);
+                timed(&mut sched_wall, g, || {
+                    scheduler.on_data_loaded(GpuId(gpu), d, &view)
+                });
+            }
+            Event::TaskDone { gpu, task } => {
+                let g = gpu as usize;
+                let t = TaskId(task);
+                debug_assert!(st.running[g] && st.pipeline[g].first() == Some(&t));
+                st.pipeline[g].remove(0);
+                st.running[g] = false;
+                for d in ts.input_ids(t) {
+                    st.mem[g].unpin(d);
+                    st.mem[g].touch(d, st.now);
+                }
+                st.completed += 1;
+                st.tasks_done[g] += 1;
+                st.flops_done += ts.flops(t);
+                if config.collect_trace {
+                    st.trace.push(TraceEvent::TaskFinished {
+                        at: st.now,
+                        gpu: g,
+                        task: task as usize,
+                    });
+                }
+                // A completion anywhere may unblock pops everywhere
+                // (stealing, shared queues).
+                st.stalled_pop.iter_mut().for_each(|s| *s = false);
+                let view = st.view(ts, spec);
+                timed(&mut sched_wall, g, || {
+                    scheduler.on_task_complete(GpuId(gpu), t, &view)
+                });
+            }
+        }
+    }
+
+    let per_gpu: Vec<GpuRunStats> = (0..k)
+        .map(|g| GpuRunStats {
+            tasks: st.tasks_done[g],
+            loads: st.mem[g].loads,
+            load_bytes: st.mem[g].load_bytes,
+            evictions: st.mem[g].evictions,
+            busy: st.busy[g],
+            sched_wall: sched_wall[g],
+            nvlink_loads: st.nvlink_loads[g],
+            nvlink_bytes: st.nvlink_bytes[g],
+        })
+        .collect();
+    let report = RunReport {
+        scheduler: scheduler.name(),
+        makespan: st.now,
+        total_flops: st.flops_done,
+        total_load_bytes: per_gpu.iter().map(|g| g.load_bytes).sum(),
+        total_loads: per_gpu.iter().map(|g| g.loads).sum(),
+        total_evictions: per_gpu.iter().map(|g| g.evictions).sum(),
+        per_gpu,
+        prepare_wall,
+        sched_wall: sched_wall.iter().sum(),
+    };
+    Ok((report, st.trace))
+}
+
+struct State {
+    now: Nanos,
+    seq: u64,
+    events: BinaryHeap<Reverse<(Nanos, u64, Event)>>,
+    mem: Vec<GpuMemory>,
+    /// Per GPU: popped-but-unfinished tasks in execution order. When
+    /// `running[g]` is true, `pipeline[g][0]` is executing.
+    pipeline: Vec<Vec<TaskId>>,
+    running: Vec<bool>,
+    /// The scheduler returned `None` for this GPU and nothing changed
+    /// since — do not hammer `pop_task` until the next event.
+    stalled_pop: Vec<bool>,
+    gpu_free_at: Vec<Nanos>,
+    bus_free_at: Nanos,
+    nvlink_free_at: Nanos,
+    busy: Vec<Nanos>,
+    tasks_done: Vec<usize>,
+    nvlink_loads: Vec<u64>,
+    nvlink_bytes: Vec<u64>,
+    completed: usize,
+    flops_done: f64,
+    trace: Vec<TraceEvent>,
+}
+
+impl State {
+    fn view<'a>(&'a self, ts: &'a TaskSet, spec: &'a PlatformSpec) -> RuntimeView<'a> {
+        RuntimeView {
+            ts,
+            spec,
+            now: self.now,
+            memories: &self.mem,
+            buffers: &self.pipeline,
+            bus_free_at: self.bus_free_at,
+            gpu_free_at: &self.gpu_free_at,
+        }
+    }
+
+    fn push_event(&mut self, at: Nanos, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, ev)));
+    }
+}
+
+fn timed<R>(wall: &mut [Nanos], gpu: usize, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let r = f();
+    wall[gpu] += start.elapsed().as_nanos() as Nanos;
+    r
+}
+
+/// Give GPU `g` every chance to advance: refill its pipeline from the
+/// scheduler, issue prefetches, and start the head task.
+#[allow(clippy::too_many_arguments)]
+fn progress(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    g: usize,
+    config: &RunConfig,
+) {
+    // 1. Refill the pipeline.
+    while st.pipeline[g].len() < spec.pipeline_depth && !st.stalled_pop[g] {
+        let view = st.view(ts, spec);
+        let popped = timed(sched_wall, g, || {
+            scheduler.pop_task(GpuId(g as u32), &view)
+        });
+        match popped {
+            Some(t) => st.pipeline[g].push(t),
+            None => {
+                st.stalled_pop[g] = true;
+            }
+        }
+    }
+
+    // 2. Start the head task before touching memory, so its inputs are
+    //    pinned against the prefetches issued below.
+    try_start(ts, spec, st, g, config);
+
+    // 3. Issue prefetches in pipeline order. Stop at the first fetch that
+    //    does not fit to preserve the intended load order. A fetch for the
+    //    idx-th queued task may never evict data needed by an earlier
+    //    pipeline task (`protect` accumulates the prefix of input sets):
+    //    those tasks run first, so evicting their data would only create
+    //    reload churn — the livelock-free guarantee of the engine.
+    let mut protect: Vec<u32> = Vec::new();
+    'issue: for idx in 0..st.pipeline[g].len() {
+        let t = st.pipeline[g][idx];
+        let inputs = ts.inputs(t);
+        protect = merge_sorted(&protect, inputs);
+        for &raw in inputs {
+            let d = DataId(raw);
+            if st.mem[g].is_resident_or_loading(d) {
+                continue;
+            }
+            let size = ts.data_size(d);
+            // Make room, never evicting protected inputs.
+            while st.mem[g].free_bytes() < size {
+                let victim = pick_victim(ts, spec, scheduler, st, sched_wall, g, &protect);
+                match victim {
+                    Some(v) => {
+                        st.mem[g].evict(v, ts.data_size(v));
+                        if config.collect_trace {
+                            st.trace.push(TraceEvent::Evicted {
+                                at: st.now,
+                                gpu: g,
+                                data: v.index(),
+                            });
+                        }
+                        let view = st.view(ts, spec);
+                        timed(sched_wall, g, || {
+                            scheduler.on_data_evicted(GpuId(g as u32), v, &view)
+                        });
+                    }
+                    None => break 'issue, // memory fully pinned: retry later
+                }
+            }
+            st.mem[g].begin_load(d, size);
+            // Prefer a peer replica over the NVLink fabric when available
+            // (the §VI extension); otherwise cross the shared PCI bus.
+            let peer = spec.nvlink_bandwidth.and_then(|_| {
+                (0..st.mem.len()).find(|&h| h != g && st.mem[h].is_resident(d))
+            });
+            let (done_at, src) = match peer {
+                Some(h) => {
+                    // Pin the source replica for the transfer duration so
+                    // it cannot be evicted mid-copy.
+                    st.mem[h].pin(d);
+                    let done = st.nvlink_free_at.max(st.now) + spec.nvlink_time(size);
+                    st.nvlink_free_at = done;
+                    (done, h as u32)
+                }
+                None => {
+                    let done = st.bus_free_at.max(st.now) + spec.transfer_time(size);
+                    st.bus_free_at = done;
+                    (done, FROM_HOST)
+                }
+            };
+            st.push_event(
+                done_at,
+                Event::TransferDone {
+                    gpu: g as u32,
+                    data: raw,
+                    src,
+                },
+            );
+            if config.collect_trace {
+                st.trace.push(TraceEvent::LoadIssued {
+                    at: st.now,
+                    gpu: g,
+                    data: raw as usize,
+                    done_at,
+                });
+            }
+        }
+    }
+
+    // 4. The prefetches above may have completed synchronously-needed
+    //    state changes; give the head another chance to start.
+    try_start(ts, spec, st, g, config);
+}
+
+/// Start the head task of GPU `g` if it is not running and all its inputs
+/// are resident; pins its inputs for the duration of the execution.
+fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize, config: &RunConfig) {
+    if st.running[g] {
+        return;
+    }
+    let Some(&head) = st.pipeline[g].first() else {
+        return;
+    };
+    if !ts.input_ids(head).all(|d| st.mem[g].is_resident(d)) {
+        return;
+    }
+    for d in ts.input_ids(head) {
+        st.mem[g].pin(d);
+        st.mem[g].touch(d, st.now);
+    }
+    st.running[g] = true;
+    let dur = spec.compute_time_on(g, ts.flops(head));
+    st.busy[g] += dur;
+    let end = st.now + dur;
+    st.gpu_free_at[g] = end;
+    st.push_event(
+        end,
+        Event::TaskDone {
+            gpu: g as u32,
+            task: head.0,
+        },
+    );
+    if config.collect_trace {
+        st.trace.push(TraceEvent::TaskStarted {
+            at: st.now,
+            gpu: g,
+            task: head.index(),
+        });
+    }
+}
+
+/// Merge two sorted-unique id slices into a sorted-unique vector.
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Choose an eviction victim on GPU `g`: ask the scheduler first (LUF),
+/// validate its answer, fall back to LRU. `protect` holds the inputs of
+/// the task the fetch is for.
+#[allow(clippy::too_many_arguments)]
+fn pick_victim(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    g: usize,
+    protect: &[u32],
+) -> Option<DataId> {
+    let evictable = |mem: &GpuMemory, d: DataId| {
+        mem.is_resident(d) && !mem.is_pinned(d) && protect.binary_search(&d.0).is_err()
+    };
+    let view = st.view(ts, spec);
+    let choice = timed(sched_wall, g, || {
+        scheduler.choose_victim(GpuId(g as u32), &view)
+    });
+    if let Some(v) = choice {
+        if evictable(&st.mem[g], v) {
+            return Some(v);
+        }
+    }
+    // LRU fallback, skipping protected items.
+    let mem = &st.mem[g];
+    let mut best: Option<(DataId, (Nanos, u64))> = None;
+    for d in mem.resident() {
+        if !evictable(mem, d) {
+            continue;
+        }
+        let key = mem.lru_key(d);
+        if best.is_none() || key < best.unwrap().1 {
+            best = Some((d, key));
+        }
+    }
+    best.map(|(d, _)| d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsched_model::TaskSetBuilder;
+
+    /// Trivial FIFO scheduler for engine tests.
+    struct Fifo {
+        next: u32,
+        total: u32,
+    }
+
+    impl Fifo {
+        fn new(ts: &TaskSet) -> Self {
+            Self {
+                next: 0,
+                total: ts.num_tasks() as u32,
+            }
+        }
+    }
+
+    impl Scheduler for Fifo {
+        fn name(&self) -> String {
+            "fifo-test".into()
+        }
+        fn pop_task(&mut self, _gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
+            if self.next < self.total {
+                self.next += 1;
+                Some(TaskId(self.next - 1))
+            } else {
+                None
+            }
+        }
+    }
+
+    fn tiny_spec(k: usize, mem: u64) -> PlatformSpec {
+        PlatformSpec {
+            num_gpus: k,
+            memory_bytes: mem,
+            bus_bandwidth: 1e9, // 1 GB/s
+            transfer_latency: 0,
+            gpu_gflops: 1.0, // 1 GFlop/s => flops == nanoseconds
+            pipeline_depth: 2,
+            gpu_gflops_override: None,
+            nvlink_bandwidth: None,
+        }
+    }
+
+    fn two_task_set() -> TaskSet {
+        let mut b = TaskSetBuilder::new();
+        let d0 = b.add_data(1000);
+        let d1 = b.add_data(1000);
+        b.add_task(&[d0], 5000.0);
+        b.add_task(&[d0, d1], 5000.0);
+        b.build()
+    }
+
+    #[test]
+    fn executes_all_tasks_once() {
+        let ts = two_task_set();
+        let mut sched = Fifo::new(&ts);
+        let report = run(&ts, &tiny_spec(1, 10_000), &mut sched).unwrap();
+        assert_eq!(report.per_gpu[0].tasks, 2);
+        assert_eq!(report.total_loads, 2);
+        assert_eq!(report.total_load_bytes, 2000);
+        assert_eq!(report.total_evictions, 0);
+        assert!(report.makespan >= 10_000, "two 5µs tasks back to back");
+    }
+
+    #[test]
+    fn transfers_overlap_computation() {
+        // Task 0 computes for 5000 ns; D1 (1000 B @ 1 GB/s = 1000 ns) is
+        // prefetched during that time, so task 1 starts right after task 0.
+        let ts = two_task_set();
+        let mut sched = Fifo::new(&ts);
+        let report = run(&ts, &tiny_spec(1, 10_000), &mut sched).unwrap();
+        // load D0 (1000 ns) + task0 (5000) + task1 (5000) = 11_000, with
+        // D1's transfer hidden behind task 0.
+        assert_eq!(report.makespan, 11_000);
+    }
+
+    #[test]
+    fn eviction_happens_under_memory_pressure() {
+        let mut b = TaskSetBuilder::new();
+        let d: Vec<_> = (0..3).map(|_| b.add_data(1000)).collect();
+        b.add_task(&[d[0]], 100.0);
+        b.add_task(&[d[1]], 100.0);
+        b.add_task(&[d[2]], 100.0);
+        let ts = b.build();
+        let mut sched = Fifo::new(&ts);
+        // Memory fits one data item only.
+        let report = run(&ts, &tiny_spec(1, 1000), &mut sched).unwrap();
+        assert_eq!(report.total_loads, 3);
+        assert_eq!(report.total_evictions, 2);
+    }
+
+    #[test]
+    fn task_too_large_is_rejected() {
+        let ts = two_task_set();
+        let mut sched = Fifo::new(&ts);
+        let err = run(&ts, &tiny_spec(1, 1500), &mut sched).unwrap_err();
+        assert!(matches!(err, RunError::TaskTooLarge { .. }));
+    }
+
+    #[test]
+    fn stuck_scheduler_is_detected() {
+        struct Lazy;
+        impl Scheduler for Lazy {
+            fn name(&self) -> String {
+                "lazy".into()
+            }
+            fn pop_task(&mut self, _: GpuId, _: &RuntimeView<'_>) -> Option<TaskId> {
+                None
+            }
+        }
+        let ts = two_task_set();
+        let err = run(&ts, &tiny_spec(1, 10_000), &mut Lazy).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SchedulerStuck {
+                completed: 0,
+                total: 2
+            }
+        );
+    }
+
+    #[test]
+    fn shared_bus_serializes_transfers_across_gpus() {
+        // Two GPUs, one task each on distinct data: the second GPU's load
+        // waits for the first on the shared bus.
+        let mut b = TaskSetBuilder::new();
+        let d0 = b.add_data(1000);
+        let d1 = b.add_data(1000);
+        b.add_task(&[d0], 100.0);
+        b.add_task(&[d1], 100.0);
+        let ts = b.build();
+
+        struct Split {
+            popped: [bool; 2],
+        }
+        impl Scheduler for Split {
+            fn name(&self) -> String {
+                "split".into()
+            }
+            fn pop_task(&mut self, gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
+                // One task per GPU, popped exactly once.
+                if self.popped[gpu.index()] {
+                    None
+                } else {
+                    self.popped[gpu.index()] = true;
+                    Some(TaskId(gpu.0))
+                }
+            }
+        }
+        let (report, trace) = run_with_config(
+            &ts,
+            &tiny_spec(2, 10_000),
+            &mut Split { popped: [false; 2] },
+            &RunConfig {
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // GPU0's transfer: 0..1000; GPU1's: 1000..2000; tasks 100 ns each.
+        assert_eq!(report.makespan, 2100);
+        let issued: Vec<_> = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::LoadIssued { .. }))
+            .collect();
+        assert_eq!(issued.len(), 2);
+        if let TraceEvent::LoadIssued { done_at, .. } = issued[1] {
+            assert_eq!(*done_at, 2000, "second transfer queues behind the first");
+        }
+    }
+
+    #[test]
+    fn pop_is_not_hammered_when_stalled() {
+        // A scheduler that panics if popped more than N+1 times per event
+        // would catch regressions; here we just count.
+        struct Counting {
+            pops: u32,
+            inner: Fifo,
+        }
+        impl Scheduler for Counting {
+            fn name(&self) -> String {
+                "counting".into()
+            }
+            fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+                self.pops += 1;
+                self.inner.pop_task(gpu, view)
+            }
+        }
+        let ts = two_task_set();
+        let mut sched = Counting {
+            pops: 0,
+            inner: Fifo::new(&ts),
+        };
+        run(&ts, &tiny_spec(1, 10_000), &mut sched).unwrap();
+        // 2 successful pops + one None per event at most.
+        assert!(sched.pops < 20, "pops = {}", sched.pops);
+    }
+
+    #[test]
+    fn nvlink_serves_peer_replicas() {
+        // Both GPUs need the same data item: with NVLink the second copy
+        // comes from the peer, not the host bus.
+        let mut b = TaskSetBuilder::new();
+        let d0 = b.add_data(1000);
+        b.add_task(&[d0], 100.0);
+        b.add_task(&[d0], 100.0);
+        let ts = b.build();
+
+        struct OnePerGpu {
+            popped: [bool; 2],
+        }
+        impl Scheduler for OnePerGpu {
+            fn name(&self) -> String {
+                "one-per-gpu".into()
+            }
+            fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+                if self.popped[gpu.index()] {
+                    return None;
+                }
+                // GPU1 waits until the replica is resident on GPU0, so its
+                // copy can travel over the peer link when one exists.
+                if gpu.0 == 1 && !view.is_resident(GpuId(0), memsched_model::DataId(0)) {
+                    return None;
+                }
+                self.popped[gpu.index()] = true;
+                Some(TaskId(gpu.0))
+            }
+        }
+
+        let mut spec = tiny_spec(2, 10_000);
+        // Without NVLink: two host loads.
+        let r = run(&ts, &spec, &mut OnePerGpu { popped: [false; 2] }).unwrap();
+        assert_eq!(r.total_loads, 2);
+        assert_eq!(r.nvlink_mb(), 0.0);
+        assert_eq!(r.pci_transfers_mb(), r.transfers_mb());
+
+        // With NVLink: GPU0 loads from host, GPU1 peers once the replica
+        // is resident (it may race host transfer; allow either but check
+        // accounting consistency).
+        spec.nvlink_bandwidth = Some(10e9);
+        let r = run(&ts, &spec, &mut OnePerGpu { popped: [false; 2] }).unwrap();
+        assert_eq!(r.total_loads, 2);
+        let nv: u64 = r.per_gpu.iter().map(|g| g.nvlink_loads).sum();
+        assert_eq!(nv, 1, "one copy should travel over NVLink");
+        assert_eq!(r.pci_transfers_mb(), 0.001, "one 1000-byte host load");
+    }
+
+    #[test]
+    fn report_gflops_accounts_total_flops() {
+        let ts = two_task_set();
+        let mut sched = Fifo::new(&ts);
+        let report = run(&ts, &tiny_spec(1, 10_000), &mut sched).unwrap();
+        assert_eq!(report.total_flops, 10_000.0);
+        let expected = 10_000.0 / (report.makespan as f64 / 1e9) / 1e9;
+        assert!((report.gflops() - expected).abs() < 1e-9);
+        assert!(report.gflops_with_sched() <= report.gflops());
+    }
+}

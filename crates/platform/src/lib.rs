@@ -1,0 +1,51 @@
+//! # memsched-platform
+//!
+//! A deterministic discrete-event simulator of a StarPU-like multi-GPU
+//! node: the substrate on which the paper's schedulers are evaluated.
+//!
+//! The simulated machine follows Figure 2 of the paper: host memory
+//! holding all input data, `K` GPUs with bounded memory, and one shared
+//! PCI bus. Workers pull tasks from a pluggable [`Scheduler`], prefetch
+//! their inputs over the bus, evict under memory pressure (LRU by default,
+//! scheduler-overridable — how DARTS installs LUF), and execute tasks
+//! under a calibrated cost model.
+//!
+//! ```
+//! use memsched_platform::{run, PlatformSpec, RuntimeView, Scheduler};
+//! use memsched_model::{GpuId, TaskId, TaskSetBuilder};
+//!
+//! // A trivial FIFO policy.
+//! struct Fifo(u32, u32);
+//! impl Scheduler for Fifo {
+//!     fn name(&self) -> String { "fifo".into() }
+//!     fn pop_task(&mut self, _: GpuId, _: &RuntimeView<'_>) -> Option<TaskId> {
+//!         (self.0 < self.1).then(|| { self.0 += 1; TaskId(self.0 - 1) })
+//!     }
+//! }
+//!
+//! let mut b = TaskSetBuilder::new();
+//! let d = b.add_data(1_000_000);
+//! b.add_task(&[d], 1.0e9);
+//! let ts = b.build();
+//! let report = run(&ts, &PlatformSpec::v100(1), &mut Fifo(0, 1)).unwrap();
+//! assert_eq!(report.per_gpu[0].tasks, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod engine;
+mod memory;
+mod report;
+mod scheduler;
+mod spec;
+
+pub use analysis::{analyze, analyze_checked, render_gantt, TraceAnalysis};
+pub use engine::{run, run_with_config, RunConfig, RunError};
+pub use memory::{GpuMemory, Residency};
+pub use report::{GpuRunStats, RunReport, TraceEvent};
+pub use scheduler::{RuntimeView, Scheduler};
+pub use spec::{
+    Nanos, PlatformSpec, NVLINK_BANDWIDTH, PAPER_MEMORY_BYTES, PCIE_BANDWIDTH,
+    UNLIMITED_MEMORY_BYTES, V100_GFLOPS,
+};

@@ -1,0 +1,270 @@
+//! Per-GPU memory management: residency, pinning, LRU bookkeeping and
+//! eviction.
+//!
+//! Each data item is, per GPU, in one of three states: **absent** (only in
+//! host memory), **loading** (a bus transfer is in flight) or **resident**.
+//! Loading data and data pinned by the running / head task cannot be
+//! evicted — this enforces the paper's `V(k,i) ∩ D(σ(k,i)) = ∅` rule and
+//! keeps the simulation deadlock-free (a running task always completes and
+//! releases its pins).
+
+use crate::spec::Nanos;
+use memsched_model::DataId;
+
+/// Residency state of one data item on one GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Residency {
+    /// Only in host memory.
+    #[default]
+    Absent,
+    /// Host→GPU transfer in flight.
+    Loading,
+    /// Usable by tasks on this GPU.
+    Resident,
+}
+
+/// Memory manager of a single GPU.
+#[derive(Clone, Debug)]
+pub struct GpuMemory {
+    capacity: u64,
+    /// Residency state per data id.
+    state: Vec<Residency>,
+    /// Pin count per data id (running/head-task uses + loading).
+    pins: Vec<u32>,
+    /// Timestamp of the most recent touch (load completion or task use).
+    last_use: Vec<Nanos>,
+    /// Monotonic tiebreaker so equal timestamps evict deterministically.
+    touch_seq: Vec<u64>,
+    seq: u64,
+    /// Bytes resident plus bytes reserved by in-flight loads.
+    used_bytes: u64,
+    /// Number of evictions performed on this GPU.
+    pub evictions: u64,
+    /// Number of load operations completed on this GPU.
+    pub loads: u64,
+    /// Bytes loaded onto this GPU.
+    pub load_bytes: u64,
+}
+
+impl GpuMemory {
+    /// A memory of `capacity` bytes tracking `num_data` data items.
+    pub fn new(capacity: u64, num_data: usize) -> Self {
+        Self {
+            capacity,
+            state: vec![Residency::Absent; num_data],
+            pins: vec![0; num_data],
+            last_use: vec![0; num_data],
+            touch_seq: vec![0; num_data],
+            seq: 0,
+            used_bytes: 0,
+            evictions: 0,
+            loads: 0,
+            load_bytes: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes resident or reserved by in-flight transfers.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Bytes available for new loads without eviction.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used_bytes
+    }
+
+    /// Residency state of a data item.
+    pub fn residency(&self, d: DataId) -> Residency {
+        self.state[d.index()]
+    }
+
+    /// True if the data is usable by a task right now.
+    pub fn is_resident(&self, d: DataId) -> bool {
+        self.state[d.index()] == Residency::Resident
+    }
+
+    /// True if the data is resident or being transferred.
+    pub fn is_resident_or_loading(&self, d: DataId) -> bool {
+        self.state[d.index()] != Residency::Absent
+    }
+
+    /// Pin a data item (input of a running or imminent task).
+    pub fn pin(&mut self, d: DataId) {
+        self.pins[d.index()] += 1;
+    }
+
+    /// Release one pin.
+    pub fn unpin(&mut self, d: DataId) {
+        let p = &mut self.pins[d.index()];
+        debug_assert!(*p > 0, "unpin of unpinned data {d}");
+        *p = p.saturating_sub(1);
+    }
+
+    /// True if the data may not be evicted (pinned or in flight).
+    pub fn is_pinned(&self, d: DataId) -> bool {
+        self.pins[d.index()] > 0 || self.state[d.index()] == Residency::Loading
+    }
+
+    /// Record a use of the data (LRU bookkeeping).
+    pub fn touch(&mut self, d: DataId, now: Nanos) {
+        self.last_use[d.index()] = now;
+        self.seq += 1;
+        self.touch_seq[d.index()] = self.seq;
+    }
+
+    /// Begin a host→GPU transfer: reserves the bytes and marks the data
+    /// `Loading`. The caller must have ensured `free_bytes() >= size`.
+    pub fn begin_load(&mut self, d: DataId, size: u64) {
+        debug_assert_eq!(self.state[d.index()], Residency::Absent);
+        debug_assert!(self.free_bytes() >= size, "begin_load without room");
+        self.state[d.index()] = Residency::Loading;
+        self.used_bytes += size;
+    }
+
+    /// Complete a transfer: the data becomes `Resident`.
+    pub fn finish_load(&mut self, d: DataId, size: u64, now: Nanos) {
+        debug_assert_eq!(self.state[d.index()], Residency::Loading);
+        self.state[d.index()] = Residency::Resident;
+        self.loads += 1;
+        self.load_bytes += size;
+        self.touch(d, now);
+    }
+
+    /// Evict a resident, unpinned data item, freeing its bytes.
+    pub fn evict(&mut self, d: DataId, size: u64) {
+        debug_assert_eq!(self.state[d.index()], Residency::Resident);
+        debug_assert!(!self.is_pinned(d), "evicting pinned data {d}");
+        self.state[d.index()] = Residency::Absent;
+        self.used_bytes -= size;
+        self.evictions += 1;
+    }
+
+    /// The LRU victim among resident, unpinned data items: the one with
+    /// the oldest `(last_use, touch_seq)` pair. `None` when everything is
+    /// pinned or absent.
+    pub fn lru_victim(&self) -> Option<DataId> {
+        let mut best: Option<(usize, (Nanos, u64))> = None;
+        for (i, &st) in self.state.iter().enumerate() {
+            if st != Residency::Resident || self.pins[i] > 0 {
+                continue;
+            }
+            let key = (self.last_use[i], self.touch_seq[i]);
+            if best.is_none_or(|(_, bk)| key < bk) {
+                best = Some((i, key));
+            }
+        }
+        best.map(|(i, _)| DataId::from_usize(i))
+    }
+
+    /// The LRU ordering key of a data item: evict smaller keys first.
+    pub fn lru_key(&self, d: DataId) -> (Nanos, u64) {
+        (self.last_use[d.index()], self.touch_seq[d.index()])
+    }
+
+    /// Iterate over the resident data ids (unspecified order).
+    pub fn resident(&self) -> impl Iterator<Item = DataId> + '_ {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == Residency::Resident)
+            .map(|(i, _)| DataId::from_usize(i))
+    }
+
+    /// Number of resident data items.
+    pub fn resident_count(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|&&s| s == Residency::Resident)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DataId {
+        DataId(i)
+    }
+
+    #[test]
+    fn load_lifecycle() {
+        let mut m = GpuMemory::new(100, 4);
+        assert_eq!(m.residency(d(0)), Residency::Absent);
+        m.begin_load(d(0), 40);
+        assert_eq!(m.residency(d(0)), Residency::Loading);
+        assert!(m.is_pinned(d(0)), "loading data is not evictable");
+        assert_eq!(m.free_bytes(), 60);
+        m.finish_load(d(0), 40, 5);
+        assert!(m.is_resident(d(0)));
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.load_bytes, 40);
+        m.evict(d(0), 40);
+        assert_eq!(m.free_bytes(), 100);
+        assert_eq!(m.evictions, 1);
+    }
+
+    #[test]
+    fn pins_block_lru_victim() {
+        let mut m = GpuMemory::new(100, 3);
+        for i in 0..3 {
+            m.begin_load(d(i), 10);
+            m.finish_load(d(i), 10, i as Nanos);
+        }
+        m.pin(d(0));
+        assert_eq!(m.lru_victim(), Some(d(1)), "oldest unpinned");
+        m.pin(d(1));
+        assert_eq!(m.lru_victim(), Some(d(2)));
+        m.pin(d(2));
+        assert_eq!(m.lru_victim(), None);
+        m.unpin(d(1));
+        assert_eq!(m.lru_victim(), Some(d(1)));
+    }
+
+    #[test]
+    fn touch_updates_lru_order() {
+        let mut m = GpuMemory::new(100, 2);
+        m.begin_load(d(0), 10);
+        m.finish_load(d(0), 10, 1);
+        m.begin_load(d(1), 10);
+        m.finish_load(d(1), 10, 2);
+        assert_eq!(m.lru_victim(), Some(d(0)));
+        m.touch(d(0), 3);
+        assert_eq!(m.lru_victim(), Some(d(1)));
+    }
+
+    #[test]
+    fn equal_timestamps_break_by_sequence() {
+        let mut m = GpuMemory::new(100, 2);
+        m.begin_load(d(1), 10);
+        m.finish_load(d(1), 10, 7);
+        m.begin_load(d(0), 10);
+        m.finish_load(d(0), 10, 7);
+        // d(1) finished first -> smaller sequence -> evicted first.
+        assert_eq!(m.lru_victim(), Some(d(1)));
+    }
+
+    #[test]
+    fn resident_iterator_and_count() {
+        let mut m = GpuMemory::new(100, 4);
+        m.begin_load(d(2), 10);
+        m.finish_load(d(2), 10, 0);
+        m.begin_load(d(0), 10);
+        assert_eq!(m.resident_count(), 1);
+        let ids: Vec<_> = m.resident().collect();
+        assert_eq!(ids, vec![d(2)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "begin_load without room")]
+    fn over_reserving_panics_in_debug() {
+        let mut m = GpuMemory::new(10, 1);
+        m.begin_load(d(0), 20);
+    }
+}

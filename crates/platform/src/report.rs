@@ -1,0 +1,158 @@
+//! Execution reports produced by the simulator.
+
+use crate::spec::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Per-GPU execution statistics.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpuRunStats {
+    /// Tasks executed on this GPU (`nb_k`).
+    pub tasks: usize,
+    /// Host→GPU load operations.
+    pub loads: u64,
+    /// Bytes loaded.
+    pub load_bytes: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Nanoseconds spent executing tasks.
+    pub busy: Nanos,
+    /// Wall-clock nanoseconds spent inside scheduler callbacks for this
+    /// GPU's worker (pop/eviction decisions).
+    pub sched_wall: Nanos,
+    /// Loads served from a peer GPU over the NVLink fabric (0 on the
+    /// paper's PCI-only platform).
+    pub nvlink_loads: u64,
+    /// Bytes received over NVLink.
+    pub nvlink_bytes: u64,
+}
+
+/// Result of one simulated run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Simulated makespan in nanoseconds (excluding scheduling cost).
+    pub makespan: Nanos,
+    /// Total floating-point operations executed.
+    pub total_flops: f64,
+    /// Total bytes transferred host→GPUs.
+    pub total_load_bytes: u64,
+    /// Total number of host→GPU load operations (Obj. 2).
+    pub total_loads: u64,
+    /// Total evictions.
+    pub total_evictions: u64,
+    /// Per-GPU breakdown.
+    pub per_gpu: Vec<GpuRunStats>,
+    /// Wall-clock nanoseconds of the static phase
+    /// (partitioning / packing / DMDA allocation loop).
+    pub prepare_wall: Nanos,
+    /// Wall-clock nanoseconds of all dynamic scheduler callbacks.
+    pub sched_wall: Nanos,
+}
+
+impl RunReport {
+    /// Throughput in GFlop/s, ignoring scheduling cost (the paper's
+    /// "no sched. time" curves).
+    pub fn gflops(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.total_flops / (self.makespan as f64 / 1e9) / 1e9
+    }
+
+    /// Estimated makespan including scheduling cost: the static phase runs
+    /// before any task, and each worker is delayed by the wall time its
+    /// own scheduling decisions took (we charge the maximum over workers,
+    /// matching the paper's observation that scheduling time sits on the
+    /// critical path).
+    pub fn makespan_with_sched(&self) -> Nanos {
+        let max_worker_sched = self.per_gpu.iter().map(|g| g.sched_wall).max().unwrap_or(0);
+        self.makespan + self.prepare_wall + max_worker_sched
+    }
+
+    /// Throughput in GFlop/s including scheduling cost (the paper's
+    /// default reporting: "the cost of computing the schedule is
+    /// considered unless specified otherwise").
+    pub fn gflops_with_sched(&self) -> f64 {
+        let ms = self.makespan_with_sched();
+        if ms == 0 {
+            return 0.0;
+        }
+        self.total_flops / (ms as f64 / 1e9) / 1e9
+    }
+
+    /// Total data transferred in megabytes (the y axis of Figures 4 and
+    /// 7). Includes NVLink traffic when the fabric is enabled; use
+    /// [`RunReport::pci_transfers_mb`] for host-bus traffic only.
+    pub fn transfers_mb(&self) -> f64 {
+        self.total_load_bytes as f64 / 1e6
+    }
+
+    /// Bytes received over NVLink, in megabytes.
+    pub fn nvlink_mb(&self) -> f64 {
+        self.per_gpu.iter().map(|g| g.nvlink_bytes).sum::<u64>() as f64 / 1e6
+    }
+
+    /// Host→GPU traffic over the shared PCI bus, in megabytes.
+    pub fn pci_transfers_mb(&self) -> f64 {
+        self.transfers_mb() - self.nvlink_mb()
+    }
+
+    /// `max_k nb_k` — Objective 1.
+    pub fn max_load(&self) -> usize {
+        self.per_gpu.iter().map(|g| g.tasks).max().unwrap_or(0)
+    }
+}
+
+/// A timestamped record of everything the engine did; enabled through
+/// [`crate::RunConfig::collect_trace`] and used by tests and debugging.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A transfer of `data` to `gpu` was placed on the bus.
+    LoadIssued {
+        /// Simulation time.
+        at: Nanos,
+        /// Destination GPU index.
+        gpu: usize,
+        /// Data index.
+        data: usize,
+        /// Completion time granted by the bus.
+        done_at: Nanos,
+    },
+    /// `data` became resident on `gpu`.
+    LoadDone {
+        /// Simulation time.
+        at: Nanos,
+        /// Destination GPU index.
+        gpu: usize,
+        /// Data index.
+        data: usize,
+    },
+    /// `data` was evicted from `gpu`.
+    Evicted {
+        /// Simulation time.
+        at: Nanos,
+        /// GPU index.
+        gpu: usize,
+        /// Data index.
+        data: usize,
+    },
+    /// `task` started executing on `gpu`.
+    TaskStarted {
+        /// Simulation time.
+        at: Nanos,
+        /// GPU index.
+        gpu: usize,
+        /// Task index.
+        task: usize,
+    },
+    /// `task` finished on `gpu`.
+    TaskFinished {
+        /// Simulation time.
+        at: Nanos,
+        /// GPU index.
+        gpu: usize,
+        /// Task index.
+        task: usize,
+    },
+}

@@ -1,0 +1,159 @@
+//! The scheduler interface: the contract between the runtime engine and
+//! the scheduling policies of `memsched-schedulers`.
+//!
+//! Mirrors the structure of a StarPU scheduling policy: a static
+//! preparation phase ([`Scheduler::prepare`]), a pull-mode task source
+//! ([`Scheduler::pop_task`], called whenever a worker has pipeline room),
+//! an eviction hook ([`Scheduler::choose_victim`], how DARTS installs LUF)
+//! and event notifications.
+
+use crate::memory::GpuMemory;
+use crate::spec::{Nanos, PlatformSpec};
+use memsched_model::{DataId, GpuId, TaskId, TaskSet};
+
+/// Read-only view of the runtime state, handed to scheduler callbacks.
+///
+/// Everything a dynamic policy may legitimately observe: data residency
+/// per GPU, the worker pipelines (`taskBuffer_k`), clock and busy-ness
+/// estimates. Schedulers must not assume anything else about the engine.
+pub struct RuntimeView<'a> {
+    pub(crate) ts: &'a TaskSet,
+    pub(crate) spec: &'a PlatformSpec,
+    pub(crate) now: Nanos,
+    pub(crate) memories: &'a [GpuMemory],
+    /// Per-GPU pipeline: tasks popped from the scheduler but not finished,
+    /// in execution order (index 0 runs first). Includes the running task.
+    pub(crate) buffers: &'a [Vec<TaskId>],
+    /// Simulated time at which the shared bus finishes its current queue.
+    pub(crate) bus_free_at: Nanos,
+    /// Simulated time at which each GPU finishes its queued work.
+    pub(crate) gpu_free_at: &'a [Nanos],
+}
+
+impl<'a> RuntimeView<'a> {
+    /// The task set being executed.
+    pub fn task_set(&self) -> &'a TaskSet {
+        self.ts
+    }
+
+    /// The platform description.
+    pub fn spec(&self) -> &'a PlatformSpec {
+        self.spec
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// True if `d` is usable by a task on `gpu` right now.
+    pub fn is_resident(&self, gpu: GpuId, d: DataId) -> bool {
+        self.memories[gpu.index()].is_resident(d)
+    }
+
+    /// True if `d` is resident on `gpu` or already being transferred there
+    /// (the `InMem(k)` set of DMDA's Eq. (1) at runtime).
+    pub fn is_resident_or_loading(&self, gpu: GpuId, d: DataId) -> bool {
+        self.memories[gpu.index()].is_resident_or_loading(d)
+    }
+
+    /// True if `d` may not be evicted from `gpu` (pinned or in flight).
+    pub fn is_pinned(&self, gpu: GpuId, d: DataId) -> bool {
+        self.memories[gpu.index()].is_pinned(d)
+    }
+
+    /// Iterate over the data currently resident on `gpu`.
+    pub fn resident(&self, gpu: GpuId) -> impl Iterator<Item = DataId> + 'a {
+        self.memories[gpu.index()].resident()
+    }
+
+    /// Bytes currently used (resident + in flight) on `gpu`.
+    pub fn used_bytes(&self, gpu: GpuId) -> u64 {
+        self.memories[gpu.index()].used_bytes()
+    }
+
+    /// Memory capacity of `gpu` in bytes.
+    pub fn capacity(&self, gpu: GpuId) -> u64 {
+        self.memories[gpu.index()].capacity()
+    }
+
+    /// The worker pipeline of `gpu` (`taskBuffer_k`): popped but
+    /// unfinished tasks in execution order.
+    pub fn task_buffer(&self, gpu: GpuId) -> &'a [TaskId] {
+        &self.buffers[gpu.index()]
+    }
+
+    /// Bytes of `task`'s inputs that are neither resident on `gpu` nor in
+    /// flight to it — what the Ready heuristic minimizes.
+    pub fn missing_bytes(&self, gpu: GpuId, task: TaskId) -> u64 {
+        self.ts
+            .input_ids(task)
+            .filter(|&d| !self.is_resident_or_loading(gpu, d))
+            .map(|d| self.ts.data_size(d))
+            .sum()
+    }
+
+    /// Number of `task`'s inputs that are neither resident nor in flight.
+    pub fn missing_inputs(&self, gpu: GpuId, task: TaskId) -> usize {
+        self.ts
+            .input_ids(task)
+            .filter(|&d| !self.is_resident_or_loading(gpu, d))
+            .count()
+    }
+
+    /// Simulated time at which the shared bus drains its current queue.
+    pub fn bus_free_at(&self) -> Nanos {
+        self.bus_free_at
+    }
+
+    /// Simulated time at which `gpu` finishes its queued work.
+    pub fn gpu_free_at(&self, gpu: GpuId) -> Nanos {
+        self.gpu_free_at[gpu.index()]
+    }
+}
+
+/// A scheduling policy driven by the runtime engine.
+///
+/// All methods take `&mut self`; the engine serializes calls (the
+/// simulation is single-threaded and deterministic).
+pub trait Scheduler {
+    /// Human-readable name used in reports ("DARTS+LUF", "DMDAR", …).
+    fn name(&self) -> String;
+
+    /// Static phase run once before the clock starts: partitioning
+    /// (hMETIS+R), packing (HFP), or the DMDA allocation loop. The wall
+    /// time spent here is measured by the engine and optionally charged
+    /// to the makespan.
+    fn prepare(&mut self, ts: &TaskSet, spec: &PlatformSpec) {
+        let _ = (ts, spec);
+    }
+
+    /// A worker on `gpu` has pipeline room and requests a task. Return
+    /// `None` if no task should run on this GPU right now (the engine
+    /// retries after the next state change).
+    fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId>;
+
+    /// The engine must evict data from `gpu` to make room. Return a
+    /// victim (must be resident and unpinned — the engine validates and
+    /// falls back to LRU on `None` or invalid choices). This is how
+    /// DARTS installs its LUF policy; the default defers to LRU.
+    fn choose_victim(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<DataId> {
+        let _ = (gpu, view);
+        None
+    }
+
+    /// `task` finished on `gpu`.
+    fn on_task_complete(&mut self, gpu: GpuId, task: TaskId, view: &RuntimeView<'_>) {
+        let _ = (gpu, task, view);
+    }
+
+    /// A transfer of `data` to `gpu` completed.
+    fn on_data_loaded(&mut self, gpu: GpuId, data: DataId, view: &RuntimeView<'_>) {
+        let _ = (gpu, data, view);
+    }
+
+    /// `data` was evicted from `gpu`.
+    fn on_data_evicted(&mut self, gpu: GpuId, data: DataId, view: &RuntimeView<'_>) {
+        let _ = (gpu, data, view);
+    }
+}

@@ -1,0 +1,566 @@
+//! DARTS — Data-Aware Reactive Task Scheduling (Algorithm 5) with the LUF
+//! (Least Used in the Future) eviction policy (Algorithm 6), §IV-D.
+//!
+//! DARTS inverts the usual scheduling question: instead of choosing a task
+//! and fetching its data, it chooses the **data** whose load enables the
+//! most "free" tasks — tasks all of whose other inputs are already on the
+//! GPU — and reserves those tasks (`plannedTasks_k`). Tie-breaks are
+//! randomized so concurrent GPUs rarely compete for the same data.
+//!
+//! Variants from the paper:
+//! * **LUF eviction** — evict a data item unused by the committed
+//!   `taskBuffer_k`, with the fewest uses in `plannedTasks_k`; fall back
+//!   to Belady's rule on `taskBuffer_k`;
+//! * **3inputs** — when no single data frees a task, pick a data belonging
+//!   to the most "one more load" pairs instead of a random task;
+//! * **OPTI** — stop the candidate scan at the first data enabling ≥ 1
+//!   free task (bounds the scheduling time on huge task sets);
+//! * **threshold** — cap the number of candidate data examined per refill.
+
+use memsched_model::{DataId, GpuId, TaskId, TaskSet};
+use memsched_platform::{PlatformSpec, RuntimeView, Scheduler};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+/// Eviction policy used by DARTS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DartsEviction {
+    /// The runtime default (StarPU-style LRU).
+    Lru,
+    /// Least Used in the Future (Algorithm 6).
+    Luf,
+}
+
+/// Configuration of [`DartsScheduler`].
+#[derive(Clone, Debug)]
+pub struct DartsConfig {
+    /// Eviction policy.
+    pub eviction: DartsEviction,
+    /// Enable the 3inputs fallback.
+    pub three_inputs: bool,
+    /// Enable the OPTI early-exit scan.
+    pub opti: bool,
+    /// Cap on the number of candidate data examined per refill.
+    pub threshold: Option<usize>,
+    /// Seed for randomized tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for DartsConfig {
+    fn default() -> Self {
+        Self {
+            eviction: DartsEviction::Luf,
+            three_inputs: false,
+            opti: false,
+            threshold: None,
+            seed: 0xDA27,
+        }
+    }
+}
+
+impl DartsConfig {
+    /// Plain DARTS with LRU eviction (the "DARTS" curves of the paper).
+    pub fn lru() -> Self {
+        Self {
+            eviction: DartsEviction::Lru,
+            ..Self::default()
+        }
+    }
+
+    /// DARTS+LUF (the paper's headline configuration).
+    pub fn luf() -> Self {
+        Self::default()
+    }
+
+    /// Builder: enable 3inputs.
+    pub fn with_three_inputs(mut self) -> Self {
+        self.three_inputs = true;
+        self
+    }
+
+    /// Builder: enable OPTI.
+    pub fn with_opti(mut self) -> Self {
+        self.opti = true;
+        self
+    }
+
+    /// Builder: set the candidate threshold.
+    pub fn with_threshold(mut self, threshold: usize) -> Self {
+        self.threshold = Some(threshold.max(1));
+        self
+    }
+
+    /// Builder: set the tie-break seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The DARTS scheduler.
+pub struct DartsScheduler {
+    cfg: DartsConfig,
+    rng: StdRng,
+    /// Per GPU: the data this GPU has not (knowingly) loaded yet.
+    data_not_in_mem: Vec<Vec<bool>>,
+    /// Per GPU: planned (reserved) tasks, popped front-first.
+    planned: Vec<VecDeque<TaskId>>,
+    /// Task state: 0 = unallocated, 1 = planned/running, 2 = done.
+    task_state: Vec<u8>,
+    /// Number of tasks not yet planned or done.
+    unallocated: usize,
+    /// Number of tasks not yet done (planned or not).
+    unfinished: usize,
+}
+
+const FREE: u8 = 0;
+const TAKEN: u8 = 1;
+const DONE: u8 = 2;
+
+impl DartsScheduler {
+    /// Build with the given configuration.
+    pub fn new(cfg: DartsConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            rng,
+            data_not_in_mem: Vec::new(),
+            planned: Vec::new(),
+            task_state: Vec::new(),
+            unallocated: 0,
+            unfinished: 0,
+        }
+    }
+
+    /// Number of free (unallocated, unfinished) tasks enabled by loading
+    /// `d` on `gpu`: tasks consuming `d` whose other inputs are all
+    /// resident (or already in flight).
+    fn n_free(&self, ts: &TaskSet, view: &RuntimeView<'_>, gpu: GpuId, d: DataId) -> usize {
+        ts.consumer_ids(d)
+            .filter(|&t| self.task_state[t.index()] == FREE)
+            .filter(|&t| {
+                ts.input_ids(t)
+                    .all(|i| i == d || view.is_resident_or_loading(gpu, i))
+            })
+            .count()
+    }
+
+    /// Number of unprocessed (not DONE) tasks depending on `d` — the
+    /// tie-break criterion of Algorithm 5, line 9.
+    fn n_unprocessed(&self, ts: &TaskSet, d: DataId) -> usize {
+        ts.consumer_ids(d)
+            .filter(|&t| self.task_state[t.index()] != DONE)
+            .count()
+    }
+
+    /// Fill `plannedTasks_gpu` by selecting the best data to load
+    /// (Algorithm 5, lines 4–11). Returns true if tasks were planned.
+    fn refill(&mut self, ts: &TaskSet, view: &RuntimeView<'_>, gpu: GpuId) -> bool {
+        let g = gpu.index();
+        let mut nmax = 0usize;
+        let mut candidates: Vec<DataId> = Vec::new();
+        let mut useful = 0usize;
+        for di in 0..ts.num_data() {
+            if !self.data_not_in_mem[g][di] {
+                continue;
+            }
+            let d = DataId::from_usize(di);
+            // The threshold variant stops after examining `cap` *useful*
+            // candidates (data enabling at least one free task), keeping
+            // the best seen so far — bounding the scan like the paper's
+            // Figure 8 fix while preserving a reasonable choice.
+            if let Some(cap) = self.cfg.threshold {
+                if useful >= cap {
+                    break;
+                }
+            }
+            let n = self.n_free(ts, view, gpu, d);
+            if n > 0 {
+                useful += 1;
+            }
+            if n > nmax {
+                nmax = n;
+                candidates.clear();
+                candidates.push(d);
+                if self.cfg.opti {
+                    break; // first data enabling at least one task wins
+                }
+            } else if n == nmax && n > 0 {
+                candidates.push(d);
+            }
+        }
+        if nmax == 0 {
+            return false;
+        }
+        // Among equals, prefer the data useful to the most tasks overall;
+        // break the remaining ties randomly (Algorithm 5, line 9).
+        let best_useful = candidates
+            .iter()
+            .map(|&d| self.n_unprocessed(ts, d))
+            .max()
+            .expect("candidates non-empty");
+        let finalists: Vec<DataId> = candidates
+            .into_iter()
+            .filter(|&d| self.n_unprocessed(ts, d) == best_useful)
+            .collect();
+        let dopt = finalists[self.rng.random_range(0..finalists.len())];
+
+        // Reserve every free task enabled by dopt.
+        let free: Vec<TaskId> = ts
+            .consumer_ids(dopt)
+            .filter(|&t| self.task_state[t.index()] == FREE)
+            .filter(|&t| {
+                ts.input_ids(t)
+                    .all(|i| i == dopt || view.is_resident_or_loading(gpu, i))
+            })
+            .collect();
+        for &t in &free {
+            self.task_state[t.index()] = TAKEN;
+            self.unallocated -= 1;
+            self.planned[g].push_back(t);
+        }
+        self.data_not_in_mem[g][dopt.index()] = false;
+        !free.is_empty()
+    }
+
+    /// The 3inputs fallback: find the data `D` maximizing the number of
+    /// free tasks that need `D` plus exactly one other unloaded data, and
+    /// return one such task.
+    fn three_inputs_pick(
+        &mut self,
+        ts: &TaskSet,
+        view: &RuntimeView<'_>,
+        gpu: GpuId,
+    ) -> Option<TaskId> {
+        let g = gpu.index();
+        let mut best: Option<(usize, DataId)> = None;
+        let mut useful = 0usize;
+        for di in 0..ts.num_data() {
+            if !self.data_not_in_mem[g][di] {
+                continue;
+            }
+            if let Some(cap) = self.cfg.threshold {
+                if useful >= cap {
+                    break;
+                }
+            }
+            let d = DataId::from_usize(di);
+            let n = ts
+                .consumer_ids(d)
+                .filter(|&t| self.task_state[t.index()] == FREE)
+                .filter(|&t| {
+                    ts.input_ids(t)
+                        .filter(|&i| i != d && !view.is_resident_or_loading(gpu, i))
+                        .count()
+                        == 1
+                })
+                .count();
+            if n > 0 {
+                useful += 1;
+                if best.is_none_or(|(bn, _)| n > bn) {
+                    best = Some((n, d));
+                    if self.cfg.opti {
+                        break;
+                    }
+                }
+            }
+        }
+        let (_, d) = best?;
+        ts.consumer_ids(d)
+            .find(|&t| {
+                self.task_state[t.index()] == FREE
+                    && ts
+                        .input_ids(t)
+                        .filter(|&i| i != d && !view.is_resident_or_loading(gpu, i))
+                        .count()
+                        == 1
+            })
+            .inspect(|&t| self.take_task(ts, gpu, t))
+    }
+
+    /// Allocate `t` to `gpu` outside of `plannedTasks` (fallback paths):
+    /// its inputs leave `dataNotInMem_gpu` (Algorithm 5, line 13).
+    fn take_task(&mut self, ts: &TaskSet, gpu: GpuId, t: TaskId) {
+        self.task_state[t.index()] = TAKEN;
+        self.unallocated -= 1;
+        for d in ts.input_ids(t) {
+            self.data_not_in_mem[gpu.index()][d.index()] = false;
+        }
+    }
+
+    /// Number of tasks not yet completed (planned or not).
+    pub fn remaining(&self) -> usize {
+        self.unfinished
+    }
+
+    /// A uniformly random unallocated task.
+    fn random_task(&mut self) -> Option<TaskId> {
+        if self.unallocated == 0 {
+            return None;
+        }
+        // Reservoir-free draw: pick the n-th free task.
+        let nth = self.rng.random_range(0..self.unallocated);
+        let mut seen = 0;
+        for (i, &s) in self.task_state.iter().enumerate() {
+            if s == FREE {
+                if seen == nth {
+                    return Some(TaskId::from_usize(i));
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for DartsScheduler {
+    fn name(&self) -> String {
+        let mut name = String::from("DARTS");
+        if self.cfg.eviction == DartsEviction::Luf {
+            name.push_str("+LUF");
+        }
+        if self.cfg.opti {
+            name.push_str("+OPTI");
+        }
+        if self.cfg.threshold.is_some() {
+            name.push_str("+threshold");
+        }
+        if self.cfg.three_inputs {
+            name.push_str("-3inputs");
+        }
+        name
+    }
+
+    fn prepare(&mut self, ts: &TaskSet, spec: &PlatformSpec) {
+        let k = spec.num_gpus;
+        self.data_not_in_mem = vec![vec![true; ts.num_data()]; k];
+        self.planned = vec![VecDeque::new(); k];
+        self.task_state = vec![FREE; ts.num_tasks()];
+        self.unallocated = ts.num_tasks();
+        self.unfinished = ts.num_tasks();
+    }
+
+    fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+        let ts = view.task_set();
+        let g = gpu.index();
+        if let Some(t) = self.planned[g].pop_front() {
+            return Some(t);
+        }
+        if self.refill(ts, view, gpu) {
+            return self.planned[g].pop_front();
+        }
+        // No data frees a task (e.g. the very beginning of the run).
+        if self.cfg.three_inputs {
+            if let Some(t) = self.three_inputs_pick(ts, view, gpu) {
+                return Some(t);
+            }
+        }
+        let t = self.random_task()?;
+        self.take_task(ts, gpu, t);
+        Some(t)
+    }
+
+    fn choose_victim(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<DataId> {
+        if self.cfg.eviction != DartsEviction::Luf {
+            return None; // defer to the runtime's LRU
+        }
+        let ts = view.task_set();
+        let g = gpu.index();
+        let buffer = view.task_buffer(gpu);
+
+        // nb(D): uses in taskBuffer; np(D): uses in plannedTasks.
+        let mut best_free: Option<(usize, DataId)> = None; // (np, D) with nb == 0
+        let mut best_belady: Option<(usize, DataId)> = None; // furthest next use
+        for d in view.resident(gpu) {
+            if view.is_pinned(gpu, d) {
+                continue;
+            }
+            let nb = buffer
+                .iter()
+                .filter(|&&t| ts.inputs(t).binary_search(&d.0).is_ok())
+                .count();
+            if nb == 0 {
+                let np = self.planned[g]
+                    .iter()
+                    .filter(|&&t| ts.inputs(t).binary_search(&d.0).is_ok())
+                    .count();
+                if best_free.is_none_or(|(bnp, _)| np < bnp) {
+                    best_free = Some((np, d));
+                }
+            } else {
+                // Next use position in the buffer (Belady on committed tasks).
+                let next = buffer
+                    .iter()
+                    .position(|&t| ts.inputs(t).binary_search(&d.0).is_ok())
+                    .unwrap_or(usize::MAX);
+                if best_belady.is_none_or(|(bn, _)| next > bn) {
+                    best_belady = Some((next, d));
+                }
+            }
+        }
+        let victim = best_free.map(|(_, d)| d).or(best_belady.map(|(_, d)| d))?;
+        Some(victim)
+    }
+
+    fn on_task_complete(&mut self, _gpu: GpuId, task: TaskId, _view: &RuntimeView<'_>) {
+        if self.task_state[task.index()] != DONE {
+            self.task_state[task.index()] = DONE;
+            self.unfinished -= 1;
+        }
+    }
+
+    fn on_data_loaded(&mut self, gpu: GpuId, data: DataId, _view: &RuntimeView<'_>) {
+        // The data is now in memory whatever the reason it was fetched.
+        self.data_not_in_mem[gpu.index()][data.index()] = false;
+    }
+
+    fn on_data_evicted(&mut self, gpu: GpuId, data: DataId, view: &RuntimeView<'_>) {
+        let ts = view.task_set();
+        let g = gpu.index();
+        self.data_not_in_mem[g][data.index()] = true;
+        // Algorithm 6, line 8: release planned tasks that depended on the
+        // evicted data so they can be re-planned (here or elsewhere).
+        let dependents: Vec<TaskId> = self.planned[g]
+            .iter()
+            .copied()
+            .filter(|&t| ts.inputs(t).binary_search(&data.0).is_ok())
+            .collect();
+        if !dependents.is_empty() {
+            self.planned[g].retain(|t| !dependents.contains(t));
+            for t in dependents {
+                debug_assert_eq!(self.task_state[t.index()], TAKEN);
+                self.task_state[t.index()] = FREE;
+                self.unallocated += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsched_model::figure1_example;
+    use memsched_platform::run;
+    use memsched_workloads::{gemm_2d, gemm_2d_random, gemm_3d};
+
+    #[test]
+    fn names_encode_variants() {
+        assert_eq!(DartsScheduler::new(DartsConfig::lru()).name(), "DARTS");
+        assert_eq!(DartsScheduler::new(DartsConfig::luf()).name(), "DARTS+LUF");
+        assert_eq!(
+            DartsScheduler::new(DartsConfig::luf().with_opti().with_three_inputs()).name(),
+            "DARTS+LUF+OPTI-3inputs"
+        );
+        assert_eq!(
+            DartsScheduler::new(DartsConfig::luf().with_threshold(10)).name(),
+            "DARTS+LUF+threshold"
+        );
+    }
+
+    #[test]
+    fn completes_figure1_with_tight_memory() {
+        let ts = figure1_example();
+        let spec = PlatformSpec::v100(1).with_memory(2).with_pipeline_depth(2);
+        let mut s = DartsScheduler::new(DartsConfig::luf());
+        let report = run(&ts, &spec, &mut s).unwrap();
+        assert_eq!(report.per_gpu[0].tasks, 9);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn near_optimal_loads_when_memory_fits() {
+        let ts = gemm_2d(6);
+        let spec = PlatformSpec::v100(1);
+        let mut s = DartsScheduler::new(DartsConfig::luf());
+        let report = run(&ts, &spec, &mut s).unwrap();
+        assert_eq!(report.total_loads, 12, "each data loaded exactly once");
+    }
+
+    #[test]
+    fn luf_no_worse_than_lru_under_pressure() {
+        let ts = gemm_2d(10);
+        let item = ts.data_size(DataId(0));
+        let spec = PlatformSpec::v100(1).with_memory(6 * item);
+        let mut lru = DartsScheduler::new(DartsConfig::lru());
+        let mut luf = DartsScheduler::new(DartsConfig::luf());
+        let loads_lru = run(&ts, &spec, &mut lru).unwrap().total_loads;
+        let loads_luf = run(&ts, &spec, &mut luf).unwrap().total_loads;
+        assert!(
+            loads_luf <= loads_lru,
+            "LUF {loads_luf} vs LRU {loads_lru}"
+        );
+    }
+
+    #[test]
+    fn beats_eager_on_randomized_order() {
+        // The headline Figure 9 effect at miniature scale: randomized
+        // submission order devastates order-dependent schedulers but not
+        // DARTS, which picks its own data-driven order.
+        let ts = gemm_2d_random(10, 3);
+        let item = ts.data_size(DataId(0));
+        let spec = PlatformSpec::v100(2).with_memory(6 * item);
+        let mut darts = DartsScheduler::new(DartsConfig::luf());
+        let mut eager = crate::eager::EagerScheduler::new();
+        let darts_loads = run(&ts, &spec, &mut darts).unwrap().total_loads;
+        let eager_loads = run(&ts, &spec, &mut eager).unwrap().total_loads;
+        assert!(
+            darts_loads < eager_loads,
+            "DARTS {darts_loads} vs EAGER {eager_loads}"
+        );
+    }
+
+    #[test]
+    fn multi_gpu_splits_work_without_conflicts() {
+        let ts = gemm_2d(8);
+        let spec = PlatformSpec::v100(2);
+        let mut s = DartsScheduler::new(DartsConfig::luf());
+        let report = run(&ts, &spec, &mut s).unwrap();
+        let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
+        assert_eq!(total, 64);
+        assert!(report.per_gpu.iter().all(|g| g.tasks > 10), "both GPUs work");
+    }
+
+    #[test]
+    fn three_inputs_handles_3d_product() {
+        let ts = gemm_3d(4);
+        let item = ts.data_size(DataId(0));
+        let spec = PlatformSpec::v100(2).with_memory(8 * item);
+        let mut s = DartsScheduler::new(DartsConfig::luf().with_three_inputs());
+        let report = run(&ts, &spec, &mut s).unwrap();
+        let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn opti_matches_exhaustive_completion() {
+        let ts = gemm_2d(8);
+        let item = ts.data_size(DataId(0));
+        let spec = PlatformSpec::v100(1).with_memory(6 * item);
+        let mut opti = DartsScheduler::new(DartsConfig::luf().with_opti());
+        let report = run(&ts, &spec, &mut opti).unwrap();
+        assert_eq!(report.per_gpu[0].tasks, 64);
+    }
+
+    #[test]
+    fn threshold_still_completes() {
+        let ts = gemm_2d(8);
+        let item = ts.data_size(DataId(0));
+        let spec = PlatformSpec::v100(1).with_memory(6 * item);
+        let mut s = DartsScheduler::new(DartsConfig::luf().with_threshold(3));
+        let report = run(&ts, &spec, &mut s).unwrap();
+        assert_eq!(report.per_gpu[0].tasks, 64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ts = gemm_2d(6);
+        let spec = PlatformSpec::v100(2);
+        let run1 = run(&ts, &spec, &mut DartsScheduler::new(DartsConfig::luf().with_seed(5)))
+            .unwrap();
+        let run2 = run(&ts, &spec, &mut DartsScheduler::new(DartsConfig::luf().with_seed(5)))
+            .unwrap();
+        assert_eq!(run1.makespan, run2.makespan);
+        assert_eq!(run1.total_loads, run2.total_loads);
+    }
+}

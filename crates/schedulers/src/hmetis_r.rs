@@ -1,0 +1,225 @@
+//! hMETIS+R (Algorithm 3, §IV-B): hypergraph-partition the task set into
+//! `K` balanced parts (one per GPU), then serve each part with the Ready
+//! reordering and tail-half task stealing.
+
+use crate::ready::DEFAULT_READY_WINDOW;
+use crate::stealing::StealingQueues;
+use memsched_hypergraph::{partition, partition_clique, Hypergraph, PartitionConfig};
+use memsched_model::{GpuId, TaskId, TaskSet};
+use memsched_platform::{PlatformSpec, RuntimeView, Scheduler};
+
+/// The hMETIS+R scheduler.
+#[derive(Debug, Default)]
+pub struct HmetisRScheduler {
+    /// Partitioner settings (`k` is overwritten with the GPU count).
+    config: PartitionerOptions,
+    queues: Option<StealingQueues>,
+    /// Connectivity−1 of the partition (for reports/tests).
+    pub partition_cost: u64,
+}
+
+/// User-facing knobs of [`HmetisRScheduler`].
+#[derive(Clone, Debug)]
+pub struct PartitionerOptions {
+    /// Random restarts (hMETIS `Nruns`; the paper uses 20).
+    pub nruns: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ready scan window.
+    pub window: usize,
+    /// Enable task stealing (Algorithm 3, line 5).
+    pub steal: bool,
+    /// Partition the METIS-style clique expansion instead of the
+    /// hypergraph — the graph model of Yoo et al. that §IV-B argues
+    /// overcounts shared data (ablation).
+    pub clique_expansion: bool,
+}
+
+impl Default for PartitionerOptions {
+    fn default() -> Self {
+        Self {
+            nruns: 20,
+            seed: 0x5eed,
+            window: DEFAULT_READY_WINDOW,
+            steal: true,
+            clique_expansion: false,
+        }
+    }
+}
+
+impl HmetisRScheduler {
+    /// Paper-default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Custom configuration.
+    pub fn with_options(config: PartitionerOptions) -> Self {
+        Self {
+            config,
+            queues: None,
+            partition_cost: 0,
+        }
+    }
+
+    /// Build the task hypergraph of §IV-B: one vertex per task (weighted
+    /// by flops) and one hyperedge per data item spanning its consumers.
+    pub fn build_hypergraph(ts: &TaskSet) -> Hypergraph {
+        let mut nets = Vec::new();
+        let mut nweights = Vec::new();
+        for d in ts.data() {
+            let pins = ts.consumers(d);
+            if pins.len() >= 2 {
+                nets.push(pins.to_vec());
+                nweights.push(ts.data_size(d).max(1));
+            }
+        }
+        // Scale flops into integer weights; all-equal tasks get weight 1.
+        let min_flops = ts
+            .tasks()
+            .map(|t| ts.flops(t))
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
+        let vweights: Vec<u64> = ts
+            .tasks()
+            .map(|t| (ts.flops(t) / min_flops).round().max(1.0) as u64)
+            .collect();
+        Hypergraph::new(ts.num_tasks(), nets, vweights, nweights)
+    }
+}
+
+impl Scheduler for HmetisRScheduler {
+    fn name(&self) -> String {
+        if self.config.clique_expansion {
+            "METIS+R".into()
+        } else {
+            "hMETIS+R".into()
+        }
+    }
+
+    fn prepare(&mut self, ts: &TaskSet, spec: &PlatformSpec) {
+        let k = spec.num_gpus;
+        let hg = Self::build_hypergraph(ts);
+        let parts = if k == 1 {
+            vec![0u32; ts.num_tasks()]
+        } else {
+            let cfg = PartitionConfig::for_parts(k)
+                .with_nruns(self.config.nruns)
+                .with_seed(self.config.seed);
+            let p = if self.config.clique_expansion {
+                partition_clique(&hg, &cfg)
+            } else {
+                partition(&hg, &cfg)
+            };
+            self.partition_cost = p.quality.connectivity_minus_one;
+            p.parts
+        };
+        let mut queues: Vec<Vec<TaskId>> = vec![Vec::new(); k];
+        for t in ts.tasks() {
+            queues[parts[t.index()] as usize].push(t);
+        }
+        self.queues = Some(StealingQueues::new(
+            queues,
+            self.config.window,
+            self.config.steal,
+        ));
+    }
+
+    fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+        self.queues
+            .as_mut()
+            .expect("prepare() must run first")
+            .pop(gpu, view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsched_platform::run;
+    use memsched_workloads::gemm_2d;
+
+    #[test]
+    fn hypergraph_mirrors_task_set() {
+        let ts = gemm_2d(4);
+        let hg = HmetisRScheduler::build_hypergraph(&ts);
+        assert_eq!(hg.num_vertices(), 16);
+        assert_eq!(hg.num_nets(), 8); // 4 rows + 4 columns
+        assert_eq!(hg.num_pins(), 32);
+    }
+
+    #[test]
+    fn partition_balances_and_runs_everything() {
+        let ts = gemm_2d(6);
+        let spec = PlatformSpec::v100(2);
+        let mut sched = HmetisRScheduler::with_options(PartitionerOptions {
+            nruns: 4,
+            ..Default::default()
+        });
+        let report = run(&ts, &spec, &mut sched).unwrap();
+        let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
+        assert_eq!(total, 36);
+        // Stealing keeps the split near-even.
+        assert!(report.max_load() <= 24, "max load {}", report.max_load());
+    }
+
+    #[test]
+    fn partition_has_low_cut_on_grid() {
+        let ts = gemm_2d(8);
+        let spec = PlatformSpec::v100(2);
+        let mut sched = HmetisRScheduler::with_options(PartitionerOptions {
+            nruns: 8,
+            ..Default::default()
+        });
+        sched.prepare(&ts, &spec);
+        // Nets are weighted by data size; a perfect row/column split cuts
+        // one family of 8 nets. Allow 2x slack.
+        let item = ts.data_size(memsched_model::DataId(0));
+        assert!(
+            sched.partition_cost <= 16 * item,
+            "cut = {} items",
+            sched.partition_cost as f64 / item as f64
+        );
+    }
+
+    #[test]
+    fn beats_eager_under_memory_pressure() {
+        let ts = gemm_2d(10);
+        let item = ts.data_size(memsched_model::DataId(0));
+        let spec = PlatformSpec::v100(2).with_memory(6 * item);
+        let mut hm = HmetisRScheduler::with_options(PartitionerOptions {
+            nruns: 4,
+            ..Default::default()
+        });
+        let mut eager = crate::eager::EagerScheduler::new();
+        let hm_loads = run(&ts, &spec, &mut hm).unwrap().total_loads;
+        let eager_loads = run(&ts, &spec, &mut eager).unwrap().total_loads;
+        assert!(
+            hm_loads <= eager_loads,
+            "hMETIS+R {hm_loads} vs EAGER {eager_loads}"
+        );
+    }
+
+    #[test]
+    fn clique_expansion_variant_runs_and_is_labelled() {
+        let ts = gemm_2d(6);
+        let spec = PlatformSpec::v100(2);
+        let mut sched = HmetisRScheduler::with_options(PartitionerOptions {
+            nruns: 2,
+            clique_expansion: true,
+            ..Default::default()
+        });
+        assert_eq!(sched.name(), "METIS+R");
+        let report = run(&ts, &spec, &mut sched).unwrap();
+        assert_eq!(report.per_gpu.iter().map(|g| g.tasks).sum::<usize>(), 36);
+    }
+
+    #[test]
+    fn single_gpu_degenerates_to_ready_fifo() {
+        let ts = gemm_2d(4);
+        let spec = PlatformSpec::v100(1);
+        let mut sched = HmetisRScheduler::new();
+        let report = run(&ts, &spec, &mut sched).unwrap();
+        assert_eq!(report.per_gpu[0].tasks, 16);
+    }
+}

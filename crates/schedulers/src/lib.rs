@@ -1,0 +1,128 @@
+//! # memsched-schedulers
+//!
+//! All five scheduling strategies evaluated in the paper, implemented
+//! against the pull-mode [`Scheduler`](memsched_platform::Scheduler)
+//! interface of `memsched-platform`:
+//!
+//! * [`EagerScheduler`] — the shared-queue baseline (§V-A);
+//! * [`DmdaScheduler`] — StarPU's DMDA / DMDAR (Algorithms 1–2, §IV-A);
+//! * [`HmetisRScheduler`] — hypergraph partitioning + Ready + stealing
+//!   (Algorithm 3, §IV-B), using `memsched-hypergraph` in place of hMETIS;
+//! * [`HfpScheduler`] — (m)HFP hierarchical fair packing (Algorithm 4,
+//!   §IV-C);
+//! * [`DartsScheduler`] — the paper's contribution: Data-Aware Reactive
+//!   Task Scheduling with the LUF eviction policy and its 3inputs / OPTI /
+//!   threshold variants (Algorithms 5–6, §IV-D).
+
+#![warn(missing_docs)]
+
+mod darts;
+mod dmda;
+mod eager;
+mod hfp;
+mod hmetis_r;
+mod ready;
+mod stealing;
+
+pub use darts::{DartsConfig, DartsEviction, DartsScheduler};
+pub use dmda::DmdaScheduler;
+pub use eager::EagerScheduler;
+pub use hfp::{pack as hfp_pack, HfpScheduler};
+pub use hmetis_r::{HmetisRScheduler, PartitionerOptions};
+pub use ready::{ready_pick, DEFAULT_READY_WINDOW};
+pub use stealing::StealingQueues;
+
+use memsched_platform::Scheduler;
+
+/// Every named scheduler configuration used in the paper's figures, for
+/// easy construction by the harness and benches.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NamedScheduler {
+    /// Shared-queue baseline.
+    Eager,
+    /// DMDA without Ready.
+    Dmda,
+    /// DMDAR (the paper's StarPU reference point).
+    Dmdar,
+    /// hMETIS+R with the paper's partitioner settings.
+    HmetisR,
+    /// mHFP.
+    Mhfp,
+    /// DARTS with LRU eviction.
+    Darts,
+    /// DARTS with LUF eviction.
+    DartsLuf,
+    /// DARTS+LUF with the 3inputs fallback.
+    DartsLuf3,
+    /// DARTS+LUF with OPTI.
+    DartsLufOpti,
+    /// DARTS+LUF with OPTI and 3inputs.
+    DartsLufOpti3,
+    /// DARTS+LUF with a candidate threshold.
+    DartsLufThreshold(usize),
+}
+
+impl NamedScheduler {
+    /// Instantiate the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            NamedScheduler::Eager => Box::new(EagerScheduler::new()),
+            NamedScheduler::Dmda => Box::new(DmdaScheduler::dmda()),
+            NamedScheduler::Dmdar => Box::new(DmdaScheduler::dmdar()),
+            NamedScheduler::HmetisR => Box::new(HmetisRScheduler::new()),
+            NamedScheduler::Mhfp => Box::new(HfpScheduler::new()),
+            NamedScheduler::Darts => Box::new(DartsScheduler::new(DartsConfig::lru())),
+            NamedScheduler::DartsLuf => Box::new(DartsScheduler::new(DartsConfig::luf())),
+            NamedScheduler::DartsLuf3 => {
+                Box::new(DartsScheduler::new(DartsConfig::luf().with_three_inputs()))
+            }
+            NamedScheduler::DartsLufOpti => {
+                Box::new(DartsScheduler::new(DartsConfig::luf().with_opti()))
+            }
+            NamedScheduler::DartsLufOpti3 => Box::new(DartsScheduler::new(
+                DartsConfig::luf().with_opti().with_three_inputs(),
+            )),
+            NamedScheduler::DartsLufThreshold(cap) => {
+                Box::new(DartsScheduler::new(DartsConfig::luf().with_threshold(cap)))
+            }
+        }
+    }
+
+    /// The display name (matches the paper's legends).
+    pub fn label(&self) -> String {
+        self.build().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsched_platform::{run, PlatformSpec};
+    use memsched_workloads::gemm_2d;
+
+    #[test]
+    fn every_named_scheduler_completes_a_small_run() {
+        let ts = gemm_2d(4);
+        let spec = PlatformSpec::v100(2);
+        let all = [
+            NamedScheduler::Eager,
+            NamedScheduler::Dmda,
+            NamedScheduler::Dmdar,
+            NamedScheduler::HmetisR,
+            NamedScheduler::Mhfp,
+            NamedScheduler::Darts,
+            NamedScheduler::DartsLuf,
+            NamedScheduler::DartsLuf3,
+            NamedScheduler::DartsLufOpti,
+            NamedScheduler::DartsLufOpti3,
+            NamedScheduler::DartsLufThreshold(4),
+        ];
+        for named in all {
+            let mut sched = named.build();
+            let report = run(&ts, &spec, sched.as_mut())
+                .unwrap_or_else(|e| panic!("{named:?} failed: {e}"));
+            let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
+            assert_eq!(total, 16, "{named:?} lost tasks");
+        }
+    }
+}

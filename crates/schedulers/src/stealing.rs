@@ -1,0 +1,147 @@
+//! Task stealing shared by hMETIS+R and mHFP (§IV-B, §IV-C): when a GPU
+//! has exhausted its allocated tasks while others still have work, it
+//! steals **half of the remaining tasks of the most loaded GPU, taken from
+//! the tail of its list**.
+
+use crate::ready::ready_pick;
+use memsched_model::{GpuId, TaskId};
+use memsched_platform::RuntimeView;
+
+/// Per-GPU task queues with Ready service and tail-half stealing.
+#[derive(Clone, Debug, Default)]
+pub struct StealingQueues {
+    queues: Vec<Vec<TaskId>>,
+    /// Ready scan window.
+    window: usize,
+    /// Whether stealing is enabled (for ablation benches).
+    steal: bool,
+    /// Number of successful steals (for reporting/tests).
+    pub steals: u64,
+}
+
+impl StealingQueues {
+    /// Build from per-GPU queues.
+    pub fn new(queues: Vec<Vec<TaskId>>, window: usize, steal: bool) -> Self {
+        Self {
+            queues,
+            window: window.max(1),
+            steal,
+            steals: 0,
+        }
+    }
+
+    /// Remaining tasks on `gpu`.
+    pub fn len(&self, gpu: GpuId) -> usize {
+        self.queues[gpu.index()].len()
+    }
+
+    /// True when every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(Vec::is_empty)
+    }
+
+    /// Pop the next task for `gpu`: Ready pick from the local queue,
+    /// stealing half of the most loaded GPU's tail first if empty.
+    pub fn pop(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+        let g = gpu.index();
+        if self.queues[g].is_empty() && self.steal {
+            self.try_steal(g);
+        }
+        let q = &mut self.queues[g];
+        if q.is_empty() {
+            return None;
+        }
+        let i = ready_pick(q, gpu, view, self.window)?;
+        Some(q.remove(i))
+    }
+
+    /// Steal half (rounded down, at least one when possible) of the tail
+    /// of the most loaded queue into queue `g`.
+    fn try_steal(&mut self, g: usize) {
+        let victim = (0..self.queues.len())
+            .filter(|&v| v != g)
+            .max_by_key(|&v| self.queues[v].len())
+            .filter(|&v| !self.queues[v].is_empty());
+        let Some(v) = victim else { return };
+        let vlen = self.queues[v].len();
+        let take = (vlen / 2).max(1);
+        let stolen: Vec<TaskId> = self.queues[v].split_off(vlen - take);
+        self.queues[g] = stolen;
+        self.steals += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsched_model::{TaskSet, TaskSetBuilder};
+    use memsched_platform::{run, PlatformSpec, Scheduler};
+
+    struct StealSched(StealingQueues);
+
+    impl Scheduler for StealSched {
+        fn name(&self) -> String {
+            "steal-test".into()
+        }
+        fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+            self.0.pop(gpu, view)
+        }
+    }
+
+    fn uniform_tasks(m: usize) -> TaskSet {
+        let mut b = TaskSetBuilder::new();
+        let d = b.add_data(10);
+        for _ in 0..m {
+            b.add_task(&[d], 1e6);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn idle_gpu_steals_half_the_tail() {
+        let ts = uniform_tasks(8);
+        // Everything initially on GPU0.
+        let queues = vec![ts.tasks().collect(), Vec::new()];
+        let mut sched = StealSched(StealingQueues::new(queues, 8, true));
+        let spec = PlatformSpec::v100(2).with_memory(100);
+        let report = run(&ts, &spec, &mut sched).unwrap();
+        assert!(sched.0.steals >= 1);
+        assert!(
+            report.per_gpu[1].tasks >= 2,
+            "GPU1 should have stolen work: {:?}",
+            report.per_gpu.iter().map(|g| g.tasks).collect::<Vec<_>>()
+        );
+        assert_eq!(report.per_gpu[0].tasks + report.per_gpu[1].tasks, 8);
+    }
+
+    #[test]
+    fn stealing_disabled_leaves_imbalance() {
+        let ts = uniform_tasks(8);
+        let queues = vec![ts.tasks().collect(), Vec::new()];
+        let mut sched = StealSched(StealingQueues::new(queues, 8, false));
+        let spec = PlatformSpec::v100(2).with_memory(100);
+        let report = run(&ts, &spec, &mut sched).unwrap();
+        assert_eq!(sched.0.steals, 0);
+        assert_eq!(report.per_gpu[0].tasks, 8);
+        assert_eq!(report.per_gpu[1].tasks, 0);
+    }
+
+    #[test]
+    fn steal_takes_from_most_loaded() {
+        let mut q = StealingQueues::new(
+            vec![
+                (0..2).map(TaskId).collect(),
+                (2..12).map(TaskId).collect(),
+                Vec::new(),
+            ],
+            4,
+            true,
+        );
+        q.try_steal(2);
+        assert_eq!(q.len(GpuId(2)), 5, "half of 10");
+        assert_eq!(q.len(GpuId(1)), 5);
+        assert_eq!(q.len(GpuId(0)), 2, "not the victim");
+        // Stolen tasks are the tail of GPU1's list.
+        assert_eq!(q.queues[2], (7..12).map(TaskId).collect::<Vec<_>>());
+    }
+}

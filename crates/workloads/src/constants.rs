@@ -1,0 +1,53 @@
+//! Calibration constants shared by all workload generators.
+//!
+//! The paper runs cuBLAS SGEMM on 960×960 single-precision tiles
+//! (§V-A). Its working-set axis for the 2D multiplication maps `5×5`
+//! tasks to ~140 MB and `300×300` to ~8 400 MB, i.e. ~28 MB per grid
+//! dimension — which corresponds to data items of four 960×960 fp32
+//! tiles (a 960×3840 block-row / block-column slice): `960·3840·4 B =
+//! 14.0625 MiB`. The per-task flop count follows the same geometry.
+
+/// Bytes of one 960×960 single-precision tile.
+pub const TILE_BYTES: u64 = 960 * 960 * 4;
+
+/// Flops of one 960×960×960 tile GEMM (`2·b³`).
+pub const TILE_GEMM_FLOPS: f64 = 2.0 * 960.0 * 960.0 * 960.0;
+
+/// Bytes of one 2D-gemm data item: a 960×3840 fp32 block-row of `A` (or
+/// block-column of `B`) — four tiles. Matches the paper's working-set
+/// axis (140 MB ↔ N = 5 … 8 400 MB ↔ N = 300).
+pub const GEMM2D_DATA_BYTES: u64 = 4 * TILE_BYTES;
+
+/// Flops of one 2D-gemm task: block-row × block-column = `2·960·960·3840`.
+pub const GEMM2D_TASK_FLOPS: f64 = 2.0 * 960.0 * 960.0 * 3840.0;
+
+/// Cholesky per-kernel flop counts for a `b×b` tile (`b = 960`),
+/// rounded to the classic leading terms.
+pub mod cholesky_flops {
+    /// `b³/3` — Cholesky factorization of a diagonal tile.
+    pub const POTRF: f64 = 960.0 * 960.0 * 960.0 / 3.0;
+    /// `b³` — triangular solve.
+    pub const TRSM: f64 = 960.0 * 960.0 * 960.0;
+    /// `b³` — symmetric rank-b update.
+    pub const SYRK: f64 = 960.0 * 960.0 * 960.0;
+    /// `2·b³` — general update.
+    pub const GEMM: f64 = 2.0 * 960.0 * 960.0 * 960.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_item_is_14_mib() {
+        assert_eq!(TILE_BYTES, 3_686_400);
+        assert_eq!(GEMM2D_DATA_BYTES, 14_745_600);
+        let mib = GEMM2D_DATA_BYTES as f64 / (1024.0 * 1024.0);
+        assert!((mib - 14.0625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gemm2d_flops_match_geometry() {
+        assert_eq!(GEMM2D_TASK_FLOPS, 4.0 * TILE_GEMM_FLOPS);
+    }
+}

@@ -1,0 +1,118 @@
+//! # memsched-workloads
+//!
+//! Generators for every application scenario of the paper's evaluation
+//! (§V-A):
+//!
+//! * [`gemm_2d`] — 2D blocked matrix multiplication, natural row-major
+//!   submission order (Figures 3–8);
+//! * [`gemm_2d_random`] — the same tasks in a randomized submission order
+//!   (Figure 9);
+//! * [`gemm_3d`] — 3D blocked matrix multiplication (Figure 10), plus the
+//!   three-input variant [`gemm_3d_with_c`];
+//! * [`cholesky`] — tiled Cholesky kernels with dependencies removed
+//!   (Figure 11);
+//! * [`sparse_2d`] — 2 %-dense 2D multiplication (Figures 12–13).
+//!
+//! All generators are deterministic (seeded where randomness is involved)
+//! and calibrated so that working-set sizes line up with the paper's
+//! x-axes (see [`constants`]).
+
+#![warn(missing_docs)]
+
+mod cholesky;
+pub mod constants;
+mod gemm;
+mod sparse;
+
+pub use cholesky::{cholesky, cholesky_task_count, cholesky_with_kinds, CholeskyKernel};
+pub use gemm::{gemm_2d, gemm_2d_random, gemm_3d, gemm_3d_with_c};
+pub use sparse::{sparse_2d, sparse_2d_paper};
+
+use memsched_model::TaskSet;
+
+/// A named workload, as used by the experiment harness and benches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// 2D blocked matrix multiplication with `n×n` tasks.
+    Gemm2d {
+        /// Grid dimension `N`.
+        n: usize,
+    },
+    /// Randomized-order 2D multiplication.
+    Gemm2dRandom {
+        /// Grid dimension `N`.
+        n: usize,
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// 3D blocked matrix multiplication with `n³` tasks.
+    Gemm3d {
+        /// Grid dimension `N`.
+        n: usize,
+    },
+    /// De-dependencied tiled Cholesky over `n×n` tiles.
+    Cholesky {
+        /// Tile-grid dimension `N`.
+        n: usize,
+    },
+    /// Sparse 2D multiplication.
+    Sparse2d {
+        /// Grid dimension `N`.
+        n: usize,
+        /// Fraction of tasks kept.
+        density: f64,
+        /// Selection seed.
+        seed: u64,
+    },
+}
+
+impl Workload {
+    /// Instantiate the workload into a [`TaskSet`].
+    pub fn generate(&self) -> TaskSet {
+        match *self {
+            Workload::Gemm2d { n } => gemm_2d(n),
+            Workload::Gemm2dRandom { n, seed } => gemm_2d_random(n, seed),
+            Workload::Gemm3d { n } => gemm_3d(n),
+            Workload::Cholesky { n } => cholesky(n),
+            Workload::Sparse2d { n, density, seed } => sparse_2d(n, density, seed),
+        }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> String {
+        match *self {
+            Workload::Gemm2d { n } => format!("gemm2d(n={n})"),
+            Workload::Gemm2dRandom { n, seed } => format!("gemm2d-random(n={n},seed={seed})"),
+            Workload::Gemm3d { n } => format!("gemm3d(n={n})"),
+            Workload::Cholesky { n } => format!("cholesky(n={n})"),
+            Workload::Sparse2d { n, density, seed } => {
+                format!("sparse2d(n={n},density={density},seed={seed})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_enum_generates_all_scenarios() {
+        let cases = [
+            Workload::Gemm2d { n: 4 },
+            Workload::Gemm2dRandom { n: 4, seed: 1 },
+            Workload::Gemm3d { n: 3 },
+            Workload::Cholesky { n: 4 },
+            Workload::Sparse2d {
+                n: 10,
+                density: 0.1,
+                seed: 2,
+            },
+        ];
+        for w in cases {
+            let ts = w.generate();
+            assert!(ts.num_tasks() > 0, "{} generated no tasks", w.label());
+            assert!(!w.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Structural property tests of the workload generators.
+
+use memsched_model::{DataId, TaskId};
+use memsched_workloads::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// 2D gemm: every row/column datum feeds exactly `n` tasks, every
+    /// task has exactly two inputs (one row, one column).
+    #[test]
+    fn gemm2d_regular_structure(n in 1usize..20) {
+        let ts = gemm_2d(n);
+        prop_assert_eq!(ts.num_tasks(), n * n);
+        prop_assert_eq!(ts.num_data(), 2 * n);
+        for d in ts.data() {
+            prop_assert_eq!(ts.consumers(d).len(), n);
+        }
+        for t in ts.tasks() {
+            let ins = ts.inputs(t);
+            prop_assert_eq!(ins.len(), 2);
+            prop_assert!((ins[0] as usize) < n, "first input is a row");
+            prop_assert!((ins[1] as usize) >= n, "second input is a column");
+        }
+    }
+
+    /// Randomized 2D gemm is a permutation of the natural one for any seed.
+    #[test]
+    fn gemm2d_random_permutes(n in 2usize..12, seed in any::<u64>()) {
+        let nat = gemm_2d(n);
+        let rnd = gemm_2d_random(n, seed);
+        let mut a: Vec<Vec<u32>> = nat.tasks().map(|t| nat.inputs(t).to_vec()).collect();
+        let mut b: Vec<Vec<u32>> = rnd.tasks().map(|t| rnd.inputs(t).to_vec()).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// 3D gemm: `n³` tasks, each A tile read by `n` tasks and each task
+    /// reading one A and one B tile.
+    #[test]
+    fn gemm3d_regular_structure(n in 1usize..8) {
+        let ts = gemm_3d(n);
+        prop_assert_eq!(ts.num_tasks(), n * n * n);
+        prop_assert_eq!(ts.num_data(), 2 * n * n);
+        for d in ts.data() {
+            prop_assert_eq!(ts.consumers(d).len(), n);
+        }
+        for t in ts.tasks() {
+            prop_assert_eq!(ts.inputs(t).len(), 2);
+        }
+    }
+
+    /// Cholesky: task count matches the closed form; every task's inputs
+    /// are valid lower-triangle tiles; arity ∈ {1, 2, 3}.
+    #[test]
+    fn cholesky_structure(n in 1usize..12) {
+        let ts = cholesky(n);
+        prop_assert_eq!(ts.num_tasks(), cholesky_task_count(n));
+        prop_assert_eq!(ts.num_data(), n * (n + 1) / 2);
+        for t in ts.tasks() {
+            let arity = ts.inputs(t).len();
+            prop_assert!((1..=3).contains(&arity));
+        }
+    }
+
+    /// Sparse 2D: keeps the requested fraction (rounded), never more
+    /// tasks than the dense grid, all inputs valid.
+    #[test]
+    fn sparse_structure(n in 2usize..40, seed in any::<u64>()) {
+        let ts = sparse_2d(n, 0.1, seed);
+        let expect = ((n * n) as f64 * 0.1).round().max(1.0) as usize;
+        prop_assert_eq!(ts.num_tasks(), expect.min(n * n));
+        prop_assert_eq!(ts.num_data(), 2 * n);
+        for t in ts.tasks() {
+            prop_assert_eq!(ts.inputs(t).len(), 2);
+        }
+    }
+
+    /// Working sets are monotone in the grid dimension for every family.
+    #[test]
+    fn working_sets_monotone(n in 2usize..12) {
+        prop_assert!(gemm_2d(n).working_set_bytes() < gemm_2d(n + 1).working_set_bytes());
+        prop_assert!(gemm_3d(n).working_set_bytes() < gemm_3d(n + 1).working_set_bytes());
+        prop_assert!(cholesky(n).working_set_bytes() < cholesky(n + 1).working_set_bytes());
+    }
+}
+
+/// Deterministic check used by the figures: the specific task/data ids of
+/// the 2D generator (row-major ids, rows then columns).
+#[test]
+fn gemm2d_id_layout() {
+    let ts = gemm_2d(3);
+    // T(i,j) = i*3 + j reads (D_i, D_{3+j}).
+    for i in 0..3u32 {
+        for j in 0..3u32 {
+            let t = TaskId(i * 3 + j);
+            assert_eq!(ts.inputs(t), &[i, 3 + j]);
+        }
+    }
+    assert_eq!(ts.consumers(DataId(3)), &[0, 3, 6]);
+}

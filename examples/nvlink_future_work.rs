@@ -1,0 +1,55 @@
+//! The paper's §VI future-work direction, implemented: an NVLink fabric
+//! between the GPUs lets a fetch come from a peer replica instead of
+//! crossing the shared PCI bus. This example measures how much of the
+//! memory-pressure penalty the fabric recovers for each scheduler.
+//!
+//! ```text
+//! cargo run --release --example nvlink_future_work
+//! ```
+
+use memsched::prelude::*;
+use memsched::workloads::constants::GEMM2D_DATA_BYTES;
+
+fn main() {
+    let ts = memsched::workloads::gemm_2d(40);
+    let mem = 12 * GEMM2D_DATA_BYTES; // well below one input matrix
+    let pci = PlatformSpec::v100(4).with_memory(mem);
+    let nvl = {
+        let mut s = pci.clone();
+        s.nvlink_bandwidth = Some(memsched::platform::NVLINK_BANDWIDTH);
+        s
+    };
+
+    println!(
+        "2D gemm 40x40 on 4 GPUs, {:.0} MB memory each\n",
+        mem as f64 / 1e6
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12}",
+        "scheduler", "PCI-only GF/s", "NVLink GF/s", "PCI MB", "NVLink MB"
+    );
+    for named in [
+        NamedScheduler::Eager,
+        NamedScheduler::Dmdar,
+        NamedScheduler::HmetisR,
+        NamedScheduler::DartsLuf,
+    ] {
+        let mut s1 = named.build();
+        let base = run(&ts, &pci, s1.as_mut()).expect("pci run");
+        let mut s2 = named.build();
+        let with_link = run(&ts, &nvl, s2.as_mut()).expect("nvlink run");
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>12.0} {:>12.0}",
+            base.scheduler,
+            base.gflops(),
+            with_link.gflops(),
+            with_link.pci_transfers_mb(),
+            with_link.nvlink_mb()
+        );
+    }
+    println!(
+        "\nPeer replicas absorb part of the reload traffic, so the shared \
+         PCI bus stops being the bottleneck earlier — the gain is largest \
+         for schedulers that replicate data across GPUs."
+    );
+}

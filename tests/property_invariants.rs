@@ -1,0 +1,148 @@
+//! Property-based tests (proptest) over random task sets: invariants of
+//! the model, the replay, the partitioner and the runtime engine.
+
+use memsched::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random task set with `n_data` data items of unit size and
+/// up to `m` tasks with 1–3 inputs each.
+fn arb_taskset(max_data: usize, max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    (2usize..=max_data, 1usize..=max_tasks)
+        .prop_flat_map(|(nd, mt)| {
+            let inputs = proptest::collection::vec(
+                proptest::collection::vec(0..nd as u32, 1..=3),
+                mt,
+            );
+            (Just(nd), inputs)
+        })
+        .prop_map(|(nd, task_inputs)| {
+            let mut b = TaskSetBuilder::new();
+            let data: Vec<DataId> = (0..nd).map(|_| b.add_data(1)).collect();
+            for ins in task_inputs {
+                let ids: Vec<DataId> = ins.iter().map(|&i| data[i as usize]).collect();
+                b.add_task(&ids, 1000.0);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replay respects the memory bound and never loads less than the
+    /// compulsory bound, under both eviction policies.
+    #[test]
+    fn replay_invariants(ts in arb_taskset(12, 24), cap in 3u64..10) {
+        let order: Vec<TaskId> = ts.tasks().collect();
+        let schedule = Schedule::from_lists(vec![order]);
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady] {
+            let r = replay(&ts, &schedule, cap, policy).unwrap();
+            prop_assert!(r.per_gpu[0].max_live_bytes <= cap);
+            prop_assert!(r.total_loads() >= memsched::model::bounds::min_total_loads(&ts));
+        }
+    }
+
+    /// Belady never loses to LRU on the same order (§III optimality).
+    #[test]
+    fn belady_leq_lru(ts in arb_taskset(12, 24), cap in 3u64..10) {
+        let ids: Vec<TaskId> = ts.tasks().collect();
+        let schedule = Schedule::from_lists(vec![ids]);
+        let lru = replay(&ts, &schedule, cap, EvictionPolicy::Lru).unwrap();
+        let belady = replay(&ts, &schedule, cap, EvictionPolicy::Belady).unwrap();
+        prop_assert!(belady.total_loads() <= lru.total_loads());
+    }
+
+    /// Any order of the same tasks is a valid schedule, and replaying it
+    /// under Belady stays within the memory bound.
+    #[test]
+    fn shuffled_schedules_validate(ts in arb_taskset(10, 16), seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut ids: Vec<TaskId> = ts.tasks().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        let schedule = Schedule::from_lists(vec![ids]);
+        prop_assert!(schedule.validate(&ts).is_ok());
+        let r = replay(&ts, &schedule, 4, EvictionPolicy::Belady).unwrap();
+        prop_assert!(r.per_gpu[0].max_live_bytes <= 4);
+    }
+
+    /// The runtime engine runs every task exactly once for the dynamic
+    /// schedulers, for any random task set.
+    #[test]
+    fn engine_completes_random_tasksets(ts in arb_taskset(10, 20), gpus in 1usize..4) {
+        let spec = PlatformSpec {
+            num_gpus: gpus,
+            memory_bytes: 4, // four unit-size items
+            bus_bandwidth: 1e9,
+            transfer_latency: 10,
+            gpu_gflops: 1e-3,
+            pipeline_depth: 2,
+            gpu_gflops_override: None,
+            nvlink_bandwidth: None,
+        };
+        for named in [NamedScheduler::Eager, NamedScheduler::DartsLuf, NamedScheduler::Dmdar] {
+            let mut sched = named.build();
+            let report = memsched::platform::run(&ts, &spec, sched.as_mut()).unwrap();
+            let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
+            prop_assert_eq!(total, ts.num_tasks());
+            // Loads at least cover every consumed data item once.
+            prop_assert!(
+                report.total_loads >= memsched::model::bounds::min_total_loads(&ts)
+            );
+        }
+    }
+
+    /// Partitioner invariants: every vertex gets a part in 0..k, parts are
+    /// reasonably balanced, and connectivity-1 is consistent with a
+    /// direct evaluation.
+    #[test]
+    fn partitioner_invariants(ts in arb_taskset(10, 24), k in 2usize..4) {
+        prop_assume!(ts.num_tasks() >= k);
+        let hg = memsched::schedulers::HmetisRScheduler::build_hypergraph(&ts);
+        let cfg = memsched::hypergraph::PartitionConfig::for_parts(k)
+            .with_nruns(2)
+            .with_threads(1);
+        let p = memsched::hypergraph::partition(&hg, &cfg);
+        prop_assert_eq!(p.parts.len(), ts.num_tasks());
+        prop_assert!(p.parts.iter().all(|&x| (x as usize) < k));
+        let q = memsched::hypergraph::evaluate(&hg, &p.parts, k);
+        prop_assert_eq!(q.connectivity_minus_one, p.quality.connectivity_minus_one);
+        // Balance: no part exceeds total (trivial) and max is bounded by
+        // total - (k-1) (each part non-empty is not guaranteed for tiny
+        // degenerate inputs, so keep the check loose).
+        prop_assert!(q.max_part_weight <= hg.total_vweight());
+    }
+
+    /// HFP packing is a permutation of the task set.
+    #[test]
+    fn hfp_pack_is_permutation(ts in arb_taskset(8, 16), k in 1usize..4) {
+        let lists = memsched::schedulers::hfp_pack(&ts, 6, k);
+        let mut all: Vec<TaskId> = lists.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<TaskId> = ts.tasks().collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// DMDA allocation covers every task exactly once.
+    #[test]
+    fn dmda_allocation_is_partition(ts in arb_taskset(8, 20), gpus in 1usize..4) {
+        let spec = PlatformSpec {
+            num_gpus: gpus,
+            memory_bytes: 1000,
+            bus_bandwidth: 1e9,
+            transfer_latency: 10,
+            gpu_gflops: 1e-3,
+            pipeline_depth: 2,
+            gpu_gflops_override: None,
+            nvlink_bandwidth: None,
+        };
+        let mut s = memsched::schedulers::DmdaScheduler::dmdar();
+        use memsched::platform::Scheduler as _;
+        s.prepare(&ts, &spec);
+        let mut all: Vec<TaskId> = s.queues().iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expect: Vec<TaskId> = ts.tasks().collect();
+        prop_assert_eq!(all, expect);
+    }
+}
