@@ -1,0 +1,34 @@
+//! Serial vs parallel sweep harness: the same reduced figure sweep run
+//! through `FigureSpec::run_with_jobs` at increasing worker counts. The
+//! cells of a sweep are independent simulated runs, so wall time should
+//! fall roughly linearly until the worker count passes the cell count or
+//! the machine's cores. The rows produced are identical at every worker
+//! count (see `crates/experiments/tests/determinism.rs`); only wall time
+//! changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memsched_experiments::figures;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn harness_jobs(c: &mut Criterion) {
+    // A mid-size multi-scheduler sweep: enough cells for the pool to
+    // matter, small enough to iterate a few times per measurement.
+    let fig = figures::quick(figures::fig05());
+    let cells: u64 = fig.points.iter().map(|p| p.schedulers.len() as u64).sum();
+
+    let mut group = c.benchmark_group("parallel_harness");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(cells));
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(fig.run_with_jobs(jobs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, harness_jobs);
+criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! Regenerates every figure in sequence. Usage: `all_figures [--quick]`.
-use memsched_experiments::figures;
+//! Regenerates every figure in sequence.
+//! Usage: `all_figures [--quick] [--jobs N]`.
+use memsched_experiments::{cli, figures};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = cli::parse();
     for fig in figures::all_figures() {
-        let fig = if quick { figures::quick(fig) } else { fig };
-        fig.run_and_print(None);
+        let fig = if args.quick { figures::quick(fig) } else { fig };
+        fig.run_and_print_with_jobs(None, args.jobs);
         println!();
     }
 }

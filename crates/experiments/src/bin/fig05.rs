@@ -1,14 +1,9 @@
-//! Regenerates Figure 05 of the paper. Usage: `fig05 [--quick] [--json PATH]`.
-use memsched_experiments::figures;
+//! Regenerates Figure 05 of the paper.
+//! Usage: `fig05 [--quick] [--json PATH] [--jobs N]`.
+use memsched_experiments::{cli, figures};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str);
-    let fig = if quick { figures::quick(figures::fig05()) } else { figures::fig05() };
-    fig.run_and_print(json);
+    let args = cli::parse();
+    let fig = if args.quick { figures::quick(figures::fig05()) } else { figures::fig05() };
+    fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

@@ -1,0 +1,82 @@
+//! Shared argument parsing for the figure binaries.
+//!
+//! Every `fig*` binary (and `all_figures`) accepts the same flags:
+//! `--quick` (trim the sweep to a few points), `--json PATH` (also write
+//! the rows as JSON) and `--jobs N` (worker count for the sweep pool;
+//! falls back to `MEMSCHED_JOBS`, then to the machine's parallelism).
+
+use crate::pool;
+
+/// Parsed command-line options common to all figure binaries.
+#[derive(Clone, Debug)]
+pub struct FigArgs {
+    /// `--quick`: keep only a few sweep points.
+    pub quick: bool,
+    /// `--json PATH`: also write rows as JSON to this path.
+    pub json: Option<String>,
+    /// Resolved worker count (`--jobs` > `MEMSCHED_JOBS` > parallelism).
+    pub jobs: usize,
+}
+
+/// Parse the process's arguments.
+pub fn parse() -> FigArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Parse from an explicit argument list (testable entry point).
+pub fn parse_from(args: impl Iterator<Item = String>) -> FigArgs {
+    let args: Vec<String> = args.collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let jobs_arg = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--jobs="))
+                .and_then(|v| v.parse::<usize>().ok())
+        });
+    FigArgs {
+        quick,
+        json,
+        jobs: pool::resolve_jobs(jobs_arg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> impl Iterator<Item = String> {
+        items
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse_from(argv(&["--quick", "--json", "out.json", "--jobs", "3"]));
+        assert!(a.quick);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.jobs, 3);
+    }
+
+    #[test]
+    fn parses_equals_form_and_defaults() {
+        let a = parse_from(argv(&["--jobs=2"]));
+        assert!(!a.quick);
+        assert_eq!(a.json, None);
+        assert_eq!(a.jobs, 2);
+
+        let d = parse_from(argv(&[]));
+        assert!(d.jobs >= 1);
+    }
+}

@@ -298,7 +298,7 @@ pub fn all_figures() -> Vec<FigureSpec> {
 /// A reduced version of `fig` for smoke tests and benches: keeps roughly
 /// every other sweep point, dropping the largest sizes.
 pub fn quick(fig: FigureSpec) -> FigureSpec {
-    let keep = (fig.points.len() / 2).max(2).min(4);
+    let keep = (fig.points.len() / 2).clamp(2, 4);
     FigureSpec {
         points: fig.points.into_iter().take(keep).collect(),
         ..fig

@@ -1,13 +1,13 @@
 //! Sweep harness: runs a set of schedulers over a size sweep of a
 //! workload family and prints the series of one paper figure.
 
+use crate::pool;
 use memsched_model::TaskSet;
 use memsched_platform::{run, PlatformSpec, RunReport};
 use memsched_schedulers::NamedScheduler;
 use memsched_workloads::Workload;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Which metric the figure plots.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,6 +77,30 @@ impl Row {
             max_load: r.max_load(),
         }
     }
+
+    /// A copy with every wall-clock-derived field zeroed.
+    ///
+    /// `prepare_ms`, `sched_ms` and `gflops_with_sched` measure host wall
+    /// time, so they vary run to run; everything else is simulated and
+    /// exactly reproducible. Canonical rows are what the determinism
+    /// guarantee is stated over: serializing the canonical rows of a sweep
+    /// yields byte-identical output for any worker count.
+    pub fn canonical(&self) -> Row {
+        Row {
+            gflops_with_sched: 0.0,
+            prepare_ms: 0.0,
+            sched_ms: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Serialize rows in canonical form (wall-clock fields zeroed) as pretty
+/// JSON. Two sweeps of the same figure produce byte-identical canonical
+/// JSON regardless of worker count — see `tests/determinism.rs`.
+pub fn canonical_json(rows: &[Row]) -> String {
+    let canonical: Vec<Row> = rows.iter().map(Row::canonical).collect();
+    serde_json::to_string_pretty(&canonical).expect("rows serialize")
 }
 
 /// One point of the sweep: a workload instance plus the schedulers that
@@ -106,42 +130,45 @@ pub struct FigureSpec {
 }
 
 impl FigureSpec {
-    /// Run every cell (size × scheduler), in parallel worker threads.
-    /// Results are sorted by (working set, scheduler).
+    /// Run every cell (size × scheduler) with the default worker count
+    /// (`MEMSCHED_JOBS`, else the machine's parallelism). Results are
+    /// sorted by (working set, scheduler).
     pub fn run(&self) -> Vec<Row> {
-        // Materialize cells.
-        let cells: Vec<(Workload, NamedScheduler)> = self
+        self.run_with_jobs(pool::resolve_jobs(None))
+    }
+
+    /// Run every cell using up to `jobs` worker threads.
+    ///
+    /// Cells are fanned over the pool in a fixed order and collected back
+    /// by index, so the returned rows are identical for any `jobs` value
+    /// (modulo the wall-clock fields — see [`Row::canonical`]). Each sweep
+    /// point's `TaskSet` is generated exactly once, on whichever worker
+    /// gets there first, and shared across that point's schedulers via
+    /// `Arc` instead of being regenerated per cell.
+    pub fn run_with_jobs(&self, jobs: usize) -> Vec<Row> {
+        // Materialize cells as (point index, scheduler): the point index
+        // keys the shared TaskSet cache.
+        let cells: Vec<(usize, NamedScheduler)> = self
             .points
             .iter()
-            .flat_map(|p| {
-                p.schedulers
-                    .iter()
-                    .map(move |s| (p.workload, s.clone()))
-            })
+            .enumerate()
+            .flat_map(|(pi, p)| p.schedulers.iter().map(move |s| (pi, s.clone())))
             .collect();
 
-        let next = AtomicUsize::new(0);
-        let rows = Mutex::new(Vec::with_capacity(cells.len()));
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get().min(8))
-            .unwrap_or(1)
-            .min(cells.len().max(1));
+        // One lazily-filled slot per sweep point. `OnceLock::get_or_init`
+        // guarantees the generator runs exactly once even when several
+        // workers reach the same point concurrently.
+        let cache: Vec<OnceLock<Arc<TaskSet>>> =
+            self.points.iter().map(|_| OnceLock::new()).collect();
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let (workload, named) = &cells[i];
-                    let row = self.run_cell(workload, named);
-                    rows.lock().push(row);
-                });
-            }
+        let mut rows = pool::run_indexed(&cells, jobs, |_, (pi, named)| {
+            let point = &self.points[*pi];
+            let ts = cache[*pi]
+                .get_or_init(|| Arc::new(point.workload.generate()))
+                .clone();
+            self.run_cell_on(&ts, &point.workload, named)
         });
 
-        let mut rows = rows.into_inner();
         rows.sort_by(|a, b| {
             a.ws_mb
                 .total_cmp(&b.ws_mb)
@@ -150,14 +177,18 @@ impl FigureSpec {
         rows
     }
 
-    /// Run a single cell.
-    pub fn run_cell(&self, workload: &Workload, named: &NamedScheduler) -> Row {
-        let ts = workload.generate();
+    /// Run a single cell against an already-generated task set.
+    pub fn run_cell_on(&self, ts: &TaskSet, workload: &Workload, named: &NamedScheduler) -> Row {
         let ws_mb = ts.working_set_bytes() as f64 / 1e6;
         let mut sched = named.build();
-        let report = run(&ts, &self.spec, sched.as_mut())
+        let report = run(ts, &self.spec, sched.as_mut())
             .unwrap_or_else(|e| panic!("{} / {:?} failed: {e}", self.id, named));
         Row::from_report(self.id, workload, ws_mb, self.spec.num_gpus, &report)
+    }
+
+    /// Run a single cell, generating the task set from scratch.
+    pub fn run_cell(&self, workload: &Workload, named: &NamedScheduler) -> Row {
+        self.run_cell_on(&workload.generate(), workload, named)
     }
 
     /// The roofline of the figure: the aggregate platform throughput.
@@ -256,8 +287,14 @@ impl FigureSpec {
 
     /// Run the figure and print the table, the paper-shape check verdicts
     /// and the CSV to stdout; also write JSON when `json_path` is given.
+    /// Uses the default worker count (see [`pool::resolve_jobs`]).
     pub fn run_and_print(&self, json_path: Option<&str>) {
-        let rows = self.run();
+        self.run_and_print_with_jobs(json_path, pool::resolve_jobs(None));
+    }
+
+    /// [`FigureSpec::run_and_print`] with an explicit worker count.
+    pub fn run_and_print_with_jobs(&self, json_path: Option<&str>, jobs: usize) {
+        let rows = self.run_with_jobs(jobs);
         print!("{}", self.to_table(&rows));
         if self.metric == Metric::Gflops {
             let checks = crate::checks::shape_checks(self.id, &rows, self.roofline_gflops());
@@ -321,6 +358,30 @@ mod tests {
         assert!(table.contains("DARTS+LUF"));
         assert!(table.contains("EAGER"));
         assert!(table.contains("roofline"));
+    }
+
+    #[test]
+    fn run_with_jobs_matches_serial_run() {
+        let fig = tiny_figure();
+        let serial = canonical_json(&fig.run_with_jobs(1));
+        for jobs in [2, 4] {
+            assert_eq!(canonical_json(&fig.run_with_jobs(jobs)), serial);
+        }
+    }
+
+    #[test]
+    fn canonical_zeroes_only_wall_clock_fields() {
+        let fig = tiny_figure();
+        let rows = fig.run_with_jobs(2);
+        for r in &rows {
+            let c = r.canonical();
+            assert_eq!(c.gflops_with_sched, 0.0);
+            assert_eq!(c.prepare_ms, 0.0);
+            assert_eq!(c.sched_ms, 0.0);
+            assert_eq!(c.gflops, r.gflops);
+            assert_eq!(c.loads, r.loads);
+            assert_eq!(c.makespan_ms, r.makespan_ms);
+        }
     }
 
     #[test]

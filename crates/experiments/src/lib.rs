@@ -15,9 +15,12 @@
 #![warn(missing_docs)]
 
 pub mod checks;
+pub mod cli;
 pub mod figures;
 pub mod harness;
+pub mod pool;
 
 pub use checks::{shape_checks, CheckResult};
 pub use figures::all_figures;
-pub use harness::{FigureSpec, Metric, Row, SweepPoint};
+pub use harness::{canonical_json, FigureSpec, Metric, Row, SweepPoint};
+pub use pool::resolve_jobs;

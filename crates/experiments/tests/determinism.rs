@@ -1,0 +1,71 @@
+//! Determinism regression test for the parallel sweep harness: the same
+//! mid-size sweep run with 1, 2 and 8 workers must serialize to identical
+//! bytes. This is the harness's core guarantee — worker count (and hence
+//! pool interleaving) can never leak into figure output.
+//!
+//! Wall-clock-derived fields (`prepare_ms`, `sched_ms`,
+//! `gflops_with_sched`) are zeroed via `Row::canonical` before
+//! serializing; every simulated quantity is compared exactly.
+
+use memsched_experiments::{canonical_json, FigureSpec, Metric, SweepPoint};
+use memsched_platform::PlatformSpec;
+use memsched_schedulers::NamedScheduler as S;
+use memsched_workloads::{constants::GEMM2D_DATA_BYTES, Workload};
+
+/// A mid-size sweep: three sizes, several scheduler families, memory
+/// pressure on (so eviction paths run), 13 cells total.
+fn mid_size_sweep() -> FigureSpec {
+    let schedulers = vec![S::Eager, S::Dmdar, S::Mhfp, S::DartsLuf];
+    FigureSpec {
+        id: "determinism",
+        title: "determinism regression sweep",
+        spec: PlatformSpec::v100(2).with_memory(8 * GEMM2D_DATA_BYTES),
+        points: vec![
+            SweepPoint {
+                workload: Workload::Gemm2d { n: 8 },
+                schedulers: schedulers.clone(),
+            },
+            SweepPoint {
+                workload: Workload::Gemm2dRandom { n: 10, seed: 7 },
+                schedulers: schedulers.clone(),
+            },
+            SweepPoint {
+                workload: Workload::Cholesky { n: 8 },
+                // mHFP is dropped at the largest point, as figures do for
+                // expensive static schedulers — exercises ragged points.
+                schedulers: vec![S::Eager, S::Dmdar, S::DartsLuf, S::HmetisR, S::Darts],
+            },
+        ],
+        metric: Metric::Gflops,
+    }
+}
+
+#[test]
+fn sweep_rows_are_identical_across_worker_counts() {
+    let fig = mid_size_sweep();
+    let reference = canonical_json(&fig.run_with_jobs(1));
+    for jobs in [2, 8] {
+        let got = canonical_json(&fig.run_with_jobs(jobs));
+        assert_eq!(
+            got, reference,
+            "rows with {jobs} workers differ from the serial run"
+        );
+    }
+    // And a repeated serial run reproduces itself (workload generation
+    // and the engine are fully deterministic).
+    assert_eq!(canonical_json(&fig.run_with_jobs(1)), reference);
+}
+
+#[test]
+fn csv_and_table_are_identical_across_worker_counts() {
+    let fig = mid_size_sweep();
+    let rows1 = fig.run_with_jobs(1);
+    let rows8 = fig.run_with_jobs(8);
+    // CSV contains the wall-clock columns, so compare through canonical
+    // rows; the table prints gflops_with_sched, so compare its canonical
+    // rendering too.
+    let canon1: Vec<_> = rows1.iter().map(|r| r.canonical()).collect();
+    let canon8: Vec<_> = rows8.iter().map(|r| r.canonical()).collect();
+    assert_eq!(fig.to_csv(&canon1), fig.to_csv(&canon8));
+    assert_eq!(fig.to_table(&canon1), fig.to_table(&canon8));
+}

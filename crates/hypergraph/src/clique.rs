@@ -26,7 +26,7 @@ pub fn clique_expand(hg: &Hypergraph) -> Hypergraph {
     for n in 0..hg.num_nets() {
         let pins = hg.pins(n);
         let p = pins.len();
-        if p < 2 || p > MAX_CLIQUE_NET {
+        if !(2..=MAX_CLIQUE_NET).contains(&p) {
             continue;
         }
         // Scaled weight; keep at least 1 so the edge is not free.

@@ -174,6 +174,9 @@ pub fn evaluate(hg: &Hypergraph, parts: &[u32], k: usize) -> PartitionQuality {
 }
 
 #[cfg(test)]
+pub(crate) use tests::grid2;
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -248,6 +251,3 @@ mod tests {
         Hypergraph::unit(1, vec![vec![5]]);
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::grid2;

@@ -30,3 +30,13 @@ pub use replay::{
 };
 pub use schedule::{Schedule, ScheduleError};
 pub use taskset::{figure1_example, TaskSet, TaskSetBuilder};
+
+// Compile-time audit for the parallel sweep harness: a generated
+// `TaskSet` is shared read-only across worker threads via `Arc`, so it
+// must be `Send + Sync` (it is plain owned data — CSR index vectors).
+#[allow(dead_code)]
+fn _assert_taskset_shareable() {
+    fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<TaskSet>();
+    is_send_sync::<std::sync::Arc<TaskSet>>();
+}

@@ -173,9 +173,9 @@ mod tests {
         let mut b = TaskSetBuilder::new();
         let rows: Vec<_> = (0..n).map(|_| b.add_data(1)).collect();
         let cols: Vec<_> = (0..n).map(|_| b.add_data(1)).collect();
-        for i in 0..n {
-            for j in 0..n {
-                b.add_task(&[rows[i], cols[j]], 1.0);
+        for &row in &rows {
+            for &col in &cols {
+                b.add_task(&[row, col], 1.0);
             }
         }
         b.build()

@@ -392,9 +392,9 @@ mod tests {
         let rows: Vec<_> = (0..n).map(|_| b.add_data(1)).collect();
         let cols: Vec<_> = (0..n).map(|_| b.add_data(1)).collect();
         let mut order = Vec::new();
-        for i in 0..n {
-            for j in 0..n {
-                order.push(b.add_task(&[rows[i], cols[j]], 1.0));
+        for &row in &rows {
+            for &col in &cols {
+                order.push(b.add_task(&[row, col], 1.0));
             }
         }
         let ts = b.build();

@@ -129,6 +129,9 @@ impl Schedule {
 }
 
 #[cfg(test)]
+pub(crate) use tests::figure1_schedule;
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::taskset::figure1_example;
@@ -208,6 +211,3 @@ mod tests {
         assert_eq!(s.gpu(GpuId(2)), &[t(7)]);
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::figure1_schedule;

@@ -309,9 +309,9 @@ pub fn figure1_example() -> TaskSet {
     let mut b = TaskSetBuilder::new();
     let rows: Vec<DataId> = (0..3).map(|_| b.add_data(1)).collect();
     let cols: Vec<DataId> = (0..3).map(|_| b.add_data(1)).collect();
-    for i in 0..3 {
-        for j in 0..3 {
-            b.add_task(&[rows[i], cols[j]], 1.0);
+    for &row in &rows {
+        for &col in &cols {
+            b.add_task(&[row, col], 1.0);
         }
     }
     b.build()

@@ -184,16 +184,12 @@ pub fn render_gantt(trace: &[TraceEvent], num_gpus: usize, width: usize) -> Stri
     for ev in trace {
         match *ev {
             TraceEvent::LoadIssued { at, done_at, .. } => {
-                for c in col_of(at)..=col_of(done_at) {
-                    bus[c] = b'=';
-                }
+                bus[col_of(at)..=col_of(done_at)].fill(b'=');
             }
             TraceEvent::TaskStarted { at, gpu, .. } => started[gpu] = Some(at),
             TraceEvent::TaskFinished { at, gpu, .. } => {
                 if let Some(s) = started[gpu].take() {
-                    for c in col_of(s)..=col_of(at) {
-                        lanes[gpu][c] = b'#';
-                    }
+                    lanes[gpu][col_of(s)..=col_of(at)].fill(b'#');
                 }
             }
             _ => {}

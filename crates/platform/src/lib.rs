@@ -49,3 +49,18 @@ pub use spec::{
     Nanos, PlatformSpec, NVLINK_BANDWIDTH, PAPER_MEMORY_BYTES, PCIE_BANDWIDTH,
     UNLIMITED_MEMORY_BYTES, V100_GFLOPS,
 };
+
+// Compile-time audit for the parallel sweep harness: the types a harness
+// worker thread holds across a run must be shareable/movable across
+// threads. The engine itself remains single-threaded — one `run` call is
+// driven entirely by its calling thread — but independent runs execute
+// concurrently on different workers.
+#[allow(dead_code)]
+fn _assert_parallel_harness_bounds() {
+    fn is_send_sync<T: Send + Sync>() {}
+    fn is_send<T: Send>() {}
+    is_send_sync::<PlatformSpec>();
+    is_send_sync::<RunConfig>();
+    is_send::<RunReport>();
+    is_send::<TraceEvent>();
+}

@@ -64,7 +64,11 @@ pub enum NamedScheduler {
 
 impl NamedScheduler {
     /// Instantiate the scheduler.
-    pub fn build(&self) -> Box<dyn Scheduler> {
+    ///
+    /// The trait object is `Send` so a built scheduler can be handed to a
+    /// harness worker thread; each engine run still drives its scheduler
+    /// from a single thread (the engine is sequential by design).
+    pub fn build(&self) -> Box<dyn Scheduler + Send> {
         match *self {
             NamedScheduler::Eager => Box::new(EagerScheduler::new()),
             NamedScheduler::Dmda => Box::new(DmdaScheduler::dmda()),
@@ -92,6 +96,20 @@ impl NamedScheduler {
     pub fn label(&self) -> String {
         self.build().name()
     }
+}
+
+// Compile-time audit: every concrete scheduler must stay `Send` so the
+// parallel sweep harness can move built schedulers onto worker threads.
+// (None needs `Sync` — a scheduler is only ever driven by one engine.)
+#[allow(dead_code)]
+fn _assert_schedulers_send() {
+    fn is_send<T: Send>() {}
+    is_send::<EagerScheduler>();
+    is_send::<DmdaScheduler>();
+    is_send::<HmetisRScheduler>();
+    is_send::<HfpScheduler>();
+    is_send::<DartsScheduler>();
+    is_send::<Box<dyn Scheduler + Send>>();
 }
 
 #[cfg(test)]

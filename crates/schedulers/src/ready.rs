@@ -26,7 +26,7 @@ pub fn ready_pick(
         if missing == 0 {
             return Some(i); // cannot do better than zero transfers
         }
-        if best.map_or(true, |(_, b)| missing < b) {
+        if best.is_none_or(|(_, b)| missing < b) {
             best = Some((i, missing));
         }
     }

@@ -1,0 +1,270 @@
+//! Offline shim for `criterion`.
+//!
+//! Source-compatible with the subset of criterion's API the workspace's
+//! benches use, implemented as a plain timing harness: each benchmark is
+//! warmed up for `warm_up_time`, then iterated for at least
+//! `measurement_time`, and the mean wall time per iteration is printed to
+//! stdout (with derived throughput when [`Throughput`] was set). There
+//! are no statistics, plots or baselines — the benches are kept runnable
+//! and comparable, not publication-grade.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing settings and throughput units.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// driven by `measurement_time` alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up duration for subsequent benchmarks.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement duration for subsequent benchmarks.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Report throughput alongside time for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0), self.throughput);
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into().0), self.throughput);
+        self
+    }
+
+    /// End the group (a separator line, matching criterion's visual break).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Mean duration of one iteration, filled by [`Bencher::iter`].
+    mean: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(warm_up_time: Duration, measurement_time: Duration) -> Self {
+        Bencher {
+            warm_up_time,
+            measurement_time,
+            mean: None,
+            iters: 0,
+        }
+    }
+
+    /// Warm up, then run `f` repeatedly for the measurement window and
+    /// record the mean wall time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean = Some(started.elapsed() / iters.max(1) as u32);
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        let Some(mean) = self.mean else {
+            println!("{id:<60} (no measurement)");
+            return;
+        };
+        let per = match throughput {
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                format!("  {:>12.1} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                format!("  {:>12.1} MB/s", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{id:<60} {:>12.3} ms/iter  ({} iters){per}",
+            mean.as_secs_f64() * 1e3,
+            self.iters
+        );
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_mean() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        b.iter(|| black_box(1 + 1));
+        assert!(b.mean.is_some());
+        assert!(b.iters > 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline shim for `crossbeam`: the `thread::scope` API implemented over
+//! `std::thread::scope` (stable since Rust 1.63, which makes the real
+//! crate's unsafe lifetime machinery unnecessary here).
+//!
+//! Divergence from the real crate: a panicking child thread unwinds
+//! through `scope` itself (std semantics) instead of being captured into
+//! the returned `Result`'s `Err` — the `Ok` branch is only reached when
+//! every spawned thread completed normally, which is the property callers
+//! `.unwrap()` for.
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure, allowing nested spawns.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// again (crossbeam's signature), so workers can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> stdthread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+                .len()
+        })
+        .unwrap();
+        assert_eq!(total, 8);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = super::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over random task sets: invariants of
 //! the model, the replay, the partitioner and the runtime engine.
 
+use memsched::platform::TraceEvent;
 use memsched::prelude::*;
 use proptest::prelude::*;
 
@@ -122,6 +123,94 @@ proptest! {
         all.sort_unstable();
         let expect: Vec<TaskId> = ts.tasks().collect();
         prop_assert_eq!(all, expect);
+    }
+
+    /// Engine trace invariants under random task sets: replay the
+    /// collected `TraceEvent` log and check that (a) per-GPU occupancy
+    /// (resident + in-flight loads) never exceeds the memory bound M,
+    /// (b) a data item is never evicted while a task reading it is
+    /// executing on that GPU (pinning), and (c) every task starts and
+    /// finishes exactly once.
+    #[test]
+    fn engine_trace_invariants(
+        ts in arb_taskset(10, 20),
+        gpus in 1usize..4,
+        mem in 3u64..8,
+    ) {
+        let spec = PlatformSpec {
+            num_gpus: gpus,
+            memory_bytes: mem, // unit-size items: capacity in items
+            bus_bandwidth: 1e9,
+            transfer_latency: 10,
+            gpu_gflops: 1e-3,
+            pipeline_depth: 2,
+            gpu_gflops_override: None,
+            nvlink_bandwidth: None,
+        };
+        let config = RunConfig {
+            collect_trace: true,
+            ..RunConfig::default()
+        };
+        for named in [
+            NamedScheduler::Eager,
+            NamedScheduler::Dmdar,
+            NamedScheduler::Mhfp,
+            NamedScheduler::DartsLuf,
+        ] {
+            let mut sched = named.build();
+            let (report, trace) =
+                memsched::platform::run_with_config(&ts, &spec, sched.as_mut(), &config)
+                    .unwrap();
+
+            // Walk the trace in engine order.
+            let mut occupied = vec![0u64; gpus]; // bytes reserved per GPU
+            let mut running: Vec<Vec<usize>> = vec![Vec::new(); gpus];
+            let mut started = vec![0u32; ts.num_tasks()];
+            let mut finished = vec![0u32; ts.num_tasks()];
+            for ev in &trace {
+                match *ev {
+                    TraceEvent::LoadIssued { gpu, data, .. } => {
+                        occupied[gpu] += ts.data_size(DataId(data as u32));
+                        prop_assert!(
+                            occupied[gpu] <= spec.memory_bytes,
+                            "{named:?}: GPU {gpu} occupancy {} exceeds M {}",
+                            occupied[gpu], spec.memory_bytes
+                        );
+                    }
+                    TraceEvent::Evicted { gpu, data, .. } => {
+                        let sz = ts.data_size(DataId(data as u32));
+                        prop_assert!(occupied[gpu] >= sz, "evicting non-resident data");
+                        occupied[gpu] -= sz;
+                        for &t in &running[gpu] {
+                            prop_assert!(
+                                !ts.inputs(TaskId(t as u32)).contains(&(data as u32)),
+                                "{named:?}: data {data} evicted from GPU {gpu} while \
+                                 running task {t} reads it"
+                            );
+                        }
+                    }
+                    TraceEvent::TaskStarted { gpu, task, .. } => {
+                        running[gpu].push(task);
+                        started[task] += 1;
+                    }
+                    TraceEvent::TaskFinished { gpu, task, .. } => {
+                        running[gpu].retain(|&t| t != task);
+                        finished[task] += 1;
+                    }
+                    TraceEvent::LoadDone { .. } => {}
+                }
+            }
+            prop_assert!(
+                started.iter().all(|&c| c == 1),
+                "{named:?}: some task did not start exactly once: {started:?}"
+            );
+            prop_assert!(
+                finished.iter().all(|&c| c == 1),
+                "{named:?}: some task did not finish exactly once: {finished:?}"
+            );
+            let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
+            prop_assert_eq!(total, ts.num_tasks());
+        }
     }
 
     /// DMDA allocation covers every task exactly once.
