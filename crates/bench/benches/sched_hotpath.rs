@@ -1,0 +1,175 @@
+//! Scheduler hot-path tier: naive full-scan implementations vs the
+//! incremental event-driven ones, on the `scale` workload preset.
+//!
+//! Unlike the criterion benches, this harness records its measurements to
+//! `results/BENCH_sched_hotpath.json` so the speedup — and every future
+//! PR's perf trajectory — is machine-readable. For each (workload,
+//! scheduler) pair it runs the same simulation twice, once with the
+//! reference scans (`naive` feature paths) and once with the incremental
+//! state, asserts the simulated outcomes are identical (same decisions ⇒
+//! same makespan, loads, per-GPU task counts), and reports the scheduler
+//! decision wall time (`prepare_wall + sched_wall`, which includes the
+//! event-hook maintenance — incremental work is charged, not hidden).
+//!
+//! Quick mode (`--quick` or `MEMSCHED_BENCH_QUICK=1`) shrinks the preset
+//! and repetitions for CI.
+
+use memsched_platform::{run, PlatformSpec, RunReport, Scheduler};
+use memsched_schedulers::{DartsConfig, DartsScheduler, DmdaScheduler};
+use memsched_workloads::scale_preset;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured (workload, scheduler) pair.
+#[derive(Serialize)]
+struct Entry {
+    workload: String,
+    scheduler: String,
+    tasks: usize,
+    /// Decision time (prepare + scheduling wall) of the full-scan run, ns.
+    naive_decision_ns: u64,
+    /// Decision time of the incremental run, ns.
+    incremental_decision_ns: u64,
+    /// naive / incremental.
+    speedup: f64,
+    /// End-to-end host wall time of each run, ns (context for the above).
+    naive_total_ns: u64,
+    incremental_total_ns: u64,
+    /// Simulated outcome, identical across the two runs by construction.
+    makespan_ns: u64,
+    total_loads: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    preset: String,
+    quick: bool,
+    reps: usize,
+    entries: Vec<Entry>,
+    /// Smallest decision-time speedup over the DARTS configurations — the
+    /// acceptance number (must stay ≥ 5 on the scale preset).
+    min_darts_speedup: f64,
+}
+
+fn decision_ns(r: &RunReport) -> u64 {
+    r.prepare_wall + r.sched_wall
+}
+
+/// Run `build()` `reps` times, keep the fastest decision time, and check
+/// every run reproduces the same simulated outcome.
+fn measure(
+    ts: &memsched_model::TaskSet,
+    spec: &PlatformSpec,
+    reps: usize,
+    mut build: impl FnMut() -> Box<dyn Scheduler + Send>,
+) -> (RunReport, u64, u64) {
+    let mut best: Option<(RunReport, u64, u64)> = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let mut sched = build();
+        let report = run(ts, spec, sched.as_mut()).expect("bench run");
+        let total = started.elapsed().as_nanos() as u64;
+        let decision = decision_ns(&report);
+        if let Some((prev, _, _)) = &best {
+            assert_eq!(prev.makespan, report.makespan, "nondeterministic rep");
+        }
+        if best.as_ref().is_none_or(|&(_, d, _)| decision < d) {
+            best = Some((report, decision, total));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("MEMSCHED_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 1 } else { 3 };
+
+    let mut entries = Vec::new();
+    let mut min_darts_speedup = f64::INFINITY;
+    for workload in scale_preset(quick) {
+        let ts = workload.generate();
+        // A quarter of the working set: enough memory pressure that the
+        // eviction paths (LUF, dependent release) stay hot.
+        let spec = PlatformSpec::v100(2).with_memory(ts.working_set_bytes() / 4);
+
+        type Build = Box<dyn Fn() -> Box<dyn Scheduler + Send>>;
+        let pairs: Vec<(&str, Build, Build)> = vec![
+            (
+                "DARTS+LUF",
+                Box::new(|| Box::new(DartsScheduler::new(DartsConfig::luf().with_naive()))),
+                Box::new(|| Box::new(DartsScheduler::new(DartsConfig::luf()))),
+            ),
+            (
+                "DARTS+LUF-3inputs",
+                Box::new(|| {
+                    Box::new(DartsScheduler::new(
+                        DartsConfig::luf().with_three_inputs().with_naive(),
+                    ))
+                }),
+                Box::new(|| {
+                    Box::new(DartsScheduler::new(DartsConfig::luf().with_three_inputs()))
+                }),
+            ),
+            (
+                "DMDAR",
+                Box::new(|| Box::new(DmdaScheduler::dmdar().with_naive_ready())),
+                Box::new(|| Box::new(DmdaScheduler::dmdar())),
+            ),
+        ];
+
+        for (name, naive_build, incr_build) in pairs {
+            let (naive_report, naive_decision, naive_total) =
+                measure(&ts, &spec, reps, || naive_build());
+            let (incr_report, incr_decision, incr_total) =
+                measure(&ts, &spec, reps, || incr_build());
+
+            // Identical decision streams ⇒ identical simulated outcome.
+            assert_eq!(naive_report.makespan, incr_report.makespan, "{name}");
+            assert_eq!(naive_report.total_loads, incr_report.total_loads, "{name}");
+            let naive_tasks: Vec<usize> = naive_report.per_gpu.iter().map(|g| g.tasks).collect();
+            let incr_tasks: Vec<usize> = incr_report.per_gpu.iter().map(|g| g.tasks).collect();
+            assert_eq!(naive_tasks, incr_tasks, "{name}");
+
+            let speedup = naive_decision as f64 / incr_decision.max(1) as f64;
+            if name.starts_with("DARTS") {
+                min_darts_speedup = min_darts_speedup.min(speedup);
+            }
+            println!(
+                "{:<22} {:<20} decision {:>12} ns -> {:>10} ns  ({:.1}x)",
+                workload.label(),
+                name,
+                naive_decision,
+                incr_decision,
+                speedup
+            );
+            entries.push(Entry {
+                workload: workload.label(),
+                scheduler: name.to_string(),
+                tasks: ts.num_tasks(),
+                naive_decision_ns: naive_decision,
+                incremental_decision_ns: incr_decision,
+                speedup,
+                naive_total_ns: naive_total,
+                incremental_total_ns: incr_total,
+                makespan_ns: incr_report.makespan,
+                total_loads: incr_report.total_loads,
+            });
+        }
+    }
+
+    let output = Output {
+        preset: "scale".into(),
+        quick,
+        reps,
+        entries,
+        min_darts_speedup,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_sched_hotpath.json"
+    );
+    let json = serde_json::to_string_pretty(&output).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write bench json");
+    println!("min DARTS speedup: {min_darts_speedup:.1}x -> {path}");
+}

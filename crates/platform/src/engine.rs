@@ -24,7 +24,7 @@
 
 use crate::memory::GpuMemory;
 use crate::report::{GpuRunStats, RunReport, TraceEvent};
-use crate::scheduler::{RuntimeView, Scheduler};
+use crate::scheduler::{MissingCache, RuntimeView, Scheduler};
 use crate::spec::{Nanos, PlatformSpec};
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
 use std::cmp::Reverse;
@@ -147,6 +147,7 @@ pub fn run_with_config(
         mem: (0..k)
             .map(|_| GpuMemory::new(spec.memory_bytes, ts.num_data()))
             .collect(),
+        missing: MissingCache::new(ts, k),
         pipeline: vec![Vec::new(); k],
         running: vec![false; k],
         stalled_pop: vec![false; k],
@@ -272,6 +273,9 @@ struct State {
     seq: u64,
     events: BinaryHeap<Reverse<(Nanos, u64, Event)>>,
     mem: Vec<GpuMemory>,
+    /// Missing-input counters per (GPU, task), kept in sync with `mem`
+    /// residency transitions; serves O(1) `RuntimeView::missing_bytes`.
+    missing: MissingCache,
     /// Per GPU: popped-but-unfinished tasks in execution order. When
     /// `running[g]` is true, `pipeline[g][0]` is executing.
     pipeline: Vec<Vec<TaskId>>,
@@ -299,6 +303,7 @@ impl State {
             now: self.now,
             memories: &self.mem,
             buffers: &self.pipeline,
+            missing: &self.missing,
             bus_free_at: self.bus_free_at,
             gpu_free_at: &self.gpu_free_at,
         }
@@ -370,6 +375,7 @@ fn progress(
                 match victim {
                     Some(v) => {
                         st.mem[g].evict(v, ts.data_size(v));
+                        st.missing.evicted(ts, g, v);
                         if config.collect_trace {
                             st.trace.push(TraceEvent::Evicted {
                                 at: st.now,
@@ -386,6 +392,7 @@ fn progress(
                 }
             }
             st.mem[g].begin_load(d, size);
+            st.missing.load_issued(ts, g, d);
             // Prefer a peer replica over the NVLink fabric when available
             // (the §VI extension); otherwise cross the shared PCI bus.
             let peer = spec.nvlink_bandwidth.and_then(|_| {
@@ -422,6 +429,14 @@ fn progress(
                     done_at,
                 });
             }
+            // Notify the policy at issue time: `is_resident_or_loading`
+            // already counts this data, so policies maintaining free-task
+            // state incrementally must observe the transition now, not at
+            // transfer completion.
+            let view = st.view(ts, spec);
+            timed(sched_wall, g, || {
+                scheduler.on_load_issued(GpuId(g as u32), d, &view)
+            });
         }
     }
 
@@ -518,19 +533,10 @@ fn pick_victim(
             return Some(v);
         }
     }
-    // LRU fallback, skipping protected items.
-    let mem = &st.mem[g];
-    let mut best: Option<(DataId, (Nanos, u64))> = None;
-    for d in mem.resident() {
-        if !evictable(mem, d) {
-            continue;
-        }
-        let key = mem.lru_key(d);
-        if best.is_none() || key < best.unwrap().1 {
-            best = Some((d, key));
-        }
-    }
-    best.map(|(d, _)| d)
+    // LRU fallback, skipping protected items: walk the memory's intrusive
+    // LRU list from the oldest end (equivalent to the old key-argmin scan
+    // because touch keys are unique) instead of scanning all data.
+    st.mem[g].lru_victim_where(|d| protect.binary_search(&d.0).is_err())
 }
 
 #[cfg(test)]

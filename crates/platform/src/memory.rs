@@ -7,6 +7,16 @@
 //! evicted — this enforces the paper's `V(k,i) ∩ D(σ(k,i)) = ∅` rule and
 //! keeps the simulation deadlock-free (a running task always completes and
 //! releases its pins).
+//!
+//! Residency queries and victim selection are incremental: an intrusive
+//! doubly-linked list keeps resident items in LRU order (touches move to
+//! the tail in O(1), the victim walk starts at the head and only skips
+//! pinned items), and a sorted resident-id index serves [`resident`]
+//! iteration without scanning all `num_data` states. The straightforward
+//! full-scan implementations are kept as `*_scan` methods; differential
+//! tests assert both agree on arbitrary operation sequences.
+//!
+//! [`resident`]: GpuMemory::resident
 
 use crate::spec::Nanos;
 use memsched_model::DataId;
@@ -23,6 +33,9 @@ pub enum Residency {
     Resident,
 }
 
+/// Sentinel for "no neighbour" in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
 /// Memory manager of a single GPU.
 #[derive(Clone, Debug)]
 pub struct GpuMemory {
@@ -38,6 +51,17 @@ pub struct GpuMemory {
     seq: u64,
     /// Bytes resident plus bytes reserved by in-flight loads.
     used_bytes: u64,
+    /// Intrusive LRU list over **resident** items: `lru_head` holds the
+    /// oldest `(last_use, touch_seq)` key, `lru_tail` the newest. A data
+    /// item is linked if and only if it is `Resident`.
+    lru_prev: Vec<u32>,
+    lru_next: Vec<u32>,
+    lru_head: u32,
+    lru_tail: u32,
+    /// Resident data ids, kept sorted ascending (the iteration order of
+    /// [`GpuMemory::resident`] is part of the deterministic tie-break
+    /// contract relied on by the golden traces).
+    resident_ids: Vec<u32>,
     /// Number of evictions performed on this GPU.
     pub evictions: u64,
     /// Number of load operations completed on this GPU.
@@ -57,6 +81,11 @@ impl GpuMemory {
             touch_seq: vec![0; num_data],
             seq: 0,
             used_bytes: 0,
+            lru_prev: vec![NIL; num_data],
+            lru_next: vec![NIL; num_data],
+            lru_head: NIL,
+            lru_tail: NIL,
+            resident_ids: Vec::new(),
             evictions: 0,
             loads: 0,
             load_bytes: 0,
@@ -110,11 +139,48 @@ impl GpuMemory {
         self.pins[d.index()] > 0 || self.state[d.index()] == Residency::Loading
     }
 
-    /// Record a use of the data (LRU bookkeeping).
+    /// Unlink `i` from the LRU list. Caller guarantees `i` is linked.
+    fn lru_unlink(&mut self, i: usize) {
+        let (prev, next) = (self.lru_prev[i], self.lru_next[i]);
+        if prev == NIL {
+            self.lru_head = next;
+        } else {
+            self.lru_next[prev as usize] = next;
+        }
+        if next == NIL {
+            self.lru_tail = prev;
+        } else {
+            self.lru_prev[next as usize] = prev;
+        }
+        self.lru_prev[i] = NIL;
+        self.lru_next[i] = NIL;
+    }
+
+    /// Append `i` at the list tail (the most-recently-used end). The
+    /// caller has just assigned `i` the largest `(last_use, touch_seq)`
+    /// key, so tail insertion keeps the list sorted by key.
+    fn lru_link_tail(&mut self, i: usize) {
+        self.lru_prev[i] = self.lru_tail;
+        self.lru_next[i] = NIL;
+        if self.lru_tail == NIL {
+            self.lru_head = i as u32;
+        } else {
+            self.lru_next[self.lru_tail as usize] = i as u32;
+        }
+        self.lru_tail = i as u32;
+    }
+
+    /// Record a use of the data (LRU bookkeeping): assigns a fresh key and
+    /// moves a resident item to the most-recently-used end in O(1).
     pub fn touch(&mut self, d: DataId, now: Nanos) {
-        self.last_use[d.index()] = now;
+        let i = d.index();
+        self.last_use[i] = now;
         self.seq += 1;
-        self.touch_seq[d.index()] = self.seq;
+        self.touch_seq[i] = self.seq;
+        if self.state[i] == Residency::Resident {
+            self.lru_unlink(i);
+            self.lru_link_tail(i);
+        }
     }
 
     /// Begin a host→GPU transfer: reserves the bytes and marks the data
@@ -128,8 +194,15 @@ impl GpuMemory {
 
     /// Complete a transfer: the data becomes `Resident`.
     pub fn finish_load(&mut self, d: DataId, size: u64, now: Nanos) {
-        debug_assert_eq!(self.state[d.index()], Residency::Loading);
-        self.state[d.index()] = Residency::Resident;
+        let i = d.index();
+        debug_assert_eq!(self.state[i], Residency::Loading);
+        self.state[i] = Residency::Resident;
+        let pos = self
+            .resident_ids
+            .binary_search(&d.0)
+            .expect_err("finish_load of already-resident data");
+        self.resident_ids.insert(pos, d.0);
+        self.lru_link_tail(i);
         self.loads += 1;
         self.load_bytes += size;
         self.touch(d, now);
@@ -137,9 +210,16 @@ impl GpuMemory {
 
     /// Evict a resident, unpinned data item, freeing its bytes.
     pub fn evict(&mut self, d: DataId, size: u64) {
-        debug_assert_eq!(self.state[d.index()], Residency::Resident);
+        let i = d.index();
+        debug_assert_eq!(self.state[i], Residency::Resident);
         debug_assert!(!self.is_pinned(d), "evicting pinned data {d}");
-        self.state[d.index()] = Residency::Absent;
+        self.state[i] = Residency::Absent;
+        let pos = self
+            .resident_ids
+            .binary_search(&d.0)
+            .expect("evicting data missing from the resident index");
+        self.resident_ids.remove(pos);
+        self.lru_unlink(i);
         self.used_bytes -= size;
         self.evictions += 1;
     }
@@ -147,7 +227,31 @@ impl GpuMemory {
     /// The LRU victim among resident, unpinned data items: the one with
     /// the oldest `(last_use, touch_seq)` pair. `None` when everything is
     /// pinned or absent.
+    ///
+    /// Walks the intrusive list from the oldest end, skipping pinned
+    /// items; since keys are assigned monotonically the head-most
+    /// unpinned item is exactly the scan argmin.
     pub fn lru_victim(&self) -> Option<DataId> {
+        self.lru_victim_where(|_| true)
+    }
+
+    /// The LRU victim among resident, unpinned data items also satisfying
+    /// `keep` (used by the engine to protect the inputs of queued tasks).
+    pub fn lru_victim_where(&self, keep: impl Fn(DataId) -> bool) -> Option<DataId> {
+        let mut cur = self.lru_head;
+        while cur != NIL {
+            let d = DataId(cur);
+            if self.pins[cur as usize] == 0 && keep(d) {
+                return Some(d);
+            }
+            cur = self.lru_next[cur as usize];
+        }
+        None
+    }
+
+    /// Reference implementation of [`lru_victim`](Self::lru_victim): full
+    /// scan over all data states. Kept for differential tests.
+    pub fn lru_victim_scan(&self) -> Option<DataId> {
         let mut best: Option<(usize, (Nanos, u64))> = None;
         for (i, &st) in self.state.iter().enumerate() {
             if st != Residency::Resident || self.pins[i] > 0 {
@@ -166,8 +270,16 @@ impl GpuMemory {
         (self.last_use[d.index()], self.touch_seq[d.index()])
     }
 
-    /// Iterate over the resident data ids (unspecified order).
+    /// Iterate over the resident data ids in ascending id order (part of
+    /// the deterministic tie-break contract: schedulers that scan the
+    /// resident set break score ties towards the smallest id).
     pub fn resident(&self) -> impl Iterator<Item = DataId> + '_ {
+        self.resident_ids.iter().map(|&i| DataId(i))
+    }
+
+    /// Reference implementation of [`resident`](Self::resident): full scan
+    /// over all data states. Kept for differential tests.
+    pub fn resident_scan(&self) -> impl Iterator<Item = DataId> + '_ {
         self.state
             .iter()
             .enumerate()
@@ -177,10 +289,7 @@ impl GpuMemory {
 
     /// Number of resident data items.
     pub fn resident_count(&self) -> usize {
-        self.state
-            .iter()
-            .filter(|&&s| s == Residency::Resident)
-            .count()
+        self.resident_ids.len()
     }
 }
 
@@ -258,6 +367,70 @@ mod tests {
         assert_eq!(m.resident_count(), 1);
         let ids: Vec<_> = m.resident().collect();
         assert_eq!(ids, vec![d(2)]);
+    }
+
+    #[test]
+    fn resident_iterates_in_ascending_id_order() {
+        let mut m = GpuMemory::new(100, 5);
+        for i in [3u32, 0, 4, 1] {
+            m.begin_load(d(i), 10);
+            m.finish_load(d(i), 10, i as Nanos);
+        }
+        let ids: Vec<_> = m.resident().map(|x| x.0).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+        let scan: Vec<_> = m.resident_scan().map(|x| x.0).collect();
+        assert_eq!(ids, scan);
+    }
+
+    #[test]
+    fn victim_walk_matches_scan_under_churn() {
+        // Deterministic mixed workload: loads, touches, pins and evictions
+        // interleaved; the list head must equal the scan argmin throughout.
+        let mut m = GpuMemory::new(1000, 16);
+        let mut now: Nanos = 0;
+        for step in 0u32..200 {
+            now += 3;
+            let i = (step * 7 + 3) % 16;
+            match m.residency(d(i)) {
+                Residency::Absent if m.free_bytes() >= 10 => {
+                    m.begin_load(d(i), 10);
+                    m.finish_load(d(i), 10, now);
+                }
+                Residency::Resident => {
+                    if step % 5 == 0 && !m.is_pinned(d(i)) {
+                        m.evict(d(i), 10);
+                    } else if step % 3 == 0 {
+                        m.touch(d(i), now);
+                    } else if step % 7 == 0 {
+                        m.pin(d(i));
+                    }
+                }
+                _ => {}
+            }
+            if step % 11 == 10 {
+                // Release one arbitrary pin if any.
+                if let Some(j) = (0..16).find(|&j| m.pins[j] > 0) {
+                    m.unpin(d(j as u32));
+                }
+            }
+            assert_eq!(m.lru_victim(), m.lru_victim_scan(), "step {step}");
+            let fast: Vec<_> = m.resident().collect();
+            let slow: Vec<_> = m.resident_scan().collect();
+            assert_eq!(fast, slow, "step {step}");
+        }
+    }
+
+    #[test]
+    fn lru_victim_where_respects_filter() {
+        let mut m = GpuMemory::new(100, 3);
+        for i in 0..3 {
+            m.begin_load(d(i), 10);
+            m.finish_load(d(i), 10, i as Nanos);
+        }
+        assert_eq!(m.lru_victim_where(|_| true), Some(d(0)));
+        assert_eq!(m.lru_victim_where(|x| x != d(0)), Some(d(1)));
+        assert_eq!(m.lru_victim_where(|x| x == d(2)), Some(d(2)));
+        assert_eq!(m.lru_victim_where(|_| false), None);
     }
 
     #[test]

@@ -5,11 +5,78 @@
 //! preparation phase ([`Scheduler::prepare`]), a pull-mode task source
 //! ([`Scheduler::pop_task`], called whenever a worker has pipeline room),
 //! an eviction hook ([`Scheduler::choose_victim`], how DARTS installs LUF)
-//! and event notifications.
+//! and event notifications ([`Scheduler::on_load_issued`],
+//! [`Scheduler::on_data_loaded`], [`Scheduler::on_data_evicted`],
+//! [`Scheduler::on_task_complete`]) so policies can maintain incremental
+//! state instead of re-scanning the runtime view on every decision.
 
 use crate::memory::GpuMemory;
 use crate::spec::{Nanos, PlatformSpec};
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
+
+/// Engine-maintained cache of the *missing inputs* of every task on every
+/// GPU: how many of a task's inputs are absent (neither resident nor in
+/// flight), how many bytes they amount to, and the sum of their ids (which
+/// recovers the identity of the sole missing input when only one is left).
+///
+/// Invalidated incrementally on every residency transition — a load issue
+/// decrements the counters of the data's consumers, an eviction increments
+/// them — so [`RuntimeView::missing_bytes`] is O(1) instead of re-walking
+/// the task's input list. The cost is O(consumers(d)) per residency event,
+/// amortized over the decisions that would otherwise each rescan.
+#[derive(Clone, Debug)]
+pub(crate) struct MissingCache {
+    /// Per GPU, per task: number of inputs absent on that GPU.
+    cnt: Vec<Vec<u32>>,
+    /// Per GPU, per task: bytes of absent inputs.
+    bytes: Vec<Vec<u64>>,
+    /// Per GPU, per task: sum of absent input ids (`u64` so sums of many
+    /// `u32` ids cannot overflow).
+    id_sum: Vec<Vec<u64>>,
+}
+
+impl MissingCache {
+    /// Initial state: everything absent everywhere.
+    pub(crate) fn new(ts: &TaskSet, num_gpus: usize) -> Self {
+        let m = ts.num_tasks();
+        let mut cnt = vec![0u32; m];
+        let mut bytes = vec![0u64; m];
+        let mut id_sum = vec![0u64; m];
+        for t in ts.tasks() {
+            cnt[t.index()] = ts.inputs(t).len() as u32;
+            bytes[t.index()] = ts.task_footprint(t);
+            id_sum[t.index()] = ts.inputs(t).iter().map(|&d| d as u64).sum();
+        }
+        Self {
+            cnt: vec![cnt; num_gpus],
+            bytes: vec![bytes; num_gpus],
+            id_sum: vec![id_sum; num_gpus],
+        }
+    }
+
+    /// A transfer of `d` to `gpu` was issued (Absent → Loading).
+    pub(crate) fn load_issued(&mut self, ts: &TaskSet, gpu: usize, d: DataId) {
+        let size = ts.data_size(d);
+        for t in ts.consumer_ids(d) {
+            let i = t.index();
+            debug_assert!(self.cnt[gpu][i] > 0);
+            self.cnt[gpu][i] -= 1;
+            self.bytes[gpu][i] -= size;
+            self.id_sum[gpu][i] -= d.0 as u64;
+        }
+    }
+
+    /// `d` was evicted from `gpu` (Resident → Absent).
+    pub(crate) fn evicted(&mut self, ts: &TaskSet, gpu: usize, d: DataId) {
+        let size = ts.data_size(d);
+        for t in ts.consumer_ids(d) {
+            let i = t.index();
+            self.cnt[gpu][i] += 1;
+            self.bytes[gpu][i] += size;
+            self.id_sum[gpu][i] += d.0 as u64;
+        }
+    }
+}
 
 /// Read-only view of the runtime state, handed to scheduler callbacks.
 ///
@@ -24,6 +91,8 @@ pub struct RuntimeView<'a> {
     /// Per-GPU pipeline: tasks popped from the scheduler but not finished,
     /// in execution order (index 0 runs first). Includes the running task.
     pub(crate) buffers: &'a [Vec<TaskId>],
+    /// Incrementally-maintained missing-input counters per (GPU, task).
+    pub(crate) missing: &'a MissingCache,
     /// Simulated time at which the shared bus finishes its current queue.
     pub(crate) bus_free_at: Nanos,
     /// Simulated time at which each GPU finishes its queued work.
@@ -62,7 +131,9 @@ impl<'a> RuntimeView<'a> {
         self.memories[gpu.index()].is_pinned(d)
     }
 
-    /// Iterate over the data currently resident on `gpu`.
+    /// Iterate over the data currently resident on `gpu`, in ascending id
+    /// order (schedulers scanning this break score ties towards the
+    /// smallest id, so the order is part of the determinism contract).
     pub fn resident(&self, gpu: GpuId) -> impl Iterator<Item = DataId> + 'a {
         self.memories[gpu.index()].resident()
     }
@@ -84,8 +155,38 @@ impl<'a> RuntimeView<'a> {
     }
 
     /// Bytes of `task`'s inputs that are neither resident on `gpu` nor in
-    /// flight to it — what the Ready heuristic minimizes.
+    /// flight to it — what the Ready heuristic minimizes. O(1): served
+    /// from the engine's incrementally-maintained [`MissingCache`].
     pub fn missing_bytes(&self, gpu: GpuId, task: TaskId) -> u64 {
+        self.missing.bytes[gpu.index()][task.index()]
+    }
+
+    /// Number of `task`'s inputs that are neither resident nor in flight.
+    /// O(1): served from the engine's [`MissingCache`].
+    pub fn missing_inputs(&self, gpu: GpuId, task: TaskId) -> usize {
+        self.missing.cnt[gpu.index()][task.index()] as usize
+    }
+
+    /// When exactly one input of `task` is missing on `gpu`, its id.
+    /// O(1): recovered from the cached missing-id sum.
+    pub fn sole_missing_input(&self, gpu: GpuId, task: TaskId) -> Option<DataId> {
+        let (g, i) = (gpu.index(), task.index());
+        (self.missing.cnt[g][i] == 1).then(|| DataId(self.missing.id_sum[g][i] as u32))
+    }
+
+    /// When exactly two inputs of `task` are missing on `gpu` and `d` is
+    /// known to be one of them, the other one. O(1): recovered from the
+    /// cached missing-id sum. Used by event-driven policies to re-aim a
+    /// "one more load frees this task" contribution when `d` is evicted.
+    pub fn missing_pair_partner(&self, gpu: GpuId, task: TaskId, d: DataId) -> Option<DataId> {
+        let (g, i) = (gpu.index(), task.index());
+        (self.missing.cnt[g][i] == 2).then(|| DataId((self.missing.id_sum[g][i] - d.0 as u64) as u32))
+    }
+
+    /// Reference implementation of [`missing_bytes`](Self::missing_bytes):
+    /// re-walks the task's input list. Kept for the naive differential
+    /// configurations and cache-consistency tests.
+    pub fn missing_bytes_scan(&self, gpu: GpuId, task: TaskId) -> u64 {
         self.ts
             .input_ids(task)
             .filter(|&d| !self.is_resident_or_loading(gpu, d))
@@ -93,8 +194,9 @@ impl<'a> RuntimeView<'a> {
             .sum()
     }
 
-    /// Number of `task`'s inputs that are neither resident nor in flight.
-    pub fn missing_inputs(&self, gpu: GpuId, task: TaskId) -> usize {
+    /// Reference implementation of
+    /// [`missing_inputs`](Self::missing_inputs) by input-list scan.
+    pub fn missing_inputs_scan(&self, gpu: GpuId, task: TaskId) -> usize {
         self.ts
             .input_ids(task)
             .filter(|&d| !self.is_resident_or_loading(gpu, d))
@@ -145,6 +247,17 @@ pub trait Scheduler {
     /// `task` finished on `gpu`.
     fn on_task_complete(&mut self, gpu: GpuId, task: TaskId, view: &RuntimeView<'_>) {
         let _ = (gpu, task, view);
+    }
+
+    /// A transfer of `data` to `gpu` was **issued** (the data is now
+    /// `Loading`: reserved in memory and counted by
+    /// [`RuntimeView::is_resident_or_loading`]). Fired before the
+    /// matching [`on_data_loaded`](Self::on_data_loaded). Policies that
+    /// maintain per-data "free task" state incrementally (DARTS) update
+    /// it here, since their decision rules already treat in-flight data
+    /// as available.
+    fn on_load_issued(&mut self, gpu: GpuId, data: DataId, view: &RuntimeView<'_>) {
+        let _ = (gpu, data, view);
     }
 
     /// A transfer of `data` to `gpu` completed.

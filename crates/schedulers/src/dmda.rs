@@ -26,6 +26,9 @@ pub struct DmdaScheduler {
     window: usize,
     /// Per-GPU allocated task queues, filled during `prepare`.
     queues: Vec<Vec<TaskId>>,
+    /// Serve Ready through the input-walking reference implementation.
+    #[cfg(feature = "naive")]
+    naive_ready: bool,
 }
 
 impl DmdaScheduler {
@@ -35,6 +38,8 @@ impl DmdaScheduler {
             ready: false,
             window: DEFAULT_READY_WINDOW,
             queues: Vec::new(),
+            #[cfg(feature = "naive")]
+            naive_ready: false,
         }
     }
 
@@ -44,7 +49,17 @@ impl DmdaScheduler {
             ready: true,
             window: DEFAULT_READY_WINDOW,
             queues: Vec::new(),
+            #[cfg(feature = "naive")]
+            naive_ready: false,
         }
+    }
+
+    /// Builder: serve Ready through [`crate::ready::ready_pick_scan`]
+    /// (differential testing only).
+    #[cfg(feature = "naive")]
+    pub fn with_naive_ready(mut self) -> Self {
+        self.naive_ready = true;
+        self
     }
 
     /// Builder: change the Ready scan window.
@@ -101,7 +116,18 @@ impl Scheduler for DmdaScheduler {
             return None;
         }
         let i = if self.ready {
-            ready_pick(q, gpu, view, self.window)?
+            #[cfg(feature = "naive")]
+            {
+                if self.naive_ready {
+                    crate::ready::ready_pick_scan(q, gpu, view, self.window)?
+                } else {
+                    ready_pick(q, gpu, view, self.window)?
+                }
+            }
+            #[cfg(not(feature = "naive"))]
+            {
+                ready_pick(q, gpu, view, self.window)?
+            }
         } else {
             0
         };

@@ -30,6 +30,8 @@ pub use eager::EagerScheduler;
 pub use hfp::{pack as hfp_pack, HfpScheduler};
 pub use hmetis_r::{HmetisRScheduler, PartitionerOptions};
 pub use ready::{ready_pick, DEFAULT_READY_WINDOW};
+#[cfg(feature = "naive")]
+pub use ready::ready_pick_scan;
 pub use stealing::StealingQueues;
 
 use memsched_platform::Scheduler;

@@ -92,9 +92,37 @@ impl Workload {
     }
 }
 
+/// The `scale` benchmark preset: 2D/3D GEMM instances well past the
+/// paper's figure sizes, where the per-decision candidate scan dominates
+/// a naive scheduler's cost. This is the workload tier the scheduler
+/// hot-path bench (`cargo bench --bench sched_hotpath`) records in
+/// `results/BENCH_sched_hotpath.json`. Quick mode keeps a full naive-scan
+/// run in CI-friendly time.
+pub fn scale_preset(quick: bool) -> Vec<Workload> {
+    if quick {
+        vec![Workload::Gemm2d { n: 20 }, Workload::Gemm3d { n: 6 }]
+    } else {
+        vec![Workload::Gemm2d { n: 64 }, Workload::Gemm3d { n: 10 }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_preset_is_larger_than_figure_sizes() {
+        for (quick, floor) in [(true, 200), (false, 1000)] {
+            for w in scale_preset(quick) {
+                let ts = w.generate();
+                assert!(
+                    ts.num_tasks() >= floor,
+                    "{} too small for the scale tier",
+                    w.label()
+                );
+            }
+        }
+    }
 
     #[test]
     fn workload_enum_generates_all_scenarios() {

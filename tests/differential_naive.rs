@@ -1,0 +1,152 @@
+//! Differential tests of the incremental scheduler hot paths against the
+//! original full-scan implementations (the `naive` feature).
+//!
+//! The incremental DARTS/Ready state is only correct if it changes *no
+//! scheduling decision*: for any task set, platform shape and seed, the
+//! naive and incremental configurations must produce byte-identical
+//! engine traces — same loads, same eviction victims, same task order,
+//! same timestamps, and (for DARTS) the same RNG draw sequence, since a
+//! diverging candidate count would shift every later tie-break.
+
+use memsched::platform::{run_with_config, RunConfig, Scheduler, TraceEvent};
+use memsched::prelude::*;
+use memsched::schedulers::{DartsConfig, DartsScheduler, DmdaScheduler};
+use proptest::prelude::*;
+
+/// Strategy: a random task set with up to `max_data` unit-size data items
+/// and up to `max_tasks` tasks with 1–3 inputs each (the same shape the
+/// engine property tests use).
+fn arb_taskset(max_data: usize, max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    (2usize..=max_data, 1usize..=max_tasks)
+        .prop_flat_map(|(nd, mt)| {
+            let inputs = proptest::collection::vec(
+                proptest::collection::vec(0..nd as u32, 1..=3),
+                mt,
+            );
+            (Just(nd), inputs)
+        })
+        .prop_map(|(nd, task_inputs)| {
+            let mut b = TaskSetBuilder::new();
+            let data: Vec<DataId> = (0..nd).map(|_| b.add_data(1)).collect();
+            for ins in task_inputs {
+                let ids: Vec<DataId> = ins.iter().map(|&i| data[i as usize]).collect();
+                b.add_task(&ids, 1000.0);
+            }
+            b.build()
+        })
+}
+
+fn small_spec(gpus: usize, mem: u64) -> PlatformSpec {
+    PlatformSpec {
+        num_gpus: gpus,
+        memory_bytes: mem, // unit-size items: capacity in items
+        bus_bandwidth: 1e9,
+        transfer_latency: 10,
+        gpu_gflops: 1e-3,
+        pipeline_depth: 2,
+        gpu_gflops_override: None,
+        nvlink_bandwidth: None,
+    }
+}
+
+fn trace_of(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    sched: &mut dyn Scheduler,
+) -> (RunReport, Vec<TraceEvent>) {
+    let config = RunConfig {
+        collect_trace: true,
+        ..RunConfig::default()
+    };
+    run_with_config(ts, spec, sched, &config).expect("differential run")
+}
+
+/// Assert the two configurations of one scheduler produce byte-identical
+/// decision streams on `ts`.
+fn assert_equivalent(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    label: &str,
+    naive: &mut dyn Scheduler,
+    incremental: &mut dyn Scheduler,
+) {
+    let (naive_report, naive_trace) = trace_of(ts, spec, naive);
+    let (incr_report, incr_trace) = trace_of(ts, spec, incremental);
+    // The scheduler name must not encode the mode: the golden snapshots
+    // embed it, so a differing header would make them mode-dependent.
+    assert_eq!(
+        naive_report.scheduler, incr_report.scheduler,
+        "{label}: name must not leak the implementation mode"
+    );
+    if naive_trace != incr_trace {
+        // Locate the first diverging event for a readable failure.
+        let i = naive_trace
+            .iter()
+            .zip(&incr_trace)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| naive_trace.len().min(incr_trace.len()));
+        panic!(
+            "{label}: decision streams diverge at event {i}:\n  naive:       {:?}\n  incremental: {:?}",
+            naive_trace.get(i),
+            incr_trace.get(i),
+        );
+    }
+    assert_eq!(naive_report.makespan, incr_report.makespan, "{label}");
+    assert_eq!(naive_report.total_loads, incr_report.total_loads, "{label}");
+    assert_eq!(
+        naive_report.total_evictions, incr_report.total_evictions,
+        "{label}"
+    );
+    let naive_tasks: Vec<usize> = naive_report.per_gpu.iter().map(|g| g.tasks).collect();
+    let incr_tasks: Vec<usize> = incr_report.per_gpu.iter().map(|g| g.tasks).collect();
+    assert_eq!(naive_tasks, incr_tasks, "{label}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every DARTS variant: plain LRU-evicting, LUF, LUF+3inputs,
+    /// LUF+OPTI, LUF+threshold — the incremental candidate index, missing
+    /// caches, planned-use counters and Fenwick draw must reproduce the
+    /// full-scan run event for event.
+    #[test]
+    fn darts_incremental_matches_naive(
+        ts in arb_taskset(10, 20),
+        gpus in 1usize..4,
+        mem in 3u64..8,
+        seed in 0u64..1000,
+    ) {
+        let spec = small_spec(gpus, mem);
+        let variants: Vec<(&str, DartsConfig)> = vec![
+            ("darts-lru", DartsConfig::lru()),
+            ("darts-luf", DartsConfig::luf()),
+            ("darts-luf-3inputs", DartsConfig::luf().with_three_inputs()),
+            ("darts-luf-opti", DartsConfig::luf().with_opti()),
+            ("darts-luf-threshold", DartsConfig::luf().with_threshold(3)),
+            (
+                "darts-luf-opti-3inputs",
+                DartsConfig::luf().with_opti().with_three_inputs(),
+            ),
+        ];
+        for (label, cfg) in variants {
+            let cfg = cfg.with_seed(seed);
+            let mut naive = DartsScheduler::new(cfg.clone().with_naive());
+            let mut incremental = DartsScheduler::new(cfg);
+            assert_equivalent(&ts, &spec, label, &mut naive, &mut incremental);
+        }
+    }
+
+    /// DMDAR's Ready window pick: the hoisted fast path must select the
+    /// same task as the reference `missing_bytes` scan on every pop.
+    #[test]
+    fn dmdar_ready_matches_naive(
+        ts in arb_taskset(10, 20),
+        gpus in 1usize..4,
+        mem in 3u64..8,
+    ) {
+        let spec = small_spec(gpus, mem);
+        let mut naive = DmdaScheduler::dmdar().with_naive_ready();
+        let mut incremental = DmdaScheduler::dmdar();
+        assert_equivalent(&ts, &spec, "dmdar", &mut naive, &mut incremental);
+    }
+}

@@ -1,9 +1,75 @@
 //! Property-based tests (proptest) over random task sets: invariants of
 //! the model, the replay, the partitioner and the runtime engine.
 
-use memsched::platform::TraceEvent;
+use memsched::platform::{RuntimeView, Scheduler, TraceEvent};
 use memsched::prelude::*;
 use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One runtime notification observed by [`RecordingScheduler`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HookEvent {
+    LoadIssued { gpu: usize, data: usize },
+    Loaded { gpu: usize, data: usize },
+    Evicted { gpu: usize, data: usize },
+    Completed { gpu: usize, task: usize },
+}
+
+/// A minimal FIFO scheduler that records every runtime notification it
+/// receives together with the simulated time it observed, so the hook
+/// protocol itself can be checked against the engine's event log.
+#[derive(Default)]
+struct RecordingScheduler {
+    queue: VecDeque<TaskId>,
+    hooks: Vec<(u64, HookEvent)>,
+}
+
+impl Scheduler for RecordingScheduler {
+    fn name(&self) -> String {
+        "recording-mock".into()
+    }
+
+    fn prepare(&mut self, ts: &TaskSet, _spec: &PlatformSpec) {
+        self.queue = ts.tasks().collect();
+        self.hooks.clear();
+    }
+
+    fn pop_task(&mut self, _gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
+        self.queue.pop_front()
+    }
+
+    fn on_task_complete(&mut self, gpu: GpuId, task: TaskId, view: &RuntimeView<'_>) {
+        let ev = HookEvent::Completed {
+            gpu: gpu.index(),
+            task: task.index(),
+        };
+        self.hooks.push((view.now(), ev));
+    }
+
+    fn on_load_issued(&mut self, gpu: GpuId, data: DataId, view: &RuntimeView<'_>) {
+        let ev = HookEvent::LoadIssued {
+            gpu: gpu.index(),
+            data: data.index(),
+        };
+        self.hooks.push((view.now(), ev));
+    }
+
+    fn on_data_loaded(&mut self, gpu: GpuId, data: DataId, view: &RuntimeView<'_>) {
+        let ev = HookEvent::Loaded {
+            gpu: gpu.index(),
+            data: data.index(),
+        };
+        self.hooks.push((view.now(), ev));
+    }
+
+    fn on_data_evicted(&mut self, gpu: GpuId, data: DataId, view: &RuntimeView<'_>) {
+        let ev = HookEvent::Evicted {
+            gpu: gpu.index(),
+            data: data.index(),
+        };
+        self.hooks.push((view.now(), ev));
+    }
+}
 
 /// Strategy: a random task set with `n_data` data items of unit size and
 /// up to `m` tasks with 1–3 inputs each.
@@ -211,6 +277,60 @@ proptest! {
             let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
             prop_assert_eq!(total, ts.num_tasks());
         }
+    }
+
+    /// The runtime notifications are a faithful mirror of the engine's
+    /// event log: every load issue, load completion, eviction and task
+    /// completion fires the matching scheduler hook exactly once, at the
+    /// simulated time of the event, in the engine's (timestamp-ordered)
+    /// event order. Incremental policies (DARTS) rely on this protocol.
+    #[test]
+    fn scheduler_hooks_mirror_trace(
+        ts in arb_taskset(10, 20),
+        gpus in 1usize..4,
+        mem in 3u64..8,
+    ) {
+        let spec = PlatformSpec {
+            num_gpus: gpus,
+            memory_bytes: mem, // unit-size items: capacity in items
+            bus_bandwidth: 1e9,
+            transfer_latency: 10,
+            gpu_gflops: 1e-3,
+            pipeline_depth: 2,
+            gpu_gflops_override: None,
+            nvlink_bandwidth: None,
+        };
+        let config = RunConfig {
+            collect_trace: true,
+            ..RunConfig::default()
+        };
+        let mut sched = RecordingScheduler::default();
+        let (_report, trace) =
+            memsched::platform::run_with_config(&ts, &spec, &mut sched, &config).unwrap();
+        let expected: Vec<(u64, HookEvent)> = trace
+            .iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::LoadIssued { at, gpu, data, .. } => {
+                    Some((at, HookEvent::LoadIssued { gpu, data }))
+                }
+                TraceEvent::LoadDone { at, gpu, data } => {
+                    Some((at, HookEvent::Loaded { gpu, data }))
+                }
+                TraceEvent::Evicted { at, gpu, data } => {
+                    Some((at, HookEvent::Evicted { gpu, data }))
+                }
+                TraceEvent::TaskFinished { at, gpu, task } => {
+                    Some((at, HookEvent::Completed { gpu, task }))
+                }
+                TraceEvent::TaskStarted { .. } => None,
+            })
+            .collect();
+        prop_assert!(!expected.is_empty(), "run produced no events");
+        prop_assert!(
+            expected.windows(2).all(|w| w[0].0 <= w[1].0),
+            "event timestamps must be non-decreasing"
+        );
+        prop_assert_eq!(&sched.hooks, &expected);
     }
 
     /// DMDA allocation covers every task exactly once.
