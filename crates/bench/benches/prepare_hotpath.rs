@@ -1,0 +1,165 @@
+//! Offline prepare tier: the paper's quadratic mHFP packing and the
+//! full-rebuild multilevel partitioner vs their index-accelerated,
+//! decision-equivalent replacements, on the `scale` workload preset.
+//!
+//! For each workload the same prepare computation runs twice — once with
+//! the `naive` reference (the implementation whose scheduling time the
+//! paper reports in Figures 3/5, selectable at runtime via
+//! `PackConfig::with_naive` / `PartitionConfig::with_naive`) and once with
+//! the indexed fast path — and the outputs are asserted **byte-identical**
+//! (same package lists, same part vectors) before any timing is reported.
+//! Measurements land in `results/BENCH_prepare_hotpath.json`.
+//!
+//! Acceptance floor (checked here, not just in CI): the minimum mHFP
+//! packing speedup must be ≥ 5× on the full scale tier, ≥ 2× in quick
+//! mode (`--quick` / `MEMSCHED_BENCH_QUICK=1`, smaller task sets where
+//! the quadratic reference has less room to lose).
+
+use memsched_hypergraph::{partition, PartitionConfig};
+use memsched_platform::PlatformSpec;
+use memsched_schedulers::{hfp_pack_with, HmetisRScheduler, PackConfig};
+use memsched_workloads::scale_preset;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured prepare computation.
+#[derive(Serialize)]
+struct Entry {
+    workload: String,
+    stage: String,
+    tasks: usize,
+    /// Prepare wall time of the reference implementation, ns.
+    naive_ns: u64,
+    /// Prepare wall time of the indexed implementation, ns.
+    indexed_ns: u64,
+    /// naive / indexed.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    preset: String,
+    quick: bool,
+    reps: usize,
+    entries: Vec<Entry>,
+    /// Smallest mHFP packing speedup — the acceptance number (must stay
+    /// ≥ 5 on the full scale preset, ≥ 2 in quick mode).
+    min_mhfp_speedup: f64,
+    /// Smallest partitioner speedup (informational; the FM work saved
+    /// per pass is workload-dependent).
+    min_partition_speedup: f64,
+}
+
+/// Time `f` `reps` times, keeping the fastest wall time and the (checked
+/// identical) output of the first run.
+fn measure<T: PartialEq + std::fmt::Debug>(reps: usize, mut f: impl FnMut() -> T) -> (T, u64) {
+    let mut best_ns = u64::MAX;
+    let mut out: Option<T> = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let r = f();
+        best_ns = best_ns.min(started.elapsed().as_nanos() as u64);
+        if let Some(prev) = &out {
+            assert_eq!(prev, &r, "nondeterministic rep");
+        } else {
+            out = Some(r);
+        }
+    }
+    (out.expect("reps >= 1"), best_ns)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("MEMSCHED_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 1 } else { 3 };
+    let floor = if quick { 2.0 } else { 5.0 };
+
+    let mut entries = Vec::new();
+    let mut min_mhfp_speedup = f64::INFINITY;
+    let mut min_partition_speedup = f64::INFINITY;
+    for workload in scale_preset(quick) {
+        let ts = workload.generate();
+        // Same platform shape as the runtime hot-path tier: 2 GPUs, a
+        // quarter of the working set each, so phase 1 has a real memory
+        // bound to respect.
+        let spec = PlatformSpec::v100(2).with_memory(ts.working_set_bytes() / 4);
+
+        // mHFP packing: the whole of HfpScheduler::prepare.
+        let cfg = PackConfig::new(spec.memory_bytes, spec.num_gpus);
+        let (naive_lists, naive_ns) =
+            measure(reps, || hfp_pack_with(&ts, &cfg.clone().with_naive()));
+        let (fast_lists, indexed_ns) = measure(reps, || hfp_pack_with(&ts, &cfg));
+        assert_eq!(naive_lists, fast_lists, "mHFP package lists diverge");
+        let speedup = naive_ns as f64 / indexed_ns.max(1) as f64;
+        min_mhfp_speedup = min_mhfp_speedup.min(speedup);
+        println!(
+            "{:<22} {:<16} {:>12} ns -> {:>10} ns  ({:.1}x)",
+            workload.label(),
+            "mHFP pack",
+            naive_ns,
+            indexed_ns,
+            speedup
+        );
+        entries.push(Entry {
+            workload: workload.label(),
+            stage: "mHFP pack".into(),
+            tasks: ts.num_tasks(),
+            naive_ns,
+            indexed_ns,
+            speedup,
+        });
+
+        // Multilevel partitioner: the hMETIS+R prepare. Fewer restarts
+        // than the paper's 20 keep the reference affordable at this size;
+        // both sides run the same count so the comparison is fair.
+        let hg = HmetisRScheduler::build_hypergraph(&ts);
+        let pcfg = PartitionConfig::for_parts(spec.num_gpus)
+            .with_nruns(if quick { 2 } else { 4 })
+            .with_threads(1);
+        let (naive_parts, naive_ns) = {
+            let cfg = pcfg.clone().with_naive();
+            measure(reps, || partition(&hg, &cfg).parts)
+        };
+        let (fast_parts, indexed_ns) = measure(reps, || partition(&hg, &pcfg).parts);
+        assert_eq!(naive_parts, fast_parts, "partition vectors diverge");
+        let speedup = naive_ns as f64 / indexed_ns.max(1) as f64;
+        min_partition_speedup = min_partition_speedup.min(speedup);
+        println!(
+            "{:<22} {:<16} {:>12} ns -> {:>10} ns  ({:.1}x)",
+            workload.label(),
+            "partition",
+            naive_ns,
+            indexed_ns,
+            speedup
+        );
+        entries.push(Entry {
+            workload: workload.label(),
+            stage: "partition".into(),
+            tasks: ts.num_tasks(),
+            naive_ns,
+            indexed_ns,
+            speedup,
+        });
+    }
+
+    assert!(
+        min_mhfp_speedup >= floor,
+        "mHFP prepare speedup {min_mhfp_speedup:.1}x below the {floor}x floor"
+    );
+
+    let output = Output {
+        preset: "scale".into(),
+        quick,
+        reps,
+        entries,
+        min_mhfp_speedup,
+        min_partition_speedup,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_prepare_hotpath.json"
+    );
+    let json = serde_json::to_string_pretty(&output).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write bench json");
+    println!("min mHFP prepare speedup: {min_mhfp_speedup:.1}x -> {path}");
+}

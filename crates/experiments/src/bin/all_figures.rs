@@ -1,11 +1,11 @@
 //! Regenerates every figure in sequence.
-//! Usage: `all_figures [--quick] [--jobs N]`.
+//! Usage: `all_figures [--quick] [--paper-timing] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
     for fig in figures::all_figures() {
-        let fig = if args.quick { figures::quick(fig) } else { fig };
+        let fig = args.apply(fig);
         fig.run_and_print_with_jobs(None, args.jobs);
         println!();
     }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 03 of the paper.
-//! Usage: `fig03 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig03 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig03()) } else { figures::fig03() };
+    let fig = args.apply(figures::fig03());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 04 of the paper.
-//! Usage: `fig04 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig04 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig04()) } else { figures::fig04() };
+    let fig = args.apply(figures::fig04());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

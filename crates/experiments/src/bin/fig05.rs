@@ -1,9 +1,9 @@
 //! Regenerates Figure 05 of the paper.
-//! Usage: `fig05 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig05 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig05()) } else { figures::fig05() };
+    let fig = args.apply(figures::fig05());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

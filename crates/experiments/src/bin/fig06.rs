@@ -1,9 +1,9 @@
 //! Regenerates Figure 06 of the paper.
-//! Usage: `fig06 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig06 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig06()) } else { figures::fig06() };
+    let fig = args.apply(figures::fig06());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 07 of the paper.
-//! Usage: `fig07 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig07 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig07()) } else { figures::fig07() };
+    let fig = args.apply(figures::fig07());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

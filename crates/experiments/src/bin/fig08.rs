@@ -1,9 +1,9 @@
 //! Regenerates Figure 08 of the paper.
-//! Usage: `fig08 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig08 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig08()) } else { figures::fig08() };
+    let fig = args.apply(figures::fig08());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 09 of the paper.
-//! Usage: `fig09 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig09 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig09()) } else { figures::fig09() };
+    let fig = args.apply(figures::fig09());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

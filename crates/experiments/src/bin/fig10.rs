@@ -1,9 +1,9 @@
 //! Regenerates Figure 10 of the paper.
-//! Usage: `fig10 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig10 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig10()) } else { figures::fig10() };
+    let fig = args.apply(figures::fig10());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 11 of the paper.
-//! Usage: `fig11 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig11 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig11()) } else { figures::fig11() };
+    let fig = args.apply(figures::fig11());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

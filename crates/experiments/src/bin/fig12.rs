@@ -1,9 +1,9 @@
 //! Regenerates Figure 12 of the paper.
-//! Usage: `fig12 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig12 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig12()) } else { figures::fig12() };
+    let fig = args.apply(figures::fig12());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

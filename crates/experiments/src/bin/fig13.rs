@@ -1,9 +1,9 @@
 //! Regenerates Figure 13 of the paper.
-//! Usage: `fig13 [--quick] [--json PATH] [--jobs N]`.
+//! Usage: `fig13 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
-    let fig = if args.quick { figures::quick(figures::fig13()) } else { figures::fig13() };
+    let fig = args.apply(figures::fig13());
     fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
 }

@@ -1,10 +1,15 @@
 //! Shared argument parsing for the figure binaries.
 //!
 //! Every `fig*` binary (and `all_figures`) accepts the same flags:
-//! `--quick` (trim the sweep to a few points), `--json PATH` (also write
-//! the rows as JSON) and `--jobs N` (worker count for the sweep pool;
-//! falls back to `MEMSCHED_JOBS`, then to the machine's parallelism).
+//! `--quick` (trim the sweep to a few points), `--paper-timing` (run the
+//! paper's original quadratic mHFP packing so prepare wall time matches
+//! the published scheduling-time behaviour; simulated decisions are
+//! unchanged), `--json PATH` (also write the rows as JSON) and `--jobs N`
+//! (worker count for the sweep pool; falls back to `MEMSCHED_JOBS`, then
+//! to the machine's parallelism).
 
+use crate::figures;
+use crate::harness::FigureSpec;
 use crate::pool;
 
 /// Parsed command-line options common to all figure binaries.
@@ -12,10 +17,26 @@ use crate::pool;
 pub struct FigArgs {
     /// `--quick`: keep only a few sweep points.
     pub quick: bool,
+    /// `--paper-timing`: mHFP entries use the original quadratic packing.
+    pub paper_timing: bool,
     /// `--json PATH`: also write rows as JSON to this path.
     pub json: Option<String>,
     /// Resolved worker count (`--jobs` > `MEMSCHED_JOBS` > parallelism).
     pub jobs: usize,
+}
+
+impl FigArgs {
+    /// Apply the spec-shaping flags to `fig`: trim the sweep under
+    /// `--quick`, swap mHFP to the paper-timing variant under
+    /// `--paper-timing`.
+    pub fn apply(&self, fig: FigureSpec) -> FigureSpec {
+        let fig = if self.quick { figures::quick(fig) } else { fig };
+        if self.paper_timing {
+            figures::paper_timing(fig)
+        } else {
+            fig
+        }
+    }
 }
 
 /// Parse the process's arguments.
@@ -27,6 +48,7 @@ pub fn parse() -> FigArgs {
 pub fn parse_from(args: impl Iterator<Item = String>) -> FigArgs {
     let args: Vec<String> = args.collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let paper_timing = args.iter().any(|a| a == "--paper-timing");
     let json = args
         .iter()
         .position(|a| a == "--json")
@@ -44,6 +66,7 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> FigArgs {
         });
     FigArgs {
         quick,
+        paper_timing,
         json,
         jobs: pool::resolve_jobs(jobs_arg),
     }
@@ -63,16 +86,42 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let a = parse_from(argv(&["--quick", "--json", "out.json", "--jobs", "3"]));
+        let a = parse_from(argv(&[
+            "--quick",
+            "--paper-timing",
+            "--json",
+            "out.json",
+            "--jobs",
+            "3",
+        ]));
         assert!(a.quick);
+        assert!(a.paper_timing);
         assert_eq!(a.json.as_deref(), Some("out.json"));
         assert_eq!(a.jobs, 3);
+    }
+
+    #[test]
+    fn apply_shapes_the_spec() {
+        use memsched_schedulers::NamedScheduler;
+        let args = parse_from(argv(&["--quick", "--paper-timing"]));
+        let fig = args.apply(crate::figures::fig03());
+        assert!(fig.points.len() <= 4, "--quick must trim the sweep");
+        for p in &fig.points {
+            assert!(
+                !p.schedulers.contains(&NamedScheduler::Mhfp),
+                "--paper-timing must swap every mHFP entry"
+            );
+        }
+        let plain = parse_from(argv(&[]));
+        let fig = plain.apply(crate::figures::fig03());
+        assert_eq!(fig.points.len(), crate::figures::fig03().points.len());
     }
 
     #[test]
     fn parses_equals_form_and_defaults() {
         let a = parse_from(argv(&["--jobs=2"]));
         assert!(!a.quick);
+        assert!(!a.paper_timing);
         assert_eq!(a.json, None);
         assert_eq!(a.jobs, 2);
 

@@ -305,6 +305,23 @@ pub fn quick(fig: FigureSpec) -> FigureSpec {
     }
 }
 
+/// `fig` with every mHFP entry running the paper's original quadratic
+/// packing in `prepare` (`--paper-timing`): the produced queues, and
+/// therefore every simulated decision and transfer count, are identical —
+/// only the measured scheduling time reverts to the published behaviour,
+/// which matters for the figures that charge prepare wall time to the
+/// makespan (Figure 6).
+pub fn paper_timing(mut fig: FigureSpec) -> FigureSpec {
+    for p in &mut fig.points {
+        for s in &mut p.schedulers {
+            if *s == S::Mhfp {
+                *s = S::MhfpPaperTiming;
+            }
+        }
+    }
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +366,30 @@ mod tests {
         let q = quick(fig05());
         assert!(q.points.len() <= 4);
         assert_eq!(q.id, "fig05");
+    }
+
+    #[test]
+    fn paper_timing_swaps_every_mhfp_entry() {
+        let fig = paper_timing(fig03());
+        let swapped: usize = fig
+            .points
+            .iter()
+            .flat_map(|p| &p.schedulers)
+            .filter(|s| **s == NamedScheduler::MhfpPaperTiming)
+            .count();
+        assert!(swapped > 0, "fig03 must carry mHFP points");
+        for p in &fig.points {
+            assert!(
+                !p.schedulers.contains(&NamedScheduler::Mhfp),
+                "plain mHFP left behind"
+            );
+        }
+        // Figures without mHFP pass through unchanged.
+        let untouched = paper_timing(fig09());
+        assert_eq!(untouched.points.len(), fig09().points.len());
+        for p in &untouched.points {
+            assert!(!p.schedulers.contains(&NamedScheduler::MhfpPaperTiming));
+        }
     }
 
     #[test]

@@ -31,4 +31,6 @@ mod partition;
 pub use clique::{clique_expand, partition_clique, MAX_CLIQUE_NET};
 pub use hg::{evaluate, Hypergraph, PartitionQuality};
 pub use multilevel::bisect;
+#[cfg(feature = "naive")]
+pub use multilevel::bisect_naive;
 pub use partition::{partition, PartitionConfig, Partitioning};

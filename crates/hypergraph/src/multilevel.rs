@@ -5,11 +5,32 @@
 //! pairs of vertices that share many nets until the hypergraph is small,
 //! bisect the small hypergraph, then project the bisection back level by
 //! level, running FM at each level to repair the cut.
+//!
+//! The default [`bisect`] is index-accelerated but **decision-equivalent**
+//! to the original implementation (kept compilable behind the `naive`
+//! feature as [`bisect_naive`], proved by the partition differential
+//! proptests in the workspace root):
+//!
+//! * FM persists `side_pins` / part weights across passes and rolls the
+//!   rejected move tail back by counter deltas instead of rebuilding both
+//!   from scratch every pass; exact per-vertex gains are maintained with
+//!   the standard FM boundary-case delta rules (only nets whose side
+//!   counts cross 0/1/2 touch their pins), so each pass starts its heap
+//!   from stored gains and the pop loop re-pushes an entry only when the
+//!   vertex's gain actually changed — value-identical to the naive
+//!   unconditional pushes, whose extra entries are duplicates of live
+//!   ones and therefore indistinguishable to the heap;
+//! * `coarsen_once` reuses the order/score/touched scratch across levels
+//!   and the level stack no longer clones each coarse hypergraph;
+//! * `greedy_initial` filters a persistent candidate pool in place
+//!   (`retain` keeps the same ascending order and length as the rebuilt
+//!   vector, so every RNG draw is identical).
 
 use crate::hg::Hypergraph;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
+use std::collections::BinaryHeap;
 
 /// Stop coarsening below this many vertices.
 const COARSEN_TARGET: usize = 160;
@@ -32,57 +53,47 @@ struct Level {
 /// and its connectivity−1 cost.
 pub fn bisect(hg: &Hypergraph, w0: u64, w1: u64, eps: f64, seed: u64) -> (Vec<u32>, u64) {
     let mut rng = StdRng::seed_from_u64(seed);
-    // Coarsen.
+    // Coarsen. The current hypergraph is borrowed from the level stack
+    // (or is `hg` itself) instead of cloned, and the matching scratch is
+    // allocated once for the finest level and reused all the way down.
     let mut levels: Vec<Level> = Vec::new();
-    let mut current = hg.clone();
-    while current.num_vertices() > COARSEN_TARGET {
-        let (coarse, map) = coarsen_once(&current, &mut rng);
+    let mut scratch = CoarsenScratch::default();
+    loop {
+        let current = levels.last().map_or(hg, |l| &l.coarse);
+        if current.num_vertices() <= COARSEN_TARGET {
+            break;
+        }
+        let (coarse, map) = coarsen_once(current, &mut rng, &mut scratch);
         let shrink = coarse.num_vertices() as f64 / current.num_vertices() as f64;
-        let stop = shrink > MIN_SHRINK;
-        levels.push(Level {
-            coarse: coarse.clone(),
-            map,
-        });
-        current = coarse;
-        if stop {
+        levels.push(Level { coarse, map });
+        if shrink > MIN_SHRINK {
             break;
         }
     }
 
     // Initial partition on the coarsest level.
+    let current = levels.last().map_or(hg, |l| &l.coarse);
     let total = current.total_vweight();
     let max0 = target_cap(w0, total, eps);
     let max1 = target_cap(w1, total, eps);
-    let mut parts = greedy_initial(&current, w0, w1, &mut rng);
-    fm_refine(&current, &mut parts, max0, max1, MAX_FM_PASSES);
+    let mut parts = greedy_initial(current, w0, w1, &mut rng);
+    fm_refine(current, &mut parts, max0, max1, MAX_FM_PASSES);
 
     // Uncoarsen with refinement.
-    for level in levels.iter().rev() {
+    for idx in (0..levels.len()).rev() {
+        let level = &levels[idx];
         let fine_n = level.map.len();
         let mut fine_parts = vec![0u32; fine_n];
         for (v, &c) in level.map.iter().enumerate() {
             fine_parts[v] = parts[c as usize];
         }
         parts = fine_parts;
-        let fine_hg = parent_of(&levels, level, hg);
+        let fine_hg = if idx == 0 { hg } else { &levels[idx - 1].coarse };
         fm_refine(fine_hg, &mut parts, max0, max1, MAX_FM_PASSES);
     }
 
     let cost = bisection_cost(hg, &parts);
     (parts, cost)
-}
-
-/// The hypergraph one level finer than `level`.
-fn parent_of<'a>(levels: &'a [Level], level: &Level, original: &'a Hypergraph) -> &'a Hypergraph {
-    let idx = levels
-        .iter()
-        .position(|l| std::ptr::eq(l, level))
-        .expect("level belongs to the stack");
-    if idx == 0 {
-        original
-    } else {
-        &levels[idx - 1].coarse
-    }
 }
 
 fn target_cap(target: u64, total: u64, eps: f64) -> u64 {
@@ -102,19 +113,38 @@ fn bisection_cost(hg: &Hypergraph, parts: &[u32]) -> u64 {
     cost
 }
 
+/// Matching scratch reused across coarsening levels (the finest level is
+/// the largest, so later levels never reallocate).
+#[derive(Default)]
+struct CoarsenScratch {
+    order: Vec<u32>,
+    score: Vec<u64>,
+    touched: Vec<u32>,
+}
+
 /// One level of heavy-connectivity matching.
-fn coarsen_once(hg: &Hypergraph, rng: &mut StdRng) -> (Hypergraph, Vec<u32>) {
+fn coarsen_once(
+    hg: &Hypergraph,
+    rng: &mut StdRng,
+    scratch: &mut CoarsenScratch,
+) -> (Hypergraph, Vec<u32>) {
     let n = hg.num_vertices();
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..n as u32);
     order.shuffle(rng);
 
     let mut matched = vec![u32::MAX; n]; // coarse id per fine vertex
     let mut next_coarse = 0u32;
-    // Scratch for neighbor scores.
-    let mut score = vec![0u64; n];
-    let mut touched: Vec<u32> = Vec::new();
+    // Scratch for neighbor scores; `score` is all-zero between vertices
+    // (reset via `touched`), so growing it keeps the invariant.
+    let score = &mut scratch.score;
+    if score.len() < n {
+        score.resize(n, 0);
+    }
+    let touched = &mut scratch.touched;
 
-    for &v in &order {
+    for &v in order.iter() {
         if matched[v as usize] != u32::MAX {
             continue;
         }
@@ -148,7 +178,7 @@ fn coarsen_once(hg: &Hypergraph, rng: &mut StdRng) -> (Hypergraph, Vec<u32>) {
         if let Some(u) = best {
             matched[u as usize] = cid;
         }
-        for &u in &touched {
+        for &u in touched.iter() {
             score[u as usize] = 0;
         }
     }
@@ -175,7 +205,294 @@ fn coarsen_once(hg: &Hypergraph, rng: &mut StdRng) -> (Hypergraph, Vec<u32>) {
 
 /// Randomized greedy growth: grow part 0 from a random seed along nets
 /// until it reaches `w0 / (w0 + w1)` of the total weight.
+///
+/// The seed pool is a persistent vector filtered in place: `retain` keeps
+/// the surviving candidates in the same ascending order (and count) as the
+/// naive per-draw rebuild, so the RNG sees identical ranges and the drawn
+/// vertex is identical.
 fn greedy_initial(hg: &Hypergraph, w0: u64, w1: u64, rng: &mut StdRng) -> Vec<u32> {
+    let n = hg.num_vertices();
+    let total = hg.total_vweight();
+    let target0 = (total as u128 * w0 as u128 / (w0 + w1).max(1) as u128) as u64;
+    let mut parts = vec![1u32; n];
+    let mut weight0 = 0u64;
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut in_part0 = vec![false; n];
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+
+    while weight0 < target0 {
+        let v = match frontier.pop() {
+            Some(v) if !in_part0[v as usize] => v,
+            Some(_) => continue,
+            None => {
+                // New random seed among remaining vertices.
+                pool.retain(|&v| !in_part0[v as usize]);
+                if pool.is_empty() {
+                    break;
+                }
+                pool[rng.random_range(0..pool.len())]
+            }
+        };
+        in_part0[v as usize] = true;
+        parts[v as usize] = 0;
+        weight0 += hg.vweight(v as usize);
+        for &net in hg.nets_of(v as usize) {
+            let pins = hg.pins(net as usize);
+            if pins.len() > MAX_MATCH_NET {
+                continue;
+            }
+            for &u in pins {
+                if !in_part0[u as usize] {
+                    frontier.push(u);
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// Exact FM gain of moving `v` to the other side.
+fn gain_of(hg: &Hypergraph, v: usize, parts: &[u32], side_pins: &[[u32; 2]]) -> i64 {
+    let s = parts[v] as usize;
+    let mut gain = 0i64;
+    for &net in hg.nets_of(v) {
+        let sp = &side_pins[net as usize];
+        let w = hg.nweight(net as usize) as i64;
+        if sp[s] == 1 {
+            gain += w; // net leaves the cut
+        }
+        if sp[1 - s] == 0 {
+            gain -= w; // net enters the cut
+        }
+    }
+    gain
+}
+
+/// Fiduccia–Mattheyses refinement of a bisection under per-part caps.
+///
+/// `side_pins`, part weights and per-vertex gains are built once and then
+/// maintained by deltas — through accepted moves and through the rollback
+/// of each pass's rejected tail — so later passes skip the full rebuild.
+/// Gains change only when a net's side count crosses 0/1/2 (the classic FM
+/// boundary cases), which bounds the update work per move by the pins of
+/// its boundary nets; `v`'s own gain simply flips sign. The gain heap is
+/// still rebuilt per pass (every vertex unlocks), but during the pop loop
+/// an entry is pushed only when the vertex's gain differs from the value
+/// it is currently queued under (`cached`): the naive code pushes
+/// unconditionally, but its extra entries equal live queued tuples, and
+/// equal tuples are indistinguishable to a binary heap — so the accepted
+/// move sequence is identical (see `tests/differential_naive.rs`).
+fn fm_refine(hg: &Hypergraph, parts: &mut [u32], max0: u64, max1: u64, passes: usize) {
+    let n = hg.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let caps = [max0, max1];
+
+    let mut side_pins = vec![[0u32; 2]; hg.num_nets()];
+    for v in 0..n {
+        for &net in hg.nets_of(v) {
+            side_pins[net as usize][parts[v] as usize] += 1;
+        }
+    }
+    let mut weights = [0u64, 0];
+    for v in 0..n {
+        weights[parts[v] as usize] += hg.vweight(v);
+    }
+    // Exact gain per vertex, maintained for the rest of the call (locked
+    // vertices included — their stored gain seeds the next pass's heap).
+    let mut gain: Vec<i64> = (0..n).map(|v| gain_of(hg, v, parts, &side_pins)).collect();
+    // Gain value each vertex is currently queued under in the heap.
+    let mut cached: Vec<i64> = vec![0; n];
+    let mut locked = vec![false; n];
+    let mut moves: Vec<u32> = Vec::with_capacity(n);
+    let mut heap_vec: Vec<(i64, u32)> = Vec::with_capacity(n);
+
+    for _ in 0..passes {
+        heap_vec.clear();
+        for v in 0..n {
+            cached[v] = gain[v];
+            heap_vec.push((gain[v], v as u32));
+        }
+        let mut heap = BinaryHeap::from(std::mem::take(&mut heap_vec));
+        locked.fill(false);
+        moves.clear();
+        let mut best_prefix = 0usize;
+        let mut cur_delta = 0i64;
+        let mut best_delta = 0i64;
+
+        while let Some((g, v)) = heap.pop() {
+            let vu = v as usize;
+            if locked[vu] {
+                continue;
+            }
+            if g != cached[vu] {
+                continue; // stale duplicate; the live entry is still queued
+            }
+            let real = gain[vu];
+            if real != g {
+                // Drifted since it was queued (a net > MAX_MATCH_NET moved,
+                // which never triggers re-pushes); requeue at the true gain
+                // exactly like the naive lazy reinsert.
+                cached[vu] = real;
+                heap.push((real, v));
+                continue;
+            }
+            let s = parts[vu] as usize;
+            let t = 1 - s;
+            if weights[t] + hg.vweight(vu) > caps[t] {
+                // Cannot move without breaking balance; lock in place.
+                locked[vu] = true;
+                continue;
+            }
+            // Apply the move. Moving flips every leave-term of v's gain
+            // into the mirrored enter-term, so the gain negates.
+            locked[vu] = true;
+            parts[vu] = t as u32;
+            weights[s] -= hg.vweight(vu);
+            weights[t] += hg.vweight(vu);
+            gain[vu] = -gain[vu];
+            for &net in hg.nets_of(vu) {
+                let ni = net as usize;
+                let f = side_pins[ni][s];
+                let tc = side_pins[ni][t];
+                let pins = hg.pins(ni);
+                // Boundary-case delta rules: pin gains change only when
+                // the source count drops to 1 or the destination count
+                // leaves {0, 1}.
+                if f <= 2 || tc <= 1 {
+                    let w = hg.nweight(ni) as i64;
+                    for &u in pins {
+                        let uu = u as usize;
+                        if uu == vu {
+                            continue;
+                        }
+                        if parts[uu] as usize == s {
+                            gain[uu] += w * ((f == 2) as i64 + (tc == 0) as i64);
+                        } else {
+                            gain[uu] -= w * ((tc == 1) as i64 + (f == 1) as i64);
+                        }
+                    }
+                }
+                side_pins[ni][s] = f - 1;
+                side_pins[ni][t] = tc + 1;
+                // Neighbors requeue at their updated gains, net by net —
+                // the same program points (and therefore the same values)
+                // as the naive per-net pushes.
+                if pins.len() <= MAX_MATCH_NET {
+                    for &u in pins {
+                        let uu = u as usize;
+                        if !locked[uu] && gain[uu] != cached[uu] {
+                            cached[uu] = gain[uu];
+                            heap.push((gain[uu], u));
+                        }
+                    }
+                }
+            }
+            cur_delta += real;
+            moves.push(v);
+            if cur_delta > best_delta {
+                best_delta = cur_delta;
+                best_prefix = moves.len();
+            }
+        }
+
+        // Roll back the tail beyond the best prefix by deltas, keeping
+        // side_pins / weights / gains exact for the next pass.
+        for &v in &moves[best_prefix..] {
+            let vu = v as usize;
+            let s = parts[vu] as usize;
+            let t = 1 - s;
+            parts[vu] = t as u32;
+            weights[s] -= hg.vweight(vu);
+            weights[t] += hg.vweight(vu);
+            gain[vu] = -gain[vu];
+            for &net in hg.nets_of(vu) {
+                let ni = net as usize;
+                let f = side_pins[ni][s];
+                let tc = side_pins[ni][t];
+                if f <= 2 || tc <= 1 {
+                    let w = hg.nweight(ni) as i64;
+                    for &u in hg.pins(ni) {
+                        let uu = u as usize;
+                        if uu == vu {
+                            continue;
+                        }
+                        if parts[uu] as usize == s {
+                            gain[uu] += w * ((f == 2) as i64 + (tc == 0) as i64);
+                        } else {
+                            gain[uu] -= w * ((tc == 1) as i64 + (f == 1) as i64);
+                        }
+                    }
+                }
+                side_pins[ni][s] = f - 1;
+                side_pins[ni][t] = tc + 1;
+            }
+        }
+        heap_vec = heap.into_vec();
+        if best_delta <= 0 {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference (the original implementation, feature-gated)
+// ---------------------------------------------------------------------------
+
+/// The original [`bisect`]: per-pass rebuilds in FM, per-draw candidate
+/// rebuilds in the greedy start, cloned level stack. Kept as the
+/// decision-equivalence reference for the differential proptests and for
+/// `--paper-timing` style comparisons.
+#[cfg(feature = "naive")]
+pub fn bisect_naive(hg: &Hypergraph, w0: u64, w1: u64, eps: f64, seed: u64) -> (Vec<u32>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Coarsen.
+    let mut levels: Vec<Level> = Vec::new();
+    let mut current = hg.clone();
+    while current.num_vertices() > COARSEN_TARGET {
+        let mut scratch = CoarsenScratch::default();
+        let (coarse, map) = coarsen_once(&current, &mut rng, &mut scratch);
+        let shrink = coarse.num_vertices() as f64 / current.num_vertices() as f64;
+        let stop = shrink > MIN_SHRINK;
+        levels.push(Level {
+            coarse: coarse.clone(),
+            map,
+        });
+        current = coarse;
+        if stop {
+            break;
+        }
+    }
+
+    // Initial partition on the coarsest level.
+    let total = current.total_vweight();
+    let max0 = target_cap(w0, total, eps);
+    let max1 = target_cap(w1, total, eps);
+    let mut parts = greedy_initial_naive(&current, w0, w1, &mut rng);
+    fm_refine_naive(&current, &mut parts, max0, max1, MAX_FM_PASSES);
+
+    // Uncoarsen with refinement.
+    for idx in (0..levels.len()).rev() {
+        let level = &levels[idx];
+        let fine_n = level.map.len();
+        let mut fine_parts = vec![0u32; fine_n];
+        for (v, &c) in level.map.iter().enumerate() {
+            fine_parts[v] = parts[c as usize];
+        }
+        parts = fine_parts;
+        let fine_hg = if idx == 0 { hg } else { &levels[idx - 1].coarse };
+        fm_refine_naive(fine_hg, &mut parts, max0, max1, MAX_FM_PASSES);
+    }
+
+    let cost = bisection_cost(hg, &parts);
+    (parts, cost)
+}
+
+/// Original greedy growth: rebuilds the candidate vector of unassigned
+/// vertices on every empty-frontier draw.
+#[cfg(feature = "naive")]
+fn greedy_initial_naive(hg: &Hypergraph, w0: u64, w1: u64, rng: &mut StdRng) -> Vec<u32> {
     let n = hg.num_vertices();
     let total = hg.total_vweight();
     let target0 = (total as u128 * w0 as u128 / (w0 + w1).max(1) as u128) as u64;
@@ -190,7 +507,8 @@ fn greedy_initial(hg: &Hypergraph, w0: u64, w1: u64, rng: &mut StdRng) -> Vec<u3
             Some(_) => continue,
             None => {
                 // New random seed among remaining vertices.
-                let candidates: Vec<u32> = (0..n as u32).filter(|&v| !in_part0[v as usize]).collect();
+                let candidates: Vec<u32> =
+                    (0..n as u32).filter(|&v| !in_part0[v as usize]).collect();
                 if candidates.is_empty() {
                     break;
                 }
@@ -215,8 +533,10 @@ fn greedy_initial(hg: &Hypergraph, w0: u64, w1: u64, rng: &mut StdRng) -> Vec<u3
     parts
 }
 
-/// Fiduccia–Mattheyses refinement of a bisection under per-part caps.
-fn fm_refine(hg: &Hypergraph, parts: &mut [u32], max0: u64, max1: u64, passes: usize) {
+/// Original FM: rebuilds `side_pins`, weights and the full gain heap from
+/// scratch every pass and recomputes every pushed gain pairwise.
+#[cfg(feature = "naive")]
+fn fm_refine_naive(hg: &Hypergraph, parts: &mut [u32], max0: u64, max1: u64, passes: usize) {
     let n = hg.num_vertices();
     let caps = [max0, max1];
     for _ in 0..passes {
@@ -232,25 +552,9 @@ fn fm_refine(hg: &Hypergraph, parts: &mut [u32], max0: u64, max1: u64, passes: u
             weights[parts[v] as usize] += hg.vweight(v);
         }
 
-        let gain_of = |v: usize, parts: &[u32], side_pins: &[[u32; 2]]| -> i64 {
-            let s = parts[v] as usize;
-            let mut gain = 0i64;
-            for &net in hg.nets_of(v) {
-                let sp = &side_pins[net as usize];
-                let w = hg.nweight(net as usize) as i64;
-                if sp[s] == 1 {
-                    gain += w; // net leaves the cut
-                }
-                if sp[1 - s] == 0 {
-                    gain -= w; // net enters the cut
-                }
-            }
-            gain
-        };
-
         // Lazy max-heap of (gain, vertex).
-        let mut heap: std::collections::BinaryHeap<(i64, u32)> = (0..n)
-            .map(|v| (gain_of(v, parts, &side_pins), v as u32))
+        let mut heap: BinaryHeap<(i64, u32)> = (0..n)
+            .map(|v| (gain_of(hg, v, parts, &side_pins), v as u32))
             .collect();
         let mut locked = vec![false; n];
         let mut moves: Vec<u32> = Vec::new();
@@ -263,7 +567,7 @@ fn fm_refine(hg: &Hypergraph, parts: &mut [u32], max0: u64, max1: u64, passes: u
             if locked[vu] {
                 continue;
             }
-            let real = gain_of(vu, parts, &side_pins);
+            let real = gain_of(hg, vu, parts, &side_pins);
             if real != g {
                 heap.push((real, v)); // stale entry, reinsert
                 continue;
@@ -288,7 +592,7 @@ fn fm_refine(hg: &Hypergraph, parts: &mut [u32], max0: u64, max1: u64, passes: u
                 if pins.len() <= MAX_MATCH_NET {
                     for &u in pins {
                         if !locked[u as usize] {
-                            heap.push((gain_of(u as usize, parts, &side_pins), u));
+                            heap.push((gain_of(hg, u as usize, parts, &side_pins), u));
                         }
                     }
                 }
@@ -355,7 +659,8 @@ mod tests {
     fn coarsening_shrinks_and_projects() {
         let hg = grid(12);
         let mut rng = StdRng::seed_from_u64(1);
-        let (coarse, map) = coarsen_once(&hg, &mut rng);
+        let mut scratch = CoarsenScratch::default();
+        let (coarse, map) = coarsen_once(&hg, &mut rng, &mut scratch);
         assert!(coarse.num_vertices() < hg.num_vertices());
         assert!(coarse.num_vertices() >= hg.num_vertices() / 2);
         assert_eq!(map.len(), hg.num_vertices());
@@ -380,5 +685,33 @@ mod tests {
         let (p2, c2) = bisect(&hg, 18, 18, 0.01, 5);
         assert_eq!(p1, p2);
         assert_eq!(c1, c2);
+    }
+
+    /// FM's delta-maintained gains must agree with a from-scratch
+    /// `gain_of` after a bisection completes (exercised indirectly by
+    /// `bisect`; this asserts the public outcome on several seeds).
+    #[test]
+    fn fm_maintains_exact_state_across_many_seeds() {
+        let hg = grid(10);
+        for seed in 0..8 {
+            let (parts, cost) = bisect(&hg, 50, 50, 0.02, seed);
+            assert_eq!(cost, bisection_cost(&hg, &parts), "seed {seed}");
+            let q = evaluate(&hg, &parts, 2);
+            assert_eq!(q.max_part_weight + q.min_part_weight, 100);
+        }
+    }
+
+    #[cfg(feature = "naive")]
+    #[test]
+    fn fast_bisect_matches_naive_on_grids() {
+        // 14×14 and 16×16 exceed COARSEN_TARGET, so the clone-free level
+        // stack and the reused matching scratch are exercised too.
+        for (n, seed) in [(6usize, 0u64), (8, 3), (10, 7), (12, 11), (14, 2), (16, 5)] {
+            let hg = grid(n);
+            let w = (n * n / 2) as u64;
+            let fast = bisect(&hg, w, w, 0.02, seed);
+            let naive = bisect_naive(&hg, w, w, 0.02, seed);
+            assert_eq!(fast, naive, "n={n} seed={seed}");
+        }
     }
 }

@@ -21,6 +21,10 @@ pub struct PartitionConfig {
     pub seed: u64,
     /// Worker threads for the restarts (1 = sequential).
     pub threads: usize,
+    /// Use the original full-rebuild bisection. Decision-equivalent to the
+    /// default indexed one; only the wall time differs.
+    #[cfg(feature = "naive")]
+    naive: bool,
 }
 
 impl Default for PartitionConfig {
@@ -33,6 +37,8 @@ impl Default for PartitionConfig {
             threads: std::thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(1),
+            #[cfg(feature = "naive")]
+            naive: false,
         }
     }
 }
@@ -65,6 +71,14 @@ impl PartitionConfig {
         self.threads = threads;
         self
     }
+
+    /// Builder: select the original full-rebuild bisection (the reference
+    /// implementation the fast path is proven equivalent to).
+    #[cfg(feature = "naive")]
+    pub fn with_naive(mut self) -> Self {
+        self.naive = true;
+        self
+    }
 }
 
 /// Result of [`partition`].
@@ -93,9 +107,16 @@ pub fn partition(hg: &Hypergraph, config: &PartitionConfig) -> Partitioning {
         return Partitioning { parts, quality };
     }
 
+    let bisect_fn: BisectFn = bisect;
+    #[cfg(feature = "naive")]
+    let bisect_fn: BisectFn = if config.naive {
+        crate::multilevel::bisect_naive
+    } else {
+        bisect_fn
+    };
     let run_once = |seed: u64| -> (Vec<u32>, u64) {
         let mut parts = vec![0u32; hg.num_vertices()];
-        recursive_bisect(hg, config.k, config.ub_factor, seed, 0, &mut parts);
+        recursive_bisect(hg, config.k, config.ub_factor, seed, 0, &mut parts, bisect_fn);
         let cost = evaluate(hg, &parts, config.k).connectivity_minus_one;
         (parts, cost)
     };
@@ -134,6 +155,10 @@ pub fn partition(hg: &Hypergraph, config: &PartitionConfig) -> Partitioning {
     Partitioning { parts, quality }
 }
 
+/// The bisection entry point used per recursion step (the fast [`bisect`]
+/// or, under the `naive` feature, the reference `bisect_naive`).
+type BisectFn = fn(&Hypergraph, u64, u64, f64, u64) -> (Vec<u32>, u64);
+
 /// Recursively bisect the sub-hypergraph induced by the vertices currently
 /// labelled `part_base`, producing labels `part_base..part_base + k`.
 fn recursive_bisect(
@@ -143,6 +168,7 @@ fn recursive_bisect(
     seed: u64,
     part_base: u32,
     parts: &mut [u32],
+    bisect_fn: BisectFn,
 ) {
     if k <= 1 {
         return;
@@ -156,7 +182,7 @@ fn recursive_bisect(
     let total = sub.total_vweight();
     let w0 = (total as u128 * k0 as u128 / k as u128) as u64;
     let w1 = total - w0;
-    let (sub_parts, _) = bisect(&sub, w0, w1, ub, seed);
+    let (sub_parts, _) = bisect_fn(&sub, w0, w1, ub, seed);
 
     // Relabel: side 1 gets labels starting at part_base + k0.
     for (local, &v) in members.iter().enumerate() {
@@ -164,7 +190,15 @@ fn recursive_bisect(
             parts[v as usize] = part_base + k0 as u32;
         }
     }
-    recursive_bisect(hg, k0, ub, seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1), part_base, parts);
+    recursive_bisect(
+        hg,
+        k0,
+        ub,
+        seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
+        part_base,
+        parts,
+        bisect_fn,
+    );
     recursive_bisect(
         hg,
         k1,
@@ -172,6 +206,7 @@ fn recursive_bisect(
         seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(2),
         part_base + k0 as u32,
         parts,
+        bisect_fn,
     );
 }
 

@@ -28,7 +28,7 @@ use crate::scheduler::{MissingCache, RuntimeView, Scheduler};
 use crate::spec::{Nanos, PlatformSpec};
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::time::Instant;
 
 /// Engine options.
@@ -148,7 +148,7 @@ pub fn run_with_config(
             .map(|_| GpuMemory::new(spec.memory_bytes, ts.num_data()))
             .collect(),
         missing: MissingCache::new(ts, k),
-        pipeline: vec![Vec::new(); k],
+        pipeline: vec![VecDeque::new(); k],
         running: vec![false; k],
         stalled_pop: vec![false; k],
         gpu_free_at: vec![0; k],
@@ -214,8 +214,8 @@ pub fn run_with_config(
             Event::TaskDone { gpu, task } => {
                 let g = gpu as usize;
                 let t = TaskId(task);
-                debug_assert!(st.running[g] && st.pipeline[g].first() == Some(&t));
-                st.pipeline[g].remove(0);
+                debug_assert!(st.running[g] && st.pipeline[g].front() == Some(&t));
+                st.pipeline[g].pop_front();
                 st.running[g] = false;
                 for d in ts.input_ids(t) {
                     st.mem[g].unpin(d);
@@ -277,8 +277,9 @@ struct State {
     /// residency transitions; serves O(1) `RuntimeView::missing_bytes`.
     missing: MissingCache,
     /// Per GPU: popped-but-unfinished tasks in execution order. When
-    /// `running[g]` is true, `pipeline[g][0]` is executing.
-    pipeline: Vec<Vec<TaskId>>,
+    /// `running[g]` is true, `pipeline[g][0]` is executing. A deque so
+    /// each completion pops the head in O(1).
+    pipeline: Vec<VecDeque<TaskId>>,
     running: Vec<bool>,
     /// The scheduler returned `None` for this GPU and nothing changed
     /// since — do not hammer `pop_task` until the next event.
@@ -341,7 +342,7 @@ fn progress(
             scheduler.pop_task(GpuId(g as u32), &view)
         });
         match popped {
-            Some(t) => st.pipeline[g].push(t),
+            Some(t) => st.pipeline[g].push_back(t),
             None => {
                 st.stalled_pop[g] = true;
             }
@@ -451,7 +452,7 @@ fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize, config
     if st.running[g] {
         return;
     }
-    let Some(&head) = st.pipeline[g].first() else {
+    let Some(&head) = st.pipeline[g].front() else {
         return;
     };
     if !ts.input_ids(head).all(|d| st.mem[g].is_resident(d)) {

@@ -13,6 +13,7 @@
 use crate::memory::GpuMemory;
 use crate::spec::{Nanos, PlatformSpec};
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
+use std::collections::VecDeque;
 
 /// Engine-maintained cache of the *missing inputs* of every task on every
 /// GPU: how many of a task's inputs are absent (neither resident nor in
@@ -90,7 +91,7 @@ pub struct RuntimeView<'a> {
     pub(crate) memories: &'a [GpuMemory],
     /// Per-GPU pipeline: tasks popped from the scheduler but not finished,
     /// in execution order (index 0 runs first). Includes the running task.
-    pub(crate) buffers: &'a [Vec<TaskId>],
+    pub(crate) buffers: &'a [VecDeque<TaskId>],
     /// Incrementally-maintained missing-input counters per (GPU, task).
     pub(crate) missing: &'a MissingCache,
     /// Simulated time at which the shared bus finishes its current queue.
@@ -149,9 +150,10 @@ impl<'a> RuntimeView<'a> {
     }
 
     /// The worker pipeline of `gpu` (`taskBuffer_k`): popped but
-    /// unfinished tasks in execution order.
-    pub fn task_buffer(&self, gpu: GpuId) -> &'a [TaskId] {
-        &self.buffers[gpu.index()]
+    /// unfinished tasks in execution order. An iterator because the
+    /// engine's pipeline is a ring buffer and need not be contiguous.
+    pub fn task_buffer(&self, gpu: GpuId) -> impl ExactSizeIterator<Item = TaskId> + Clone + 'a {
+        self.buffers[gpu.index()].iter().copied()
     }
 
     /// Bytes of `task`'s inputs that are neither resident on `gpu` nor in

@@ -686,8 +686,8 @@ impl DartsScheduler {
                 continue;
             }
             let nb = buffer
-                .iter()
-                .filter(|&&t| ts.inputs(t).binary_search(&d.0).is_ok())
+                .clone()
+                .filter(|&t| ts.inputs(t).binary_search(&d.0).is_ok())
                 .count();
             if nb == 0 {
                 let np = self.planned[g]
@@ -700,8 +700,8 @@ impl DartsScheduler {
             } else {
                 // Next use position in the buffer (Belady on committed tasks).
                 let next = buffer
-                    .iter()
-                    .position(|&t| ts.inputs(t).binary_search(&d.0).is_ok())
+                    .clone()
+                    .position(|t| ts.inputs(t).binary_search(&d.0).is_ok())
                     .unwrap_or(usize::MAX);
                 if best_belady.is_none_or(|(bn, _)| next > bn) {
                     best_belady = Some((next, d));
@@ -986,7 +986,7 @@ impl Scheduler for DartsScheduler {
         // resident item. np is read off the planned-use counters.
         self.cv_epoch += 1;
         let epoch = self.cv_epoch;
-        for (pos, &t) in buffer.iter().enumerate() {
+        for (pos, t) in buffer.enumerate() {
             for &i in ts.inputs(t) {
                 let i = i as usize;
                 if self.cv_stamp[i] != epoch {

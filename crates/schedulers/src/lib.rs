@@ -27,7 +27,7 @@ mod stealing;
 pub use darts::{DartsConfig, DartsEviction, DartsScheduler};
 pub use dmda::DmdaScheduler;
 pub use eager::EagerScheduler;
-pub use hfp::{pack as hfp_pack, HfpScheduler};
+pub use hfp::{pack as hfp_pack, pack_with as hfp_pack_with, HfpScheduler, PackConfig};
 pub use hmetis_r::{HmetisRScheduler, PartitionerOptions};
 pub use ready::{ready_pick, DEFAULT_READY_WINDOW};
 #[cfg(feature = "naive")]
@@ -50,6 +50,11 @@ pub enum NamedScheduler {
     HmetisR,
     /// mHFP.
     Mhfp,
+    /// mHFP with the paper's original quadratic packing in `prepare` —
+    /// identical queues and runtime decisions, paper-scale prepare wall
+    /// time (`--paper-timing` in the figure harness).
+    #[cfg(feature = "naive")]
+    MhfpPaperTiming,
     /// DARTS with LRU eviction.
     Darts,
     /// DARTS with LUF eviction.
@@ -77,6 +82,8 @@ impl NamedScheduler {
             NamedScheduler::Dmdar => Box::new(DmdaScheduler::dmdar()),
             NamedScheduler::HmetisR => Box::new(HmetisRScheduler::new()),
             NamedScheduler::Mhfp => Box::new(HfpScheduler::new()),
+            #[cfg(feature = "naive")]
+            NamedScheduler::MhfpPaperTiming => Box::new(HfpScheduler::new().with_naive_pack()),
             NamedScheduler::Darts => Box::new(DartsScheduler::new(DartsConfig::lru())),
             NamedScheduler::DartsLuf => Box::new(DartsScheduler::new(DartsConfig::luf())),
             NamedScheduler::DartsLuf3 => {

@@ -8,9 +8,10 @@
 //! same timestamps, and (for DARTS) the same RNG draw sequence, since a
 //! diverging candidate count would shift every later tie-break.
 
+use memsched::hypergraph::{bisect, bisect_naive, partition, Hypergraph, PartitionConfig};
 use memsched::platform::{run_with_config, RunConfig, Scheduler, TraceEvent};
 use memsched::prelude::*;
-use memsched::schedulers::{DartsConfig, DartsScheduler, DmdaScheduler};
+use memsched::schedulers::{hfp_pack_with, DartsConfig, DartsScheduler, DmdaScheduler, PackConfig};
 use proptest::prelude::*;
 
 /// Strategy: a random task set with up to `max_data` unit-size data items
@@ -34,6 +35,47 @@ fn arb_taskset(max_data: usize, max_tasks: usize) -> impl Strategy<Value = TaskS
             }
             b.build()
         })
+}
+
+/// Strategy: like [`arb_taskset`] but with non-uniform data sizes, so the
+/// offline differentials exercise byte-weighted affinity ties, not just
+/// counts.
+fn arb_sized_taskset(max_data: usize, max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    (2usize..=max_data, 1usize..=max_tasks)
+        .prop_flat_map(|(nd, mt)| {
+            let sizes = proptest::collection::vec(1u64..=4, nd);
+            let inputs = proptest::collection::vec(
+                proptest::collection::vec(0..nd as u32, 1..=3),
+                mt,
+            );
+            (sizes, inputs)
+        })
+        .prop_map(|(sizes, task_inputs)| {
+            let mut b = TaskSetBuilder::new();
+            let data: Vec<DataId> = sizes.iter().map(|&s| b.add_data(s)).collect();
+            for ins in task_inputs {
+                let ids: Vec<DataId> = ins.iter().map(|&i| data[i as usize]).collect();
+                b.add_task(&ids, 1000.0);
+            }
+            b.build()
+        })
+}
+
+/// Strategy: a random weighted hypergraph (vertex/net weights 1–3, nets of
+/// 2–4 pins that may collapse to singletons after dedup — both bisection
+/// implementations must treat those identically).
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..=28, 2usize..=28)
+        .prop_flat_map(|(nv, nn)| {
+            let nets = proptest::collection::vec(
+                proptest::collection::vec(0..nv as u32, 2..=4),
+                nn,
+            );
+            let vweights = proptest::collection::vec(1u64..=3, nv);
+            let nweights = proptest::collection::vec(1u64..=3, nn);
+            (Just(nv), nets, vweights, nweights)
+        })
+        .prop_map(|(nv, nets, vweights, nweights)| Hypergraph::new(nv, nets, vweights, nweights))
 }
 
 fn small_spec(gpus: usize, mem: u64) -> PlatformSpec {
@@ -148,5 +190,58 @@ proptest! {
         let mut naive = DmdaScheduler::dmdar().with_naive_ready();
         let mut incremental = DmdaScheduler::dmdar();
         assert_equivalent(&ts, &spec, "dmdar", &mut naive, &mut incremental);
+    }
+
+    /// mHFP offline packing: the index-accelerated `pack` must emit the
+    /// same `k` task lists — same packages, same task order inside each,
+    /// same list order — as the paper's quadratic greedy, across memory
+    /// bounds tight enough to freeze packages and loose enough to skip
+    /// phase 1 entirely.
+    #[test]
+    fn hfp_pack_indexed_matches_naive(
+        ts in arb_sized_taskset(12, 24),
+        mem in 1u64..48,
+        k in 1usize..5,
+    ) {
+        let fast = hfp_pack_with(&ts, &PackConfig::new(mem, k));
+        let naive = hfp_pack_with(&ts, &PackConfig::new(mem, k).with_naive());
+        prop_assert_eq!(&fast, &naive, "package lists diverge (mem={}, k={})", mem, k);
+    }
+
+    /// Multilevel bisection: the incremental FM (persistent side counts,
+    /// delta rollback, changed-gain pushes) and the in-place greedy seed
+    /// pool must reproduce the original bisection's part vector and cost
+    /// for every seed.
+    #[test]
+    fn bisect_incremental_matches_naive(
+        hg in arb_hypergraph(),
+        seed in 0u64..1000,
+        eps_idx in 0usize..3,
+    ) {
+        let eps = [0.01f64, 0.05, 0.2][eps_idx];
+        let total = hg.total_vweight();
+        let w0 = total / 2;
+        let w1 = total - w0;
+        let fast = bisect(&hg, w0, w1, eps, seed);
+        let naive = bisect_naive(&hg, w0, w1, eps, seed);
+        prop_assert_eq!(fast, naive, "seed {}", seed);
+    }
+
+    /// Full K-way partitioning (recursive bisection + restarts): identical
+    /// part vectors with and without the naive bisection.
+    #[test]
+    fn partition_incremental_matches_naive(
+        hg in arb_hypergraph(),
+        k in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hg.num_vertices() >= k);
+        let cfg = PartitionConfig::for_parts(k)
+            .with_nruns(3)
+            .with_seed(seed)
+            .with_threads(1);
+        let fast = partition(&hg, &cfg);
+        let naive = partition(&hg, &cfg.clone().with_naive());
+        prop_assert_eq!(fast.parts, naive.parts, "seed {}", seed);
     }
 }
