@@ -1,12 +1,15 @@
 //! Regenerates every figure in sequence.
-//! Usage: `all_figures [--quick] [--paper-timing] [--jobs N]`.
+//! Usage: `all_figures [--quick] [--paper-timing] [--jobs N] [--faults SPEC]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
     for fig in figures::all_figures() {
         let fig = args.apply(fig);
-        fig.run_and_print_with_jobs(None, args.jobs);
+        if let Err(e) = fig.run_and_print_with_jobs(None, args.jobs) {
+            eprintln!("{} failed: {e}", fig.id);
+            std::process::exit(1);
+        }
         println!();
     }
 }

@@ -1,9 +1,13 @@
 //! Regenerates Figure 05 of the paper.
-//! Usage: `fig05 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
+//! Usage: `fig05 [--quick] [--paper-timing] [--json PATH] [--jobs N]
+//! [--faults SPEC]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
     let fig = args.apply(figures::fig05());
-    fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
+    if let Err(e) = fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs) {
+        eprintln!("fig05 failed: {e}");
+        std::process::exit(1);
+    }
 }

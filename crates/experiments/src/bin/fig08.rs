@@ -1,9 +1,13 @@
 //! Regenerates Figure 08 of the paper.
-//! Usage: `fig08 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
+//! Usage: `fig08 [--quick] [--paper-timing] [--json PATH] [--jobs N]
+//! [--faults SPEC]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
     let fig = args.apply(figures::fig08());
-    fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
+    if let Err(e) = fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs) {
+        eprintln!("fig08 failed: {e}");
+        std::process::exit(1);
+    }
 }

@@ -1,9 +1,13 @@
 //! Regenerates Figure 11 of the paper.
-//! Usage: `fig11 [--quick] [--paper-timing] [--json PATH] [--jobs N]`.
+//! Usage: `fig11 [--quick] [--paper-timing] [--json PATH] [--jobs N]
+//! [--faults SPEC]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
     let fig = args.apply(figures::fig11());
-    fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs);
+    if let Err(e) = fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs) {
+        eprintln!("fig11 failed: {e}");
+        std::process::exit(1);
+    }
 }

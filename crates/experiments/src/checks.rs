@@ -202,6 +202,8 @@ mod tests {
             prepare_ms: 0.0,
             sched_ms: 0.0,
             max_load: 0,
+            retries: 0,
+            redispatched: 0,
         }
     }
 

@@ -4,13 +4,16 @@
 //! `--quick` (trim the sweep to a few points), `--paper-timing` (run the
 //! paper's original quadratic mHFP packing so prepare wall time matches
 //! the published scheduling-time behaviour; simulated decisions are
-//! unchanged), `--json PATH` (also write the rows as JSON) and `--jobs N`
+//! unchanged), `--json PATH` (also write the rows as JSON), `--jobs N`
 //! (worker count for the sweep pool; falls back to `MEMSCHED_JOBS`, then
-//! to the machine's parallelism).
+//! to the machine's parallelism) and `--faults SPEC` (inject a
+//! deterministic fault plan into every run cell; see
+//! [`FaultPlan::parse`] for the clause grammar).
 
 use crate::figures;
 use crate::harness::FigureSpec;
 use crate::pool;
+use memsched_platform::FaultPlan;
 
 /// Parsed command-line options common to all figure binaries.
 #[derive(Clone, Debug)]
@@ -23,29 +26,42 @@ pub struct FigArgs {
     pub json: Option<String>,
     /// Resolved worker count (`--jobs` > `MEMSCHED_JOBS` > parallelism).
     pub jobs: usize,
+    /// `--faults SPEC`: fault plan injected into every run cell.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FigArgs {
     /// Apply the spec-shaping flags to `fig`: trim the sweep under
     /// `--quick`, swap mHFP to the paper-timing variant under
-    /// `--paper-timing`.
+    /// `--paper-timing`, install the `--faults` plan.
     pub fn apply(&self, fig: FigureSpec) -> FigureSpec {
         let fig = if self.quick { figures::quick(fig) } else { fig };
-        if self.paper_timing {
+        let mut fig = if self.paper_timing {
             figures::paper_timing(fig)
         } else {
             fig
+        };
+        if let Some(plan) = &self.faults {
+            fig.faults = plan.clone();
+        }
+        fig
+    }
+}
+
+/// Parse the process's arguments; exits with a readable message (status 2)
+/// if the fault spec is malformed.
+pub fn parse() -> FigArgs {
+    match parse_from(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
         }
     }
 }
 
-/// Parse the process's arguments.
-pub fn parse() -> FigArgs {
-    parse_from(std::env::args().skip(1))
-}
-
 /// Parse from an explicit argument list (testable entry point).
-pub fn parse_from(args: impl Iterator<Item = String>) -> FigArgs {
+pub fn parse_from(args: impl Iterator<Item = String>) -> Result<FigArgs, String> {
     let args: Vec<String> = args.collect();
     let quick = args.iter().any(|a| a == "--quick");
     let paper_timing = args.iter().any(|a| a == "--paper-timing");
@@ -64,12 +80,29 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> FigArgs {
                 .find_map(|a| a.strip_prefix("--jobs="))
                 .and_then(|v| v.parse::<usize>().ok())
         });
-    FigArgs {
+    let faults_spec = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--faults="))
+                .map(str::to_string)
+        });
+    let faults = match faults_spec {
+        Some(spec) => {
+            Some(FaultPlan::parse(&spec).map_err(|e| format!("--faults {spec:?}: {e}"))?)
+        }
+        None => None,
+    };
+    Ok(FigArgs {
         quick,
         paper_timing,
         json,
         jobs: pool::resolve_jobs(jobs_arg),
-    }
+        faults,
+    })
 }
 
 #[cfg(test)]
@@ -93,17 +126,19 @@ mod tests {
             "out.json",
             "--jobs",
             "3",
-        ]));
+        ]))
+        .unwrap();
         assert!(a.quick);
         assert!(a.paper_timing);
         assert_eq!(a.json.as_deref(), Some("out.json"));
         assert_eq!(a.jobs, 3);
+        assert!(a.faults.is_none());
     }
 
     #[test]
     fn apply_shapes_the_spec() {
         use memsched_schedulers::NamedScheduler;
-        let args = parse_from(argv(&["--quick", "--paper-timing"]));
+        let args = parse_from(argv(&["--quick", "--paper-timing"])).unwrap();
         let fig = args.apply(crate::figures::fig03());
         assert!(fig.points.len() <= 4, "--quick must trim the sweep");
         for p in &fig.points {
@@ -112,20 +147,37 @@ mod tests {
                 "--paper-timing must swap every mHFP entry"
             );
         }
-        let plain = parse_from(argv(&[]));
+        let plain = parse_from(argv(&[])).unwrap();
         let fig = plain.apply(crate::figures::fig03());
         assert_eq!(fig.points.len(), crate::figures::fig03().points.len());
     }
 
     #[test]
     fn parses_equals_form_and_defaults() {
-        let a = parse_from(argv(&["--jobs=2"]));
+        let a = parse_from(argv(&["--jobs=2"])).unwrap();
         assert!(!a.quick);
         assert!(!a.paper_timing);
         assert_eq!(a.json, None);
         assert_eq!(a.jobs, 2);
 
-        let d = parse_from(argv(&[]));
+        let d = parse_from(argv(&[])).unwrap();
         assert!(d.jobs >= 1);
+        assert!(d.faults.is_none());
+    }
+
+    #[test]
+    fn parses_and_applies_fault_specs() {
+        let a = parse_from(argv(&["--faults", "fail:1@5ms;flaky:ppm=1000"])).unwrap();
+        let plan = a.faults.clone().expect("plan parsed");
+        assert_eq!(plan.gpu_failures.len(), 1);
+        assert!(plan.transfer_faults.is_some());
+        let fig = a.apply(crate::figures::fig05());
+        assert_eq!(fig.faults, plan);
+
+        let eq = parse_from(argv(&["--faults=slow:0@1sx2.0"])).unwrap();
+        assert_eq!(eq.faults.unwrap().stragglers.len(), 1);
+
+        let bad = parse_from(argv(&["--faults", "explode:3"]));
+        assert!(bad.is_err(), "malformed spec must be rejected");
     }
 }

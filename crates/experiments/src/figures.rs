@@ -10,7 +10,7 @@
 //! as the paper only reports mHFP "for a few working set sizes".
 
 use crate::harness::{FigureSpec, Metric, SweepPoint};
-use memsched_platform::PlatformSpec;
+use memsched_platform::{FaultPlan, PlatformSpec};
 use memsched_schedulers::NamedScheduler;
 use memsched_workloads::Workload;
 
@@ -69,6 +69,7 @@ pub fn fig03() -> FigureSpec {
             true,
         ),
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -84,6 +85,7 @@ pub fn fig04() -> FigureSpec {
             true,
         ),
         metric: Metric::TransfersMb,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -101,6 +103,7 @@ pub fn fig05() -> FigureSpec {
             true,
         ),
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -118,6 +121,7 @@ pub fn fig06() -> FigureSpec {
             false,
         ),
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -133,6 +137,7 @@ pub fn fig07() -> FigureSpec {
             false,
         ),
         metric: Metric::TransfersMb,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -164,6 +169,7 @@ pub fn fig08() -> FigureSpec {
         spec: PlatformSpec::v100(4),
         points,
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -182,6 +188,7 @@ pub fn fig09() -> FigureSpec {
         spec: PlatformSpec::v100(2),
         points,
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -207,6 +214,7 @@ pub fn fig10() -> FigureSpec {
         spec: PlatformSpec::v100(4),
         points,
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -236,6 +244,7 @@ pub fn fig11() -> FigureSpec {
         spec: PlatformSpec::v100(4),
         points,
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -265,6 +274,7 @@ pub fn fig12() -> FigureSpec {
         spec: PlatformSpec::v100(4),
         points,
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -397,7 +407,7 @@ mod tests {
         // End-to-end: run a reduced Figure 3 and verify the qualitative
         // ordering at the smallest sizes (everything near roofline).
         let q = quick(fig03());
-        let rows = q.run();
+        let rows = q.run().expect("fault-free run");
         assert!(!rows.is_empty());
         for r in &rows {
             assert!(r.gflops > 0.0, "{}: no throughput", r.scheduler);

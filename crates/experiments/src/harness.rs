@@ -3,7 +3,9 @@
 
 use crate::pool;
 use memsched_model::TaskSet;
-use memsched_platform::{run, PlatformSpec, RunReport};
+use memsched_platform::{
+    run, run_with_config, FaultPlan, PlatformSpec, RunConfig, RunError, RunReport,
+};
 use memsched_schedulers::NamedScheduler;
 use memsched_workloads::Workload;
 use serde::{Deserialize, Serialize};
@@ -50,6 +52,13 @@ pub struct Row {
     pub sched_ms: f64,
     /// `max_k nb_k` (Objective 1).
     pub max_load: usize,
+    /// Transfer retries from injected transient faults (0 without
+    /// `--faults`).
+    #[serde(default)]
+    pub retries: u64,
+    /// Tasks re-dispatched after injected fail-stop GPU faults.
+    #[serde(default)]
+    pub redispatched: u64,
 }
 
 impl Row {
@@ -75,6 +84,8 @@ impl Row {
             prepare_ms: r.prepare_wall as f64 / 1e6,
             sched_ms: r.sched_wall as f64 / 1e6,
             max_load: r.max_load(),
+            retries: r.transfer_retries,
+            redispatched: r.tasks_redispatched,
         }
     }
 
@@ -127,13 +138,17 @@ pub struct FigureSpec {
     pub points: Vec<SweepPoint>,
     /// Plotted metric.
     pub metric: Metric,
+    /// Faults injected into every cell (`--faults`; empty by default, in
+    /// which case runs are identical to the fault-free harness).
+    pub faults: FaultPlan,
 }
 
 impl FigureSpec {
     /// Run every cell (size × scheduler) with the default worker count
     /// (`MEMSCHED_JOBS`, else the machine's parallelism). Results are
-    /// sorted by (working set, scheduler).
-    pub fn run(&self) -> Vec<Row> {
+    /// sorted by (working set, scheduler). Errs on the first failed cell
+    /// (infeasible fault plan, exhausted transfer retries, …).
+    pub fn run(&self) -> Result<Vec<Row>, RunError> {
         self.run_with_jobs(pool::resolve_jobs(None))
     }
 
@@ -145,7 +160,7 @@ impl FigureSpec {
     /// point's `TaskSet` is generated exactly once, on whichever worker
     /// gets there first, and shared across that point's schedulers via
     /// `Arc` instead of being regenerated per cell.
-    pub fn run_with_jobs(&self, jobs: usize) -> Vec<Row> {
+    pub fn run_with_jobs(&self, jobs: usize) -> Result<Vec<Row>, RunError> {
         // Materialize cells as (point index, scheduler): the point index
         // keys the shared TaskSet cache.
         let cells: Vec<(usize, NamedScheduler)> = self
@@ -167,27 +182,47 @@ impl FigureSpec {
                 .get_or_init(|| Arc::new(point.workload.generate()))
                 .clone();
             self.run_cell_on(&ts, &point.workload, named)
-        });
+        })
+        .into_iter()
+        .collect::<Result<Vec<Row>, RunError>>()?;
 
         rows.sort_by(|a, b| {
             a.ws_mb
                 .total_cmp(&b.ws_mb)
                 .then_with(|| a.scheduler.cmp(&b.scheduler))
         });
-        rows
+        Ok(rows)
     }
 
     /// Run a single cell against an already-generated task set.
-    pub fn run_cell_on(&self, ts: &TaskSet, workload: &Workload, named: &NamedScheduler) -> Row {
+    pub fn run_cell_on(
+        &self,
+        ts: &TaskSet,
+        workload: &Workload,
+        named: &NamedScheduler,
+    ) -> Result<Row, RunError> {
         let ws_mb = ts.working_set_bytes() as f64 / 1e6;
         let mut sched = named.build();
-        let report = run(ts, &self.spec, sched.as_mut())
-            .unwrap_or_else(|e| panic!("{} / {:?} failed: {e}", self.id, named));
-        Row::from_report(self.id, workload, ws_mb, self.spec.num_gpus, &report)
+        let report = if self.faults.is_empty() {
+            run(ts, &self.spec, sched.as_mut())?
+        } else {
+            let config = RunConfig {
+                faults: self.faults.clone(),
+                ..RunConfig::default()
+            };
+            run_with_config(ts, &self.spec, sched.as_mut(), &config)?.0
+        };
+        Ok(Row::from_report(
+            self.id,
+            workload,
+            ws_mb,
+            self.spec.num_gpus,
+            &report,
+        ))
     }
 
     /// Run a single cell, generating the task set from scratch.
-    pub fn run_cell(&self, workload: &Workload, named: &NamedScheduler) -> Row {
+    pub fn run_cell(&self, workload: &Workload, named: &NamedScheduler) -> Result<Row, RunError> {
         self.run_cell_on(&workload.generate(), workload, named)
     }
 
@@ -211,11 +246,12 @@ impl FigureSpec {
     pub fn to_csv(&self, rows: &[Row]) -> String {
         let mut out = String::from(
             "figure,workload,ws_mb,gpus,scheduler,gflops,gflops_with_sched,\
-             transfers_mb,loads,evictions,makespan_ms,prepare_ms,sched_ms,max_load\n",
+             transfers_mb,loads,evictions,makespan_ms,prepare_ms,sched_ms,max_load,\
+             retries,redispatched\n",
         );
         for r in rows {
             out.push_str(&format!(
-                "{},{},{:.1},{},{},{:.1},{:.1},{:.1},{},{},{:.3},{:.3},{:.3},{}\n",
+                "{},{},{:.1},{},{},{:.1},{:.1},{:.1},{},{},{:.3},{:.3},{:.3},{},{},{}\n",
                 r.figure,
                 r.workload.replace(',', ";"),
                 r.ws_mb,
@@ -229,7 +265,9 @@ impl FigureSpec {
                 r.makespan_ms,
                 r.prepare_ms,
                 r.sched_ms,
-                r.max_load
+                r.max_load,
+                r.retries,
+                r.redispatched
             ));
         }
         out
@@ -287,14 +325,20 @@ impl FigureSpec {
 
     /// Run the figure and print the table, the paper-shape check verdicts
     /// and the CSV to stdout; also write JSON when `json_path` is given.
-    /// Uses the default worker count (see [`pool::resolve_jobs`]).
-    pub fn run_and_print(&self, json_path: Option<&str>) {
-        self.run_and_print_with_jobs(json_path, pool::resolve_jobs(None));
+    /// Uses the default worker count (see [`pool::resolve_jobs`]). Errs
+    /// (instead of panicking) when any cell fails, so the fig binaries
+    /// can exit with a readable message.
+    pub fn run_and_print(&self, json_path: Option<&str>) -> Result<(), RunError> {
+        self.run_and_print_with_jobs(json_path, pool::resolve_jobs(None))
     }
 
     /// [`FigureSpec::run_and_print`] with an explicit worker count.
-    pub fn run_and_print_with_jobs(&self, json_path: Option<&str>, jobs: usize) {
-        let rows = self.run_with_jobs(jobs);
+    pub fn run_and_print_with_jobs(
+        &self,
+        json_path: Option<&str>,
+        jobs: usize,
+    ) -> Result<(), RunError> {
+        let rows = self.run_with_jobs(jobs)?;
         print!("{}", self.to_table(&rows));
         if self.metric == Metric::Gflops {
             let checks = crate::checks::shape_checks(self.id, &rows, self.roofline_gflops());
@@ -307,6 +351,7 @@ impl FigureSpec {
             std::fs::write(path, json).expect("write json");
             eprintln!("wrote {path}");
         }
+        Ok(())
     }
 }
 
@@ -331,13 +376,14 @@ mod tests {
                 },
             ],
             metric: Metric::Gflops,
+            faults: FaultPlan::none(),
         }
     }
 
     #[test]
     fn run_produces_one_row_per_cell() {
         let fig = tiny_figure();
-        let rows = fig.run();
+        let rows = fig.run().expect("fault-free run");
         assert_eq!(rows.len(), 3);
         assert!(rows.windows(2).all(|w| w[0].ws_mb <= w[1].ws_mb));
         for r in &rows {
@@ -350,7 +396,7 @@ mod tests {
     #[test]
     fn csv_and_table_are_well_formed() {
         let fig = tiny_figure();
-        let rows = fig.run();
+        let rows = fig.run().expect("fault-free run");
         let csv = fig.to_csv(&rows);
         assert_eq!(csv.lines().count(), rows.len() + 1);
         assert!(csv.starts_with("figure,workload"));
@@ -363,16 +409,16 @@ mod tests {
     #[test]
     fn run_with_jobs_matches_serial_run() {
         let fig = tiny_figure();
-        let serial = canonical_json(&fig.run_with_jobs(1));
+        let serial = canonical_json(&fig.run_with_jobs(1).unwrap());
         for jobs in [2, 4] {
-            assert_eq!(canonical_json(&fig.run_with_jobs(jobs)), serial);
+            assert_eq!(canonical_json(&fig.run_with_jobs(jobs).unwrap()), serial);
         }
     }
 
     #[test]
     fn canonical_zeroes_only_wall_clock_fields() {
         let fig = tiny_figure();
-        let rows = fig.run_with_jobs(2);
+        let rows = fig.run_with_jobs(2).unwrap();
         for r in &rows {
             let c = r.canonical();
             assert_eq!(c.gflops_with_sched, 0.0);

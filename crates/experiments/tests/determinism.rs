@@ -8,7 +8,7 @@
 //! serializing; every simulated quantity is compared exactly.
 
 use memsched_experiments::{canonical_json, FigureSpec, Metric, SweepPoint};
-use memsched_platform::PlatformSpec;
+use memsched_platform::{FaultPlan, PlatformSpec};
 use memsched_schedulers::NamedScheduler as S;
 use memsched_workloads::{constants::GEMM2D_DATA_BYTES, Workload};
 
@@ -37,15 +37,16 @@ fn mid_size_sweep() -> FigureSpec {
             },
         ],
         metric: Metric::Gflops,
+        faults: FaultPlan::none(),
     }
 }
 
 #[test]
 fn sweep_rows_are_identical_across_worker_counts() {
     let fig = mid_size_sweep();
-    let reference = canonical_json(&fig.run_with_jobs(1));
+    let reference = canonical_json(&fig.run_with_jobs(1).unwrap());
     for jobs in [2, 8] {
-        let got = canonical_json(&fig.run_with_jobs(jobs));
+        let got = canonical_json(&fig.run_with_jobs(jobs).unwrap());
         assert_eq!(
             got, reference,
             "rows with {jobs} workers differ from the serial run"
@@ -53,14 +54,14 @@ fn sweep_rows_are_identical_across_worker_counts() {
     }
     // And a repeated serial run reproduces itself (workload generation
     // and the engine are fully deterministic).
-    assert_eq!(canonical_json(&fig.run_with_jobs(1)), reference);
+    assert_eq!(canonical_json(&fig.run_with_jobs(1).unwrap()), reference);
 }
 
 #[test]
 fn csv_and_table_are_identical_across_worker_counts() {
     let fig = mid_size_sweep();
-    let rows1 = fig.run_with_jobs(1);
-    let rows8 = fig.run_with_jobs(8);
+    let rows1 = fig.run_with_jobs(1).unwrap();
+    let rows8 = fig.run_with_jobs(8).unwrap();
     // CSV contains the wall-clock columns, so compare through canonical
     // rows; the table prints gflops_with_sched, so compare its canonical
     // rendering too.

@@ -27,6 +27,12 @@ pub struct TraceAnalysis {
     pub evictions: usize,
     /// Number of task executions.
     pub tasks: usize,
+    /// Injected fail-stop GPU failures observed in the trace.
+    pub gpu_failures: usize,
+    /// Injected transient transfer retries observed in the trace.
+    pub transfer_retries: usize,
+    /// Capacity-change steps from injected shrinks observed in the trace.
+    pub capacity_shrinks: usize,
 }
 
 impl TraceAnalysis {
@@ -113,6 +119,7 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
     let mut started: Vec<Option<Nanos>> = vec![None; num_gpus];
     let mut makespan = 0;
     let (mut loads, mut evictions, mut tasks) = (0, 0, 0);
+    let (mut gpu_failures, mut transfer_retries, mut capacity_shrinks) = (0, 0, 0);
 
     for ev in trace {
         match *ev {
@@ -139,6 +146,28 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
                     gpu_busy[gpu] += at - s;
                 }
             }
+            TraceEvent::GpuFailed { at, gpu } => {
+                gpu_failures += 1;
+                makespan = makespan.max(at);
+                // The interrupted task never finishes here: close its
+                // compute interval at the failure (matching the engine's
+                // busy-time refund).
+                if let Some(s) = started[gpu].take() {
+                    compute.push((s, at));
+                    gpu_busy[gpu] += at - s;
+                }
+            }
+            TraceEvent::TransferRetry { at, .. } => {
+                transfer_retries += 1;
+                makespan = makespan.max(at);
+            }
+            TraceEvent::CapacityShrunk { at, .. } => {
+                capacity_shrinks += 1;
+                makespan = makespan.max(at);
+            }
+            TraceEvent::GpuSlowed { at, .. } => {
+                makespan = makespan.max(at);
+            }
         }
     }
 
@@ -151,6 +180,9 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
         loads,
         evictions,
         tasks,
+        gpu_failures,
+        transfer_retries,
+        capacity_shrinks,
     }
 }
 

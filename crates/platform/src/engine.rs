@@ -21,7 +21,16 @@
 //! The engine is single-threaded and fully deterministic: identical
 //! inputs produce identical reports, event ties are broken by issue
 //! order.
+//!
+//! **Fault injection.** A [`FaultPlan`] in [`RunConfig`] injects
+//! fail-stop GPU deaths, transient transfer faults with bounded
+//! retry/backoff, mid-run capacity shrinks and straggler slowdowns, all
+//! keyed to the simulated clock so faulty runs replay identically. With
+//! the default empty plan no fault events are seeded, so event sequence
+//! numbers — and therefore traces and reports — are byte-identical to a
+//! build without the subsystem.
 
+use crate::fault::FaultPlan;
 use crate::memory::GpuMemory;
 use crate::report::{GpuRunStats, RunReport, TraceEvent};
 use crate::scheduler::{MissingCache, RuntimeView, Scheduler};
@@ -39,6 +48,10 @@ pub struct RunConfig {
     /// Abort after this many processed events (safety net against buggy
     /// scheduling policies; the default is generous).
     pub max_events: u64,
+    /// Faults to inject during the run. The default ([`FaultPlan::none`])
+    /// injects nothing and leaves every run byte-identical to a fault-free
+    /// build.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -46,6 +59,7 @@ impl Default for RunConfig {
         Self {
             collect_trace: false,
             max_events: u64::MAX,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -71,6 +85,26 @@ pub enum RunError {
     },
     /// `max_events` exceeded.
     EventBudgetExceeded,
+    /// A transfer failed on every attempt of its retry budget (transient
+    /// transfer faults, see [`FaultPlan`]).
+    TransferFailed {
+        /// Destination GPU of the doomed transfer.
+        gpu: usize,
+        /// The data item that could not be delivered.
+        data: DataId,
+        /// Attempts made (the configured `max_attempts`).
+        attempts: u32,
+    },
+    /// Every GPU suffered a fail-stop fault before the task set finished.
+    AllGpusFailed {
+        /// Tasks completed before the last GPU died.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
+    /// The fault plan does not fit the platform (bad GPU index, zero
+    /// retry budget, …). The message pinpoints the offending clause.
+    InvalidFaultPlan(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -89,6 +123,19 @@ impl std::fmt::Display for RunError {
                 "scheduler stalled after {completed}/{total} tasks completed"
             ),
             RunError::EventBudgetExceeded => write!(f, "event budget exceeded"),
+            RunError::TransferFailed {
+                gpu,
+                data,
+                attempts,
+            } => write!(
+                f,
+                "transfer of data {data} to GPU {gpu} failed {attempts} times (retry budget exhausted)"
+            ),
+            RunError::AllGpusFailed { completed, total } => write!(
+                f,
+                "all GPUs failed with {completed}/{total} tasks completed"
+            ),
+            RunError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }
@@ -98,9 +145,21 @@ impl std::error::Error for RunError {}
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     /// A transfer to `gpu` completed; `src` is the peer GPU for NVLink
-    /// transfers (`u32::MAX` = host memory over the PCI bus).
-    TransferDone { gpu: u32, data: u32, src: u32 },
+    /// transfers (`u32::MAX` = host memory over the PCI bus). `attempt`
+    /// numbers the delivery attempt (1 unless transfer faults retried it).
+    TransferDone {
+        gpu: u32,
+        data: u32,
+        src: u32,
+        attempt: u32,
+    },
     TaskDone { gpu: u32, task: u32 },
+    /// Fail-stop death; index into `FaultPlan::gpu_failures`.
+    GpuFail { idx: u32 },
+    /// Capacity shrink; index into `FaultPlan::capacity_shrinks`.
+    Shrink { idx: u32 },
+    /// Straggler onset; index into `FaultPlan::stragglers`.
+    Straggle { idx: u32 },
 }
 
 /// `src` sentinel for host→GPU transfers.
@@ -161,13 +220,43 @@ pub fn run_with_config(
         completed: 0,
         flops_done: 0.0,
         trace: Vec::new(),
+        dead: vec![false; k],
+        speed: vec![1.0; k],
+        pending_shrinks: Vec::new(),
+        transfer_checks: 0,
+        retries: 0,
+        redispatched: 0,
+        failures: 0,
     };
+
+    // Seed the fault timeline. With the default empty plan this pushes
+    // nothing, so event sequence numbering — and therefore every
+    // deterministic tie-break downstream — is untouched: a fault-free run
+    // is byte-identical to one on a build without the subsystem.
+    if !config.faults.is_empty() {
+        config
+            .faults
+            .validate(k)
+            .map_err(RunError::InvalidFaultPlan)?;
+        for (i, f) in config.faults.gpu_failures.iter().enumerate() {
+            st.push_event(f.at, Event::GpuFail { idx: i as u32 });
+        }
+        for (i, s) in config.faults.capacity_shrinks.iter().enumerate() {
+            st.push_event(s.at, Event::Shrink { idx: i as u32 });
+        }
+        for (i, s) in config.faults.stragglers.iter().enumerate() {
+            st.push_event(s.at, Event::Straggle { idx: i as u32 });
+        }
+    }
 
     let mut sched_wall: Vec<Nanos> = vec![0; k];
     let mut processed: u64 = 0;
     loop {
         for g in 0..k {
-            progress(ts, spec, scheduler, &mut st, &mut sched_wall, g, config);
+            if st.dead[g] {
+                continue;
+            }
+            progress(ts, spec, scheduler, &mut st, &mut sched_wall, g, config)?;
         }
         if st.completed == m {
             break;
@@ -186,9 +275,60 @@ pub fn run_with_config(
             return Err(RunError::EventBudgetExceeded);
         }
         match ev {
-            Event::TransferDone { gpu, data, src } => {
+            Event::TransferDone {
+                gpu,
+                data,
+                src,
+                attempt,
+            } => {
                 let g = gpu as usize;
                 let d = DataId(data);
+                if let Some(tf) = &config.faults.transfer_faults {
+                    let serial = st.transfer_checks;
+                    st.transfer_checks += 1;
+                    if tf.faulty(serial) {
+                        // The delivery failed in flight. A peer read is
+                        // abandoned (release the source pin); retries
+                        // always re-fetch from host over the PCI bus.
+                        if src != FROM_HOST {
+                            st.mem[src as usize].unpin(d);
+                        }
+                        if attempt >= tf.max_attempts {
+                            return Err(RunError::TransferFailed {
+                                gpu: g,
+                                data: d,
+                                attempts: attempt,
+                            });
+                        }
+                        st.retries += 1;
+                        let size = ts.data_size(d);
+                        let start = st.bus_free_at.max(st.now + tf.backoff(attempt));
+                        let done = start + spec.transfer_time(size);
+                        st.bus_free_at = done;
+                        st.push_event(
+                            done,
+                            Event::TransferDone {
+                                gpu,
+                                data,
+                                src: FROM_HOST,
+                                attempt: attempt + 1,
+                            },
+                        );
+                        if config.collect_trace {
+                            st.trace.push(TraceEvent::TransferRetry {
+                                at: st.now,
+                                gpu: g,
+                                data: data as usize,
+                                attempt: attempt + 1,
+                            });
+                        }
+                        let view = st.view(ts, spec);
+                        timed(&mut sched_wall, g, || {
+                            scheduler.on_transfer_retry(GpuId(gpu), d, attempt + 1, &view)
+                        });
+                        continue;
+                    }
+                }
                 st.mem[g].finish_load(d, ts.data_size(d), st.now);
                 if src != FROM_HOST {
                     // Release the read pin on the NVLink source replica.
@@ -210,9 +350,18 @@ pub fn run_with_config(
                 timed(&mut sched_wall, g, || {
                     scheduler.on_data_loaded(GpuId(gpu), d, &view)
                 });
+                // The load turned Loading bytes into evictable Resident
+                // bytes: a deferred fault shrink may now complete.
+                retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g, config);
             }
             Event::TaskDone { gpu, task } => {
                 let g = gpu as usize;
+                if st.dead[g] {
+                    // Stale completion of a task lost to a fail-stop
+                    // fault: the task was returned to the scheduler when
+                    // the GPU died and will run elsewhere.
+                    continue;
+                }
                 let t = TaskId(task);
                 debug_assert!(st.running[g] && st.pipeline[g].front() == Some(&t));
                 st.pipeline[g].pop_front();
@@ -238,6 +387,85 @@ pub fn run_with_config(
                 timed(&mut sched_wall, g, || {
                     scheduler.on_task_complete(GpuId(gpu), t, &view)
                 });
+                // The completion released pins: a deferred fault shrink
+                // may now complete.
+                retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g, config);
+            }
+            Event::GpuFail { idx } => {
+                let g = config.faults.gpu_failures[idx as usize].gpu;
+                if st.dead[g] {
+                    continue;
+                }
+                st.dead[g] = true;
+                st.failures += 1;
+                if st.running[g] {
+                    // The interrupted task never completes: release its
+                    // pins and refund the unexecuted tail of its busy
+                    // charge (its stale TaskDone event is dropped on
+                    // arrival by the dead-GPU guard above).
+                    let head = st.pipeline[g][0];
+                    for d in ts.input_ids(head) {
+                        st.mem[g].unpin(d);
+                    }
+                    let rem = st.gpu_free_at[g].saturating_sub(st.now);
+                    st.busy[g] = st.busy[g].saturating_sub(rem);
+                    st.running[g] = false;
+                }
+                st.gpu_free_at[g] = st.now;
+                st.pending_shrinks.retain(|&(gg, _)| gg != g);
+                let lost: Vec<TaskId> = st.pipeline[g].drain(..).collect();
+                st.redispatched += lost.len() as u64;
+                if config.collect_trace {
+                    st.trace.push(TraceEvent::GpuFailed { at: st.now, gpu: g });
+                }
+                // Survivors must re-pop: the failure changes every
+                // policy's routing state.
+                st.stalled_pop.iter_mut().for_each(|s| *s = false);
+                let view = st.view(ts, spec);
+                timed(&mut sched_wall, g, || {
+                    scheduler.on_gpu_failed(GpuId(g as u32), &lost, &view)
+                });
+                if st.dead.iter().all(|&x| x) && st.completed < m {
+                    return Err(RunError::AllGpusFailed {
+                        completed: st.completed,
+                        total: m,
+                    });
+                }
+            }
+            Event::Shrink { idx } => {
+                let s = config.faults.capacity_shrinks[idx as usize];
+                if st.dead[s.gpu] {
+                    continue;
+                }
+                let fully = apply_shrink(
+                    ts,
+                    spec,
+                    scheduler,
+                    &mut st,
+                    &mut sched_wall,
+                    s.gpu,
+                    s.new_capacity,
+                    config,
+                );
+                if !fully {
+                    // Pinned or in-flight data blocked part of the
+                    // shrink; tighten further as the GPU's pins release.
+                    st.pending_shrinks.push((s.gpu, s.new_capacity));
+                }
+            }
+            Event::Straggle { idx } => {
+                let s = config.faults.stragglers[idx as usize];
+                if st.dead[s.gpu] {
+                    continue;
+                }
+                st.speed[s.gpu] = s.factor;
+                if config.collect_trace {
+                    st.trace.push(TraceEvent::GpuSlowed {
+                        at: st.now,
+                        gpu: s.gpu,
+                        factor: s.factor,
+                    });
+                }
             }
         }
     }
@@ -264,6 +492,9 @@ pub fn run_with_config(
         per_gpu,
         prepare_wall,
         sched_wall: sched_wall.iter().sum(),
+        transfer_retries: st.retries,
+        gpu_failures: st.failures,
+        tasks_redispatched: st.redispatched,
     };
     Ok((report, st.trace))
 }
@@ -294,6 +525,22 @@ struct State {
     completed: usize,
     flops_done: f64,
     trace: Vec<TraceEvent>,
+    /// Per-GPU fail-stop flag (all false without faults).
+    dead: Vec<bool>,
+    /// Per-GPU speed factor applied to compute times (all 1.0 without
+    /// faults; a straggler fault lowers it).
+    speed: Vec<f64>,
+    /// Fault shrinks blocked by pinned/in-flight data: `(gpu, target)`
+    /// pairs re-attempted whenever that GPU releases pins.
+    pending_shrinks: Vec<(usize, u64)>,
+    /// Serial number of the next transfer-fault decision.
+    transfer_checks: u64,
+    /// Transfer retries performed (fault injection).
+    retries: u64,
+    /// Tasks re-dispatched after fail-stop faults.
+    redispatched: u64,
+    /// GPUs lost to fail-stop faults.
+    failures: u64,
 }
 
 impl State {
@@ -307,6 +554,7 @@ impl State {
             missing: &self.missing,
             bus_free_at: self.bus_free_at,
             gpu_free_at: &self.gpu_free_at,
+            dead: &self.dead,
         }
     }
 
@@ -324,7 +572,9 @@ fn timed<R>(wall: &mut [Nanos], gpu: usize, f: impl FnOnce() -> R) -> R {
 }
 
 /// Give GPU `g` every chance to advance: refill its pipeline from the
-/// scheduler, issue prefetches, and start the head task.
+/// scheduler, issue prefetches, and start the head task. Errs when a
+/// popped task can no longer fit the GPU's (possibly fault-shrunk)
+/// capacity.
 #[allow(clippy::too_many_arguments)]
 fn progress(
     ts: &TaskSet,
@@ -334,7 +584,7 @@ fn progress(
     sched_wall: &mut [Nanos],
     g: usize,
     config: &RunConfig,
-) {
+) -> Result<(), RunError> {
     // 1. Refill the pipeline.
     while st.pipeline[g].len() < spec.pipeline_depth && !st.stalled_pop[g] {
         let view = st.view(ts, spec);
@@ -342,7 +592,19 @@ fn progress(
             scheduler.pop_task(GpuId(g as u32), &view)
         });
         match popped {
-            Some(t) => st.pipeline[g].push_back(t),
+            Some(t) => {
+                // The upfront feasibility check used the nominal capacity;
+                // a fault shrink may have lowered this GPU's since. A task
+                // that cannot ever fit must fail loudly, not stall.
+                if ts.task_footprint(t) > st.mem[g].capacity() {
+                    return Err(RunError::TaskTooLarge {
+                        task: t,
+                        footprint: ts.task_footprint(t),
+                        capacity: st.mem[g].capacity(),
+                    });
+                }
+                st.pipeline[g].push_back(t)
+            }
             None => {
                 st.stalled_pop[g] = true;
             }
@@ -389,15 +651,29 @@ fn progress(
                             scheduler.on_data_evicted(GpuId(g as u32), v, &view)
                         });
                     }
-                    None => break 'issue, // memory fully pinned: retry later
+                    None => {
+                        // Nothing evictable. If the task's footprint
+                        // exceeds the (possibly fault-shrunk) capacity it
+                        // can never fit — fail loudly. Otherwise the
+                        // blockage is transient pins: retry later.
+                        if ts.task_footprint(t) > st.mem[g].capacity() {
+                            return Err(RunError::TaskTooLarge {
+                                task: t,
+                                footprint: ts.task_footprint(t),
+                                capacity: st.mem[g].capacity(),
+                            });
+                        }
+                        break 'issue;
+                    }
                 }
             }
             st.mem[g].begin_load(d, size);
             st.missing.load_issued(ts, g, d);
             // Prefer a peer replica over the NVLink fabric when available
             // (the §VI extension); otherwise cross the shared PCI bus.
+            // Replicas on fault-killed GPUs are unreachable.
             let peer = spec.nvlink_bandwidth.and_then(|_| {
-                (0..st.mem.len()).find(|&h| h != g && st.mem[h].is_resident(d))
+                (0..st.mem.len()).find(|&h| h != g && !st.dead[h] && st.mem[h].is_resident(d))
             });
             let (done_at, src) = match peer {
                 Some(h) => {
@@ -420,6 +696,7 @@ fn progress(
                     gpu: g as u32,
                     data: raw,
                     src,
+                    attempt: 1,
                 },
             );
             if config.collect_trace {
@@ -444,6 +721,7 @@ fn progress(
     // 4. The prefetches above may have completed synchronously-needed
     //    state changes; give the head another chance to start.
     try_start(ts, spec, st, g, config);
+    Ok(())
 }
 
 /// Start the head task of GPU `g` if it is not running and all its inputs
@@ -463,7 +741,14 @@ fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize, config
         st.mem[g].touch(d, st.now);
     }
     st.running[g] = true;
-    let dur = spec.compute_time_on(g, ts.flops(head));
+    let base = spec.compute_time_on(g, ts.flops(head));
+    // A straggler fault divides the GPU's effective speed; the untouched
+    // 1.0 path preserves the fault-free durations bit-for-bit.
+    let dur = if st.speed[g] == 1.0 {
+        base
+    } else {
+        (base as f64 / st.speed[g]).ceil() as Nanos
+    };
     st.busy[g] += dur;
     let end = st.now + dur;
     st.gpu_free_at[g] = end;
@@ -538,6 +823,98 @@ fn pick_victim(
     // LRU list from the oldest end (equivalent to the old key-argmin scan
     // because touch keys are unique) instead of scanning all data.
     st.mem[g].lru_victim_where(|d| protect.binary_search(&d.0).is_err())
+}
+
+/// Apply a fault-induced capacity shrink on GPU `g`: evict down to
+/// `target` bytes (scheduler victim choice first, LRU fallback — the same
+/// policy path as memory-pressure eviction), then lower the capacity as
+/// far as the evictions allow. Pinned and in-flight data cannot be freed,
+/// so the capacity may land above `target`; returns whether the target
+/// was fully reached. Every actual capacity change emits
+/// [`TraceEvent::CapacityShrunk`] and fires
+/// [`Scheduler::on_capacity_changed`].
+#[allow(clippy::too_many_arguments)]
+fn apply_shrink(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    g: usize,
+    target: u64,
+    config: &RunConfig,
+) -> bool {
+    let mut evicted_any = false;
+    while st.mem[g].used_bytes() > target {
+        let Some(v) = pick_victim(ts, spec, scheduler, st, sched_wall, g, &[]) else {
+            break;
+        };
+        st.mem[g].evict(v, ts.data_size(v));
+        st.missing.evicted(ts, g, v);
+        evicted_any = true;
+        if config.collect_trace {
+            st.trace.push(TraceEvent::Evicted {
+                at: st.now,
+                gpu: g,
+                data: v.index(),
+            });
+        }
+        let view = st.view(ts, spec);
+        timed(sched_wall, g, || {
+            scheduler.on_data_evicted(GpuId(g as u32), v, &view)
+        });
+    }
+    let effective = target.max(st.mem[g].used_bytes());
+    if effective != st.mem[g].capacity() {
+        st.mem[g].set_capacity(effective);
+        if config.collect_trace {
+            st.trace.push(TraceEvent::CapacityShrunk {
+                at: st.now,
+                gpu: g,
+                capacity: effective,
+            });
+        }
+        let view = st.view(ts, spec);
+        timed(sched_wall, g, || {
+            scheduler.on_capacity_changed(GpuId(g as u32), effective, &view)
+        });
+    }
+    if evicted_any {
+        // Residency changed under the schedulers' feet: let them re-pop.
+        st.stalled_pop.iter_mut().for_each(|s| *s = false);
+    }
+    effective <= target
+}
+
+/// Re-attempt the deferred fault shrinks of GPU `g` (pins may have just
+/// been released by a completion or a finished load).
+#[allow(clippy::too_many_arguments)]
+fn retry_pending_shrinks(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    g: usize,
+    config: &RunConfig,
+) {
+    if st.pending_shrinks.is_empty() {
+        return;
+    }
+    let targets: Vec<u64> = st
+        .pending_shrinks
+        .iter()
+        .filter(|&&(gg, _)| gg == g)
+        .map(|&(_, t)| t)
+        .collect();
+    let mut reached: Vec<u64> = Vec::new();
+    for target in targets {
+        if apply_shrink(ts, spec, scheduler, st, sched_wall, g, target, config) {
+            reached.push(target);
+        }
+    }
+    st.pending_shrinks
+        .retain(|&(gg, t)| gg != g || !reached.contains(&t));
 }
 
 #[cfg(test)]
@@ -800,5 +1177,270 @@ mod tests {
         let expected = 10_000.0 / (report.makespan as f64 / 1e9) / 1e9;
         assert!((report.gflops() - expected).abs() < 1e-9);
         assert!(report.gflops_with_sched() <= report.gflops());
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    use crate::fault::{FaultPlan, TransferFaultSpec};
+
+    /// FIFO that requeues tasks lost to a fail-stop (minimal recovery).
+    struct Recovering {
+        queue: std::collections::VecDeque<TaskId>,
+    }
+
+    impl Recovering {
+        fn new(ts: &TaskSet) -> Self {
+            Self {
+                queue: ts.tasks().collect(),
+            }
+        }
+    }
+
+    impl Scheduler for Recovering {
+        fn name(&self) -> String {
+            "recovering-fifo".into()
+        }
+        fn pop_task(&mut self, _gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
+            self.queue.pop_front()
+        }
+        fn on_gpu_failed(&mut self, _gpu: GpuId, lost: &[TaskId], _view: &RuntimeView<'_>) {
+            for &t in lost.iter().rev() {
+                self.queue.push_front(t);
+            }
+        }
+    }
+
+    fn four_task_set() -> TaskSet {
+        let mut b = TaskSetBuilder::new();
+        let d: Vec<_> = (0..4).map(|_| b.add_data(1000)).collect();
+        for &di in &d {
+            b.add_task(&[di], 5000.0);
+        }
+        b.build()
+    }
+
+    fn faulty_config(faults: FaultPlan) -> RunConfig {
+        RunConfig {
+            collect_trace: true,
+            faults,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let ts = two_task_set();
+        let spec = tiny_spec(1, 10_000);
+        let base = run_with_config(
+            &ts,
+            &spec,
+            &mut Fifo::new(&ts),
+            &RunConfig {
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let explicit = run_with_config(
+            &ts,
+            &spec,
+            &mut Fifo::new(&ts),
+            &faulty_config(FaultPlan::none()),
+        )
+        .unwrap();
+        assert_eq!(base.1, explicit.1, "trace must be identical with faults off");
+        assert_eq!(base.0.makespan, explicit.0.makespan);
+        assert_eq!(explicit.0.gpu_failures, 0);
+        assert_eq!(explicit.0.transfer_retries, 0);
+        assert_eq!(explicit.0.tasks_redispatched, 0);
+    }
+
+    #[test]
+    fn gpu_failure_redispatches_lost_tasks() {
+        let ts = four_task_set();
+        let spec = tiny_spec(2, 10_000);
+        // GPU 1 dies mid-first-task; its pipeline (2 tasks) reroutes.
+        let plan = FaultPlan::none().with_gpu_failure(1, 2_500);
+        let (report, trace) =
+            run_with_config(&ts, &spec, &mut Recovering::new(&ts), &faulty_config(plan))
+                .unwrap();
+        let finished = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TaskFinished { .. }))
+            .count();
+        assert_eq!(finished, 4, "every task completes exactly once");
+        assert_eq!(report.per_gpu[1].tasks, 0, "GPU 1 died before finishing any");
+        assert_eq!(report.per_gpu[0].tasks, 4);
+        assert_eq!(report.gpu_failures, 1);
+        assert_eq!(report.tasks_redispatched, 2);
+        assert!(
+            trace.iter().any(|e| matches!(
+                e,
+                TraceEvent::GpuFailed { gpu: 1, .. }
+            )),
+            "failure must be traced"
+        );
+        // Survivor-only execution is slower than the fault-free run.
+        let healthy = run(&ts, &spec, &mut Recovering::new(&ts)).unwrap();
+        assert!(report.makespan > healthy.makespan);
+        assert!(report.degradation_vs(&healthy) > 1.0);
+    }
+
+    #[test]
+    fn all_gpus_failed_aborts_the_run() {
+        let ts = two_task_set();
+        let plan = FaultPlan::none().with_gpu_failure(0, 100);
+        let err = run_with_config(
+            &ts,
+            &tiny_spec(1, 10_000),
+            &mut Recovering::new(&ts),
+            &faulty_config(plan),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::AllGpusFailed {
+                completed: 0,
+                total: 2
+            }
+        );
+    }
+
+    #[test]
+    fn straggler_stretches_compute_deterministically() {
+        // Factor 0.5 from t = 0 doubles both 5000-ns tasks:
+        // load D0 (1000) + 10_000 + 10_000 = 21_000.
+        let ts = two_task_set();
+        let plan = FaultPlan::none().with_straggler(0, 0, 0.5);
+        let (report, trace) = run_with_config(
+            &ts,
+            &tiny_spec(1, 10_000),
+            &mut Fifo::new(&ts),
+            &faulty_config(plan),
+        )
+        .unwrap();
+        assert_eq!(report.makespan, 21_000);
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::GpuSlowed { factor, .. } if *factor == 0.5)));
+    }
+
+    #[test]
+    fn exhausted_transfer_retries_fail_the_run() {
+        let ts = two_task_set();
+        let plan = FaultPlan::none().with_transfer_faults(TransferFaultSpec {
+            seed: 7,
+            fault_ppm: 1_000_000, // every delivery attempt faults
+            max_attempts: 3,
+            backoff_base: 100,
+        });
+        let err = run_with_config(
+            &ts,
+            &tiny_spec(1, 10_000),
+            &mut Fifo::new(&ts),
+            &faulty_config(plan),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, RunError::TransferFailed { attempts: 3, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn transfer_retries_recover_and_replay_identically() {
+        let ts = two_task_set();
+        let spec = tiny_spec(1, 10_000);
+        // seed 2 faults the very first delivery check of this run shape.
+        let plan = FaultPlan::none().with_transfer_faults(TransferFaultSpec {
+            seed: 2,
+            fault_ppm: 500_000,
+            max_attempts: 32,
+            backoff_base: 100,
+        });
+        let a = run_with_config(
+            &ts,
+            &spec,
+            &mut Fifo::new(&ts),
+            &faulty_config(plan.clone()),
+        )
+        .unwrap();
+        let b = run_with_config(&ts, &spec, &mut Fifo::new(&ts), &faulty_config(plan)).unwrap();
+        assert_eq!(a.1, b.1, "same seed must replay the same fault stream");
+        assert_eq!(a.0.makespan, b.0.makespan);
+        assert!(a.0.transfer_retries >= 1, "ppm 500k over 2 loads must retry");
+        let retries_in_trace = a
+            .1
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TransferRetry { .. }))
+            .count() as u64;
+        assert_eq!(a.0.transfer_retries, retries_in_trace);
+        // Faulted deliveries only delay the run, they never lose work.
+        assert_eq!(a.0.per_gpu[0].tasks, 2);
+    }
+
+    #[test]
+    fn capacity_shrink_forces_evictions() {
+        let mut b = TaskSetBuilder::new();
+        let d: Vec<_> = (0..3).map(|_| b.add_data(1000)).collect();
+        for &di in &d {
+            b.add_task(&[di], 5000.0);
+        }
+        let ts = b.build();
+        // Starts with room for all three items; shrinks to one mid-run.
+        let plan = FaultPlan::none().with_capacity_shrink(0, 4_000, 1000);
+        let (report, trace) = run_with_config(
+            &ts,
+            &tiny_spec(1, 3000),
+            &mut Fifo::new(&ts),
+            &faulty_config(plan),
+        )
+        .unwrap();
+        assert_eq!(report.per_gpu[0].tasks, 3, "all tasks still complete");
+        assert!(report.total_evictions >= 1, "shrink must evict residents");
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            TraceEvent::CapacityShrunk { capacity: 1000, .. }
+        )));
+    }
+
+    #[test]
+    fn post_shrink_infeasible_task_is_a_structured_error() {
+        // Task 1 needs 2000 B; the shrink (processed at t = 0, before any
+        // transfer) caps GPU 0 at 1500 B, so the pop-time check fires.
+        let ts = two_task_set();
+        let plan = FaultPlan::none().with_capacity_shrink(0, 0, 1500);
+        let err = run_with_config(
+            &ts,
+            &tiny_spec(1, 10_000),
+            &mut Fifo::new(&ts),
+            &faulty_config(plan),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::TaskTooLarge {
+                task: TaskId(1),
+                footprint: 2000,
+                capacity: 1500
+            }
+        );
+    }
+
+    #[test]
+    fn fault_error_messages_are_readable() {
+        let e = RunError::TransferFailed {
+            gpu: 1,
+            data: memsched_model::DataId(3),
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("retry budget"));
+        let e = RunError::AllGpusFailed {
+            completed: 5,
+            total: 9,
+        };
+        assert!(e.to_string().contains("5/9"));
+        let e = RunError::InvalidFaultPlan("fail: GPU 7 out of range".into());
+        assert!(e.to_string().contains("GPU 7"));
     }
 }

@@ -35,6 +35,7 @@
 
 pub mod analysis;
 mod engine;
+mod fault;
 mod memory;
 mod report;
 mod scheduler;
@@ -42,6 +43,7 @@ mod spec;
 
 pub use analysis::{analyze, analyze_checked, render_gantt, TraceAnalysis};
 pub use engine::{run, run_with_config, RunConfig, RunError};
+pub use fault::{CapacityShrink, FaultPlan, GpuFailure, Straggler, TransferFaultSpec};
 pub use memory::{GpuMemory, Residency};
 pub use report::{GpuRunStats, RunReport, TraceEvent};
 pub use scheduler::{RuntimeView, Scheduler};

@@ -97,6 +97,18 @@ impl GpuMemory {
         self.capacity
     }
 
+    /// Change the capacity (fault-induced shrink / later recovery). The
+    /// caller must first evict down to the new bound: shrinking below
+    /// `used_bytes` would make `free_bytes` underflow.
+    pub fn set_capacity(&mut self, new_capacity: u64) {
+        debug_assert!(
+            new_capacity >= self.used_bytes,
+            "set_capacity({new_capacity}) below used_bytes ({})",
+            self.used_bytes
+        );
+        self.capacity = new_capacity;
+    }
+
     /// Bytes resident or reserved by in-flight transfers.
     pub fn used_bytes(&self) -> u64 {
         self.used_bytes

@@ -48,6 +48,17 @@ pub struct RunReport {
     pub prepare_wall: Nanos,
     /// Wall-clock nanoseconds of all dynamic scheduler callbacks.
     pub sched_wall: Nanos,
+    /// Transfer retries caused by injected transient faults (0 without
+    /// fault injection).
+    #[serde(default)]
+    pub transfer_retries: u64,
+    /// GPUs lost to injected fail-stop faults during the run.
+    #[serde(default)]
+    pub gpu_failures: u64,
+    /// Tasks returned to the scheduler by fail-stop faults and executed
+    /// elsewhere.
+    #[serde(default)]
+    pub tasks_redispatched: u64,
 }
 
 impl RunReport {
@@ -102,6 +113,16 @@ impl RunReport {
     pub fn max_load(&self) -> usize {
         self.per_gpu.iter().map(|g| g.tasks).max().unwrap_or(0)
     }
+
+    /// Degraded-mode slowdown versus a fault-free `baseline` run of the
+    /// same workload: `makespan / baseline.makespan`. 1.0 means the
+    /// faults cost nothing; 2.0 means the run took twice as long.
+    pub fn degradation_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.makespan == 0 {
+            return 1.0;
+        }
+        self.makespan as f64 / baseline.makespan as f64
+    }
 }
 
 /// A timestamped record of everything the engine did; enabled through
@@ -154,5 +175,45 @@ pub enum TraceEvent {
         gpu: usize,
         /// Task index.
         task: usize,
+    },
+    /// `gpu` suffered an injected fail-stop fault; its pipelined tasks
+    /// were returned to the scheduler.
+    GpuFailed {
+        /// Simulation time.
+        at: Nanos,
+        /// GPU index.
+        gpu: usize,
+    },
+    /// A transfer of `data` to `gpu` failed transiently; delivery attempt
+    /// `attempt` was queued on the PCI bus after backoff.
+    TransferRetry {
+        /// Simulation time.
+        at: Nanos,
+        /// Destination GPU index.
+        gpu: usize,
+        /// Data index.
+        data: usize,
+        /// Attempt number about to run (2 = first retry).
+        attempt: u32,
+    },
+    /// `gpu`'s memory capacity changed to `capacity` bytes (injected
+    /// shrink; emitted per actual change, so a shrink blocked by pinned
+    /// data appears again as it tightens).
+    CapacityShrunk {
+        /// Simulation time.
+        at: Nanos,
+        /// GPU index.
+        gpu: usize,
+        /// New capacity in bytes.
+        capacity: u64,
+    },
+    /// `gpu`'s effective speed changed by an injected straggler fault.
+    GpuSlowed {
+        /// Simulation time.
+        at: Nanos,
+        /// GPU index.
+        gpu: usize,
+        /// Speed multiplier now in effect (< 1 is slower).
+        factor: f64,
     },
 }

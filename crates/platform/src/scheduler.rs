@@ -98,6 +98,9 @@ pub struct RuntimeView<'a> {
     pub(crate) bus_free_at: Nanos,
     /// Simulated time at which each GPU finishes its queued work.
     pub(crate) gpu_free_at: &'a [Nanos],
+    /// Per-GPU fail-stop flag: `true` once the GPU died. All-`false` in a
+    /// fault-free run.
+    pub(crate) dead: &'a [bool],
 }
 
 impl<'a> RuntimeView<'a> {
@@ -214,6 +217,13 @@ impl<'a> RuntimeView<'a> {
     pub fn gpu_free_at(&self, gpu: GpuId) -> Nanos {
         self.gpu_free_at[gpu.index()]
     }
+
+    /// False once `gpu` suffered a fail-stop fault (see
+    /// [`crate::FaultPlan`]). Always true in a fault-free run. Recovery
+    /// logic re-routing orphaned tasks must only target alive GPUs.
+    pub fn is_alive(&self, gpu: GpuId) -> bool {
+        !self.dead[gpu.index()]
+    }
 }
 
 /// A scheduling policy driven by the runtime engine.
@@ -270,5 +280,30 @@ pub trait Scheduler {
     /// `data` was evicted from `gpu`.
     fn on_data_evicted(&mut self, gpu: GpuId, data: DataId, view: &RuntimeView<'_>) {
         let _ = (gpu, data, view);
+    }
+
+    /// `gpu` suffered a fail-stop fault. `lost` is its pipeline at the
+    /// time of death in execution order (the interrupted running task
+    /// first); these tasks never completed and must be made poppable
+    /// again, or they are lost and the run ends in
+    /// [`crate::RunError::SchedulerStuck`]. `view` already reports the
+    /// GPU as dead ([`RuntimeView::is_alive`] is false) and its pipeline
+    /// as empty. The engine never calls `pop_task` for a dead GPU again.
+    fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+        let _ = (gpu, lost, view);
+    }
+
+    /// A transfer of `data` to `gpu` failed transiently and was re-queued
+    /// (attempt number `attempt` is about to run). Informational: the
+    /// engine owns the retry; the data stays `Loading` throughout.
+    fn on_transfer_retry(&mut self, gpu: GpuId, data: DataId, attempt: u32, view: &RuntimeView<'_>) {
+        let _ = (gpu, data, attempt, view);
+    }
+
+    /// `gpu`'s memory capacity changed to `capacity` bytes (fault-induced
+    /// shrink). Evictions forced by the shrink have already fired their
+    /// own [`on_data_evicted`](Self::on_data_evicted) notifications.
+    fn on_capacity_changed(&mut self, gpu: GpuId, capacity: u64, view: &RuntimeView<'_>) {
+        let _ = (gpu, capacity, view);
     }
 }

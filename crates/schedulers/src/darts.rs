@@ -1177,6 +1177,41 @@ impl Scheduler for DartsScheduler {
             }
         }
     }
+
+    fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+        // Fail-stop recovery mirrors the eviction-release path: every task
+        // committed to the dead GPU reverts to FREE so the per-GPU
+        // counters (`n_free`, `planned_uses`, the Fenwick draw set) see it
+        // again and the survivors re-plan it.
+        let ts = view.task_set();
+        let g = gpu.index();
+        // Unserved planned tasks: still counted in `planned_uses[g]`.
+        let planned: Vec<TaskId> = self.planned[g].drain(..).collect();
+        for t in planned {
+            debug_assert_eq!(self.task_state[t.index()], TAKEN);
+            self.task_state[t.index()] = FREE;
+            self.unallocated += 1;
+            if !self.is_naive() {
+                self.free_tasks.insert(t.index());
+                for &i in ts.inputs(t) {
+                    self.planned_uses[g][i as usize] -= 1;
+                }
+                self.contrib(ts, view, t, 1);
+            }
+        }
+        // Pipelined tasks: `on_planned_pop` already dropped their
+        // `planned_uses` when the worker popped them, so only the state
+        // and the free-task contribution come back.
+        for &t in lost {
+            debug_assert_eq!(self.task_state[t.index()], TAKEN);
+            self.task_state[t.index()] = FREE;
+            self.unallocated += 1;
+            if !self.is_naive() {
+                self.free_tasks.insert(t.index());
+                self.contrib(ts, view, t, 1);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

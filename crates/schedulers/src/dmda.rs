@@ -133,6 +133,31 @@ impl Scheduler for DmdaScheduler {
         };
         Some(q.remove(i))
     }
+
+    fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+        // Re-run the allocation step for the orphans only: the dead GPU's
+        // interrupted pipeline tasks and its whole unserved queue move to
+        // the shortest surviving queue (tie → lowest index), preserving
+        // their original service order.
+        let g = gpu.index();
+        let mut orphans: Vec<TaskId> = lost.to_vec();
+        orphans.append(&mut self.queues[g]);
+        let alive: Vec<usize> = (0..self.queues.len())
+            .filter(|&h| h != g && view.is_alive(GpuId(h as u32)))
+            .collect();
+        if alive.is_empty() {
+            // No survivors to reroute to; the engine aborts the run.
+            self.queues[g] = orphans;
+            return;
+        }
+        for t in orphans {
+            let &target = alive
+                .iter()
+                .min_by_key(|&&h| (self.queues[h].len(), h))
+                .expect("alive is non-empty");
+            self.queues[target].push(t);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,14 @@ impl Scheduler for EagerScheduler {
     fn pop_task(&mut self, _gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
         self.queue.pop_front()
     }
+
+    fn on_gpu_failed(&mut self, _gpu: GpuId, lost: &[TaskId], _view: &RuntimeView<'_>) {
+        // Put the orphans back at the head in their original order: the
+        // shared queue hands them to whichever survivor asks first.
+        for &t in lost.iter().rev() {
+            self.queue.push_front(t);
+        }
+    }
 }
 
 #[cfg(test)]

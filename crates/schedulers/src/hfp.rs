@@ -682,6 +682,14 @@ impl Scheduler for HfpScheduler {
             .expect("prepare() must run first")
             .pop(gpu, view)
     }
+
+    fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+        // The dead GPU's package tail folds into the survivors through
+        // the ordinary stealing machinery.
+        if let Some(q) = self.queues.as_mut() {
+            q.return_tasks(gpu, lost, view);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -131,6 +131,14 @@ impl Scheduler for HmetisRScheduler {
             .expect("prepare() must run first")
             .pop(gpu, view)
     }
+
+    fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+        // The dead GPU's partition tail folds into the survivors through
+        // the ordinary stealing machinery.
+        if let Some(q) = self.queues.as_mut() {
+            q.return_tasks(gpu, lost, view);
+        }
+    }
 }
 
 #[cfg(test)]

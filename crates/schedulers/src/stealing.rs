@@ -55,6 +55,27 @@ impl StealingQueues {
         Some(q.remove(i))
     }
 
+    /// Fault recovery: `gpu` died with `lost` tasks in its pipeline.
+    /// The orphans return to the head of the dead GPU's list (they were
+    /// next in line there), and the ordinary stealing machinery folds the
+    /// whole remaining tail into the survivors as they go idle. When
+    /// stealing is disabled nobody would ever pull from the dead queue,
+    /// so it is re-homed onto the least loaded alive GPU immediately.
+    pub fn return_tasks(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+        let g = gpu.index();
+        self.queues[g].splice(0..0, lost.iter().copied());
+        if !self.steal {
+            let orphans: Vec<TaskId> = std::mem::take(&mut self.queues[g]);
+            let target = (0..self.queues.len())
+                .filter(|&h| h != g && view.is_alive(GpuId(h as u32)))
+                .min_by_key(|&h| (self.queues[h].len(), h));
+            match target {
+                Some(h) => self.queues[h].extend(orphans),
+                None => self.queues[g] = orphans,
+            }
+        }
+    }
+
     /// Steal half (rounded down, at least one when possible) of the tail
     /// of the most loaded queue into queue `g`.
     fn try_steal(&mut self, g: usize) {
@@ -124,6 +145,102 @@ mod tests {
         assert_eq!(sched.0.steals, 0);
         assert_eq!(report.per_gpu[0].tasks, 8);
         assert_eq!(report.per_gpu[1].tasks, 0);
+    }
+
+    #[test]
+    fn steal_from_single_task_victim_takes_it() {
+        // vlen / 2 rounds to zero for a one-task victim; the `.max(1)`
+        // must still move that last task to the idle thief.
+        let mut q = StealingQueues::new(vec![vec![TaskId(0)], Vec::new()], 4, true);
+        q.try_steal(1);
+        assert_eq!(q.len(GpuId(0)), 0);
+        assert_eq!(q.len(GpuId(1)), 1);
+        assert_eq!(q.steals, 1);
+    }
+
+    #[test]
+    fn steal_with_no_victims_is_a_clean_noop() {
+        // Every queue empty (all survivors idle simultaneously): stealing
+        // must neither panic nor count a steal, and pop returns None.
+        let mut q = StealingQueues::new(vec![Vec::new(), Vec::new(), Vec::new()], 4, true);
+        q.try_steal(0);
+        assert_eq!(q.steals, 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn all_idle_survivors_drain_a_dead_queue_without_duplication() {
+        // Three GPUs; GPU0 dies holding all the work. Both survivors go
+        // idle at once and steal concurrently — every task must be served
+        // exactly once across them.
+        let ts = uniform_tasks(9);
+        let queues = vec![ts.tasks().collect(), Vec::new(), Vec::new()];
+        let sched = StealSched(StealingQueues::new(queues, 8, true));
+        let spec = PlatformSpec::v100(3).with_memory(100);
+        let plan = memsched_platform::FaultPlan::none().with_gpu_failure(0, 0);
+        let config = memsched_platform::RunConfig {
+            faults: plan,
+            ..Default::default()
+        };
+        struct StealRecover(StealSched);
+        impl Scheduler for StealRecover {
+            fn name(&self) -> String {
+                "steal-recover".into()
+            }
+            fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+                self.0.pop_task(gpu, view)
+            }
+            fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+                self.0 .0.return_tasks(gpu, lost, view);
+            }
+        }
+        let mut recovering = StealRecover(sched);
+        let report =
+            memsched_platform::run_with_config(&ts, &spec, &mut recovering, &config)
+                .unwrap()
+                .0;
+        assert_eq!(report.per_gpu[0].tasks, 0, "GPU0 died at t = 0");
+        assert_eq!(report.per_gpu[1].tasks + report.per_gpu[2].tasks, 9);
+        assert!(recovering.0 .0.steals >= 2, "both survivors must steal");
+    }
+
+    #[test]
+    fn no_steal_rehoming_preserves_service_order() {
+        // Stealing disabled: when GPU0 dies its whole queue re-homes to
+        // the surviving GPU immediately, in the original service order.
+        let ts = uniform_tasks(6);
+        let queues = vec![ts.tasks().collect(), Vec::new()];
+        struct Recover(StealingQueues);
+        impl Scheduler for Recover {
+            fn name(&self) -> String {
+                "rehome-test".into()
+            }
+            fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+                self.0.pop(gpu, view)
+            }
+            fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+                self.0.return_tasks(gpu, lost, view);
+            }
+        }
+        let mut sched = Recover(StealingQueues::new(queues, 8, false));
+        let spec = PlatformSpec::v100(2).with_memory(100);
+        let config = memsched_platform::RunConfig {
+            collect_trace: true,
+            faults: memsched_platform::FaultPlan::none().with_gpu_failure(0, 0),
+            ..Default::default()
+        };
+        let (report, trace) =
+            memsched_platform::run_with_config(&ts, &spec, &mut sched, &config).unwrap();
+        assert_eq!(report.per_gpu[1].tasks, 6, "everything re-homed to GPU1");
+        assert_eq!(sched.0.steals, 0);
+        let order: Vec<usize> = trace
+            .iter()
+            .filter_map(|e| match e {
+                memsched_platform::TraceEvent::TaskFinished { task, .. } => Some(*task),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5], "service order preserved");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Every scheduler family must survive a mid-run GPU fail-stop: the dead
+//! GPU's pipeline and unserved queue reroute to the survivors, every task
+//! still completes exactly once, and a same-seed replay is byte-identical.
+
+use memsched_platform::{
+    run, run_with_config, FaultPlan, PlatformSpec, RunConfig, TraceEvent,
+};
+use memsched_schedulers::NamedScheduler;
+use memsched_workloads::gemm_2d;
+
+const FAMILIES: &[NamedScheduler] = &[
+    NamedScheduler::Eager,
+    NamedScheduler::Dmdar,
+    NamedScheduler::HmetisR,
+    NamedScheduler::Mhfp,
+    NamedScheduler::Darts,
+    NamedScheduler::DartsLuf,
+];
+
+/// A failure time early enough that plenty of work remains on the dead
+/// GPU, late enough that its pipeline is primed (gemm tasks run ~ms).
+const FAIL_AT: u64 = 2_000_000;
+
+fn faulted(plan: FaultPlan) -> RunConfig {
+    RunConfig {
+        collect_trace: true,
+        faults: plan,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_family_survives_a_gpu_failure() {
+    let ts = gemm_2d(6);
+    let spec = PlatformSpec::v100(3);
+    let plan = FaultPlan::none().with_gpu_failure(1, FAIL_AT);
+    for family in FAMILIES {
+        let mut sched = family.build();
+        let (report, trace) =
+            run_with_config(&ts, &spec, sched.as_mut(), &faulted(plan.clone()))
+                .unwrap_or_else(|e| panic!("{}: {e}", family.label()));
+        let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
+        assert_eq!(total, 36, "{}: tasks lost or duplicated", family.label());
+        assert_eq!(report.gpu_failures, 1, "{}", family.label());
+        // Finished-task trace must cover every task exactly once.
+        let mut seen = vec![0u32; ts.num_tasks()];
+        for e in &trace {
+            if let TraceEvent::TaskFinished { task, .. } = e {
+                seen[*task] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "{}: completion counts {seen:?}",
+            family.label()
+        );
+        // Nothing may finish on the dead GPU after the failure instant.
+        for e in &trace {
+            if let TraceEvent::TaskFinished { at, gpu, .. } = e {
+                assert!(
+                    *gpu != 1 || *at <= FAIL_AT,
+                    "{}: task finished on dead GPU at {at}",
+                    family.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn failure_runs_replay_identically() {
+    let ts = gemm_2d(5);
+    let spec = PlatformSpec::v100(2);
+    let plan = FaultPlan::none().with_gpu_failure(0, FAIL_AT);
+    for family in FAMILIES {
+        let (ra, ta) = run_with_config(
+            &ts,
+            &spec,
+            family.build().as_mut(),
+            &faulted(plan.clone()),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", family.label()));
+        let (rb, tb) = run_with_config(
+            &ts,
+            &spec,
+            family.build().as_mut(),
+            &faulted(plan.clone()),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", family.label()));
+        assert_eq!(ta, tb, "{}: same plan must replay identically", family.label());
+        assert_eq!(ra.makespan, rb.makespan, "{}", family.label());
+    }
+}
+
+#[test]
+fn degradation_is_graceful_not_fatal() {
+    // Losing one of three GPUs stretches the makespan but the run still
+    // completes; the degradation factor stays within the work lost.
+    let ts = gemm_2d(6);
+    let spec = PlatformSpec::v100(3);
+    let plan = FaultPlan::none().with_gpu_failure(2, FAIL_AT);
+    for family in FAMILIES {
+        let healthy = run(&ts, &spec, family.build().as_mut())
+            .unwrap_or_else(|e| panic!("{}: {e}", family.label()));
+        let (faulty, _) = run_with_config(
+            &ts,
+            &spec,
+            family.build().as_mut(),
+            &faulted(plan.clone()),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", family.label()));
+        let d = faulty.degradation_vs(&healthy);
+        // Rerouting occasionally lands on a slightly better schedule than
+        // the healthy allocation (it is a different decision sequence), so
+        // only gross speedups are suspicious.
+        assert!(
+            d > 0.9,
+            "{}: faulty run much faster than healthy ({d:.3})",
+            family.label()
+        );
+        assert!(
+            d < 4.0,
+            "{}: degradation {d:.3} way beyond the lost third",
+            family.label()
+        );
+    }
+}

@@ -49,7 +49,8 @@ pub mod prelude {
         bounds, replay, DataId, EvictionPolicy, GpuId, Schedule, TaskId, TaskSet, TaskSetBuilder,
     };
     pub use memsched_platform::{
-        run, run_with_config, PlatformSpec, RunConfig, RunReport, RuntimeView, Scheduler,
+        run, run_with_config, FaultPlan, PlatformSpec, RunConfig, RunError, RunReport,
+        RuntimeView, Scheduler, TransferFaultSpec,
     };
     pub use memsched_schedulers::{
         DartsConfig, DartsEviction, DartsScheduler, DmdaScheduler, EagerScheduler, HfpScheduler,

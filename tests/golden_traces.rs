@@ -34,6 +34,20 @@ fn render_event(ev: &TraceEvent) -> String {
         TraceEvent::TaskFinished { at, gpu, task } => {
             format!("{at:>12} gpu{gpu} task-finished task={task}")
         }
+        // Fault events never appear in these fault-free golden runs, but
+        // the match stays exhaustive so a new variant forces a decision.
+        TraceEvent::GpuFailed { at, gpu } => {
+            format!("{at:>12} gpu{gpu} gpu-failed")
+        }
+        TraceEvent::TransferRetry { at, gpu, data, attempt } => {
+            format!("{at:>12} gpu{gpu} transfer-retry data={data} attempt={attempt}")
+        }
+        TraceEvent::CapacityShrunk { at, gpu, capacity } => {
+            format!("{at:>12} gpu{gpu} capacity-shrunk capacity={capacity}")
+        }
+        TraceEvent::GpuSlowed { at, gpu, factor } => {
+            format!("{at:>12} gpu{gpu} gpu-slowed factor={factor}")
+        }
     }
 }
 

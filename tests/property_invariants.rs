@@ -264,6 +264,13 @@ proptest! {
                         finished[task] += 1;
                     }
                     TraceEvent::LoadDone { .. } => {}
+                    // Fault events cannot appear in these fault-free runs.
+                    TraceEvent::GpuFailed { .. }
+                    | TraceEvent::TransferRetry { .. }
+                    | TraceEvent::CapacityShrunk { .. }
+                    | TraceEvent::GpuSlowed { .. } => {
+                        prop_assert!(false, "fault event in a fault-free run: {ev:?}");
+                    }
                 }
             }
             prop_assert!(
@@ -322,7 +329,11 @@ proptest! {
                 TraceEvent::TaskFinished { at, gpu, task } => {
                     Some((at, HookEvent::Completed { gpu, task }))
                 }
-                TraceEvent::TaskStarted { .. } => None,
+                TraceEvent::TaskStarted { .. }
+                | TraceEvent::GpuFailed { .. }
+                | TraceEvent::TransferRetry { .. }
+                | TraceEvent::CapacityShrunk { .. }
+                | TraceEvent::GpuSlowed { .. } => None,
             })
             .collect();
         prop_assert!(!expected.is_empty(), "run produced no events");
@@ -331,6 +342,177 @@ proptest! {
             "event timestamps must be non-decreasing"
         );
         prop_assert_eq!(&sched.hooks, &expected);
+    }
+
+    /// Fault-injection invariants, all five scheduler families: under a
+    /// combined fail-stop + capacity shrink + straggler + flaky-bus plan,
+    /// (a) the same seed replays an identical event stream, (b) per-GPU
+    /// occupancy never exceeds the *current* (possibly shrunk) capacity,
+    /// (c) every task finishes exactly once and any extra start sits on
+    /// the GPU that later died, and (d) no task is lost.
+    #[test]
+    fn fault_recovery_invariants(
+        ts in arb_taskset(10, 20),
+        gpus in 2usize..4,
+        mem in 4u64..8,
+        dead_gpu in 0usize..2,
+        fail_at in 0u64..10_000_000,
+        shrink_at in 0u64..10_000_000,
+        shrink_to in 3u64..5,
+        slow_at in 0u64..10_000_000,
+        slow_pct in 25u32..100,
+        flaky_seed in any::<u64>(),
+    ) {
+        // The hMETIS partitioner needs at least one task per part.
+        prop_assume!(ts.num_tasks() >= gpus);
+        let dead_gpu = dead_gpu % gpus;
+        let shrunk_gpu = (dead_gpu + 1) % gpus; // always a survivor
+        let spec = PlatformSpec {
+            num_gpus: gpus,
+            memory_bytes: mem, // unit-size items: capacity in items
+            bus_bandwidth: 1e9,
+            transfer_latency: 10,
+            gpu_gflops: 1e-3,
+            pipeline_depth: 2,
+            gpu_gflops_override: None,
+            nvlink_bandwidth: None,
+        };
+        let plan = FaultPlan::none()
+            .with_gpu_failure(dead_gpu, fail_at)
+            .with_capacity_shrink(shrunk_gpu, shrink_at, shrink_to.min(mem))
+            .with_straggler(shrunk_gpu, slow_at, f64::from(slow_pct) / 100.0)
+            .with_transfer_faults(TransferFaultSpec {
+                seed: flaky_seed,
+                fault_ppm: 150_000,
+                max_attempts: 16,
+                backoff_base: 100,
+            });
+        let config = RunConfig {
+            collect_trace: true,
+            faults: plan,
+            ..RunConfig::default()
+        };
+        for named in [
+            NamedScheduler::Eager,
+            NamedScheduler::Dmdar,
+            NamedScheduler::HmetisR,
+            NamedScheduler::Mhfp,
+            NamedScheduler::DartsLuf,
+        ] {
+            let mut sched = named.build();
+            let (report, trace) =
+                memsched::platform::run_with_config(&ts, &spec, sched.as_mut(), &config)
+                    .unwrap();
+            // (a) determinism: a second run replays the exact stream.
+            let mut sched2 = named.build();
+            let (report2, trace2) =
+                memsched::platform::run_with_config(&ts, &spec, sched2.as_mut(), &config)
+                    .unwrap();
+            prop_assert_eq!(&trace, &trace2, "{:?}: non-deterministic replay", named);
+            prop_assert_eq!(report.makespan, report2.makespan);
+
+            // (b)+(c): walk the trace against the evolving capacity.
+            let mut cap = vec![spec.memory_bytes; gpus];
+            let mut occupied = vec![0u64; gpus];
+            let mut started_on: Vec<Vec<usize>> = vec![Vec::new(); ts.num_tasks()];
+            let mut finished = vec![0u32; ts.num_tasks()];
+            for ev in &trace {
+                match *ev {
+                    TraceEvent::LoadIssued { gpu, data, .. } => {
+                        occupied[gpu] += ts.data_size(DataId(data as u32));
+                        prop_assert!(
+                            occupied[gpu] <= cap[gpu],
+                            "{named:?}: GPU {gpu} occupancy {} exceeds current capacity {}",
+                            occupied[gpu], cap[gpu]
+                        );
+                    }
+                    TraceEvent::Evicted { gpu, data, .. } => {
+                        occupied[gpu] -= ts.data_size(DataId(data as u32));
+                    }
+                    TraceEvent::CapacityShrunk { gpu, capacity, .. } => {
+                        prop_assert!(
+                            occupied[gpu] <= capacity,
+                            "{named:?}: shrink left occupancy {} above capacity {capacity}",
+                            occupied[gpu]
+                        );
+                        cap[gpu] = capacity;
+                    }
+                    TraceEvent::TaskStarted { gpu, task, .. } => started_on[task].push(gpu),
+                    TraceEvent::TaskFinished { task, .. } => finished[task] += 1,
+                    _ => {}
+                }
+            }
+            for t in 0..ts.num_tasks() {
+                prop_assert_eq!(
+                    finished[t], 1,
+                    "{:?}: task {} finished {} times", named, t, finished[t]
+                );
+                let starts = &started_on[t];
+                prop_assert!(!starts.is_empty());
+                // Every start except the successful (last) one must have
+                // been interrupted by the fail-stop of its GPU.
+                for &g in &starts[..starts.len() - 1] {
+                    prop_assert_eq!(
+                        g, dead_gpu,
+                        "{:?}: task {} restarted without its GPU dying", named, t
+                    );
+                }
+            }
+            // (d) zero lost tasks.
+            let total: usize = report.per_gpu.iter().map(|g| g.tasks).sum();
+            prop_assert_eq!(total, ts.num_tasks());
+            // A fail-stop scheduled past the end of the run never fires;
+            // when it does fire, the report and trace must agree.
+            let traced_failures = trace
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::GpuFailed { .. }))
+                .count() as u64;
+            prop_assert!(report.gpu_failures <= 1);
+            prop_assert_eq!(report.gpu_failures, traced_failures);
+        }
+    }
+
+    /// A bus that faults every delivery attempt exhausts the retry budget
+    /// with a structured error naming the configured attempt cap — and
+    /// does so identically on every run.
+    #[test]
+    fn fault_transfer_exhaustion(
+        ts in arb_taskset(8, 12),
+        max_attempts in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = PlatformSpec {
+            num_gpus: 2,
+            memory_bytes: 4,
+            bus_bandwidth: 1e9,
+            transfer_latency: 10,
+            gpu_gflops: 1e-3,
+            pipeline_depth: 2,
+            gpu_gflops_override: None,
+            nvlink_bandwidth: None,
+        };
+        let config = RunConfig {
+            faults: FaultPlan::none().with_transfer_faults(TransferFaultSpec {
+                seed,
+                fault_ppm: 1_000_000,
+                max_attempts,
+                backoff_base: 50,
+            }),
+            ..RunConfig::default()
+        };
+        let mut a = NamedScheduler::Eager.build();
+        let err = memsched::platform::run_with_config(&ts, &spec, a.as_mut(), &config)
+            .unwrap_err();
+        match &err {
+            memsched::platform::RunError::TransferFailed { attempts, .. } => {
+                prop_assert_eq!(*attempts, max_attempts);
+            }
+            other => prop_assert!(false, "expected TransferFailed, got {other:?}"),
+        }
+        let mut b = NamedScheduler::Eager.build();
+        let err2 = memsched::platform::run_with_config(&ts, &spec, b.as_mut(), &config)
+            .unwrap_err();
+        prop_assert_eq!(err, err2, "exhaustion must replay identically");
     }
 
     /// DMDA allocation covers every task exactly once.
