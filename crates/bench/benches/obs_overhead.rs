@@ -1,0 +1,156 @@
+//! Observability overhead tier: the same simulation with and without a
+//! trace probe attached, on the `scale` workload preset.
+//!
+//! Two numbers matter. **Disabled** is `run()` — the engine contains the
+//! emission branches but no probe is attached, so every emission guard
+//! is a cold `Option::is_some` check; this path must stay within noise
+//! of the pre-observability engine (the golden-trace tests pin its
+//! decisions byte-for-byte, this bench pins its wall time). **Enabled**
+//! is `run_observed()` with an unbounded in-memory recorder — the
+//! realistic worst case, every event materialized.
+//!
+//! Both runs must produce the identical simulated outcome (observation
+//! never changes decisions); the bench asserts makespan, loads and
+//! per-GPU task counts match before reporting. Results land in
+//! `results/BENCH_obs_overhead.json`. Quick mode (`--quick` or
+//! `MEMSCHED_BENCH_QUICK=1`) shrinks the preset and repetitions for CI.
+
+use memsched_platform::{run, run_observed, PlatformSpec, Probe, RunConfig, RunReport, Scheduler};
+use memsched_schedulers::{DartsConfig, DartsScheduler, DmdaScheduler, EagerScheduler};
+use memsched_workloads::scale_preset;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured (workload, scheduler) pair.
+#[derive(Serialize)]
+struct Entry {
+    workload: String,
+    scheduler: String,
+    tasks: usize,
+    /// Fastest end-to-end wall time without a probe, ns.
+    disabled_ns: u64,
+    /// Fastest end-to-end wall time with an unbounded recorder, ns.
+    enabled_ns: u64,
+    /// `enabled / disabled` (1.0 = free).
+    enabled_over_disabled: f64,
+    /// Events recorded by the enabled run.
+    events: usize,
+    /// Simulated outcome, identical across both runs by construction.
+    makespan_ns: u64,
+    total_loads: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    preset: String,
+    quick: bool,
+    reps: usize,
+    entries: Vec<Entry>,
+    /// Largest enabled/disabled ratio over all pairs.
+    max_enabled_overhead: f64,
+}
+
+fn fingerprint(r: &RunReport) -> (u64, u64, Vec<usize>) {
+    (
+        r.makespan,
+        r.total_loads,
+        r.per_gpu.iter().map(|g| g.tasks).collect(),
+    )
+}
+
+/// Fastest-of-`reps` wall time; every rep must reproduce the same
+/// simulated outcome.
+fn measure<R>(reps: usize, mut once: impl FnMut() -> (RunReport, R)) -> (RunReport, R, u64) {
+    let mut best: Option<(RunReport, R, u64)> = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let (report, extra) = once();
+        let wall = started.elapsed().as_nanos() as u64;
+        if let Some((prev, _, _)) = &best {
+            assert_eq!(fingerprint(prev), fingerprint(&report), "nondeterministic rep");
+        }
+        if best.as_ref().is_none_or(|&(_, _, w)| wall < w) {
+            best = Some((report, extra, wall));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("MEMSCHED_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 1 } else { 3 };
+
+    let mut entries = Vec::new();
+    let mut max_enabled_overhead: f64 = 0.0;
+    for workload in scale_preset(quick) {
+        let ts = workload.generate();
+        let spec = PlatformSpec::v100(2).with_memory(ts.working_set_bytes() / 4);
+
+        type Build = Box<dyn Fn() -> Box<dyn Scheduler + Send>>;
+        let builders: Vec<(&str, Build)> = vec![
+            ("EAGER", Box::new(|| Box::new(EagerScheduler::new()))),
+            ("DMDAR", Box::new(|| Box::new(DmdaScheduler::dmdar()))),
+            (
+                "DARTS+LUF",
+                Box::new(|| Box::new(DartsScheduler::new(DartsConfig::luf()))),
+            ),
+        ];
+
+        for (name, build) in builders {
+            let (off_report, (), off_ns) = measure(reps, || {
+                let mut sched = build();
+                (run(&ts, &spec, sched.as_mut()).expect("bench run"), ())
+            });
+            let config = RunConfig::default();
+            let (on_report, events, on_ns) = measure(reps, || {
+                let mut sched = build();
+                let probe = Probe::unbounded();
+                let (report, _) = run_observed(&ts, &spec, sched.as_mut(), &config, &probe)
+                    .expect("observed bench run");
+                (report, probe.len())
+            });
+
+            // Observation must not change a single decision.
+            assert_eq!(fingerprint(&off_report), fingerprint(&on_report), "{name}");
+
+            let ratio = on_ns as f64 / off_ns.max(1) as f64;
+            max_enabled_overhead = max_enabled_overhead.max(ratio);
+            println!(
+                "{:<22} {:<12} disabled {:>12} ns, enabled {:>12} ns ({:.2}x, {} events)",
+                workload.label(),
+                name,
+                off_ns,
+                on_ns,
+                ratio,
+                events
+            );
+            entries.push(Entry {
+                workload: workload.label(),
+                scheduler: name.to_string(),
+                tasks: ts.num_tasks(),
+                disabled_ns: off_ns,
+                enabled_ns: on_ns,
+                enabled_over_disabled: ratio,
+                events,
+                makespan_ns: on_report.makespan,
+                total_loads: on_report.total_loads,
+            });
+        }
+    }
+
+    let output = Output {
+        preset: "scale".into(),
+        quick,
+        reps,
+        entries,
+        max_enabled_overhead,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_obs_overhead.json"
+    );
+    let json = serde_json::to_string_pretty(&output).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write bench json");
+    println!("max enabled overhead: {max_enabled_overhead:.2}x -> {path}");
+}

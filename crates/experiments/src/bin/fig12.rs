@@ -1,12 +1,17 @@
 //! Regenerates Figure 12 of the paper.
 //! Usage: `fig12 [--quick] [--paper-timing] [--json PATH] [--jobs N]
-//! [--faults SPEC]`.
+//! [--faults SPEC]
+//! [--trace-out PATH] [--trace-format chrome|paje] [--metrics-out PATH]`.
 use memsched_experiments::{cli, figures};
 
 fn main() {
     let args = cli::parse();
     let fig = args.apply(figures::fig12());
     if let Err(e) = fig.run_and_print_with_jobs(args.json.as_deref(), args.jobs) {
+        eprintln!("fig12 failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = args.export_obs(&fig) {
         eprintln!("fig12 failed: {e}");
         std::process::exit(1);
     }

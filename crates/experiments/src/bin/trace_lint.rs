@@ -1,0 +1,45 @@
+//! Validate a Chrome Trace Event JSON file produced by `--trace-out`.
+//!
+//! Usage: `trace_lint TRACE.json`. Checks the structural schema (a
+//! `traceEvents` array whose entries carry `name`/`ph`/`pid`/`tid`,
+//! spans with numeric non-negative `ts`/`dur`) and the simulator's
+//! guarantee that spans on one track never overlap. Exit status: 0 when
+//! valid (prints a summary line), 1 on a violation, 2 on usage errors —
+//! the same convention as the figure binaries.
+use memsched_experiments::obs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] if !p.starts_with('-') => p,
+        _ => {
+            eprintln!("usage: trace_lint TRACE.json");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match serde_json::parse_value(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    match obs::lint_chrome(&doc) {
+        Ok(l) => println!(
+            "{path}: OK — {} events ({} spans, {} instants, {} counters, {} metadata) \
+             on {} tracks",
+            l.events, l.spans, l.instants, l.counters, l.metadata, l.tracks
+        ),
+        Err(e) => {
+            eprintln!("{path}: invalid Chrome trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -204,6 +204,9 @@ mod tests {
             max_load: 0,
             retries: 0,
             redispatched: 0,
+            busy_ms: 0.0,
+            stall_ms: 0.0,
+            idle_ms: 0.0,
         }
     }
 

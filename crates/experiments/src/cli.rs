@@ -6,12 +6,18 @@
 //! the published scheduling-time behaviour; simulated decisions are
 //! unchanged), `--json PATH` (also write the rows as JSON), `--jobs N`
 //! (worker count for the sweep pool; falls back to `MEMSCHED_JOBS`, then
-//! to the machine's parallelism) and `--faults SPEC` (inject a
+//! to the machine's parallelism), `--faults SPEC` (inject a
 //! deterministic fault plan into every run cell; see
-//! [`FaultPlan::parse`] for the clause grammar).
+//! [`FaultPlan::parse`] for the clause grammar), and the observability
+//! outputs `--trace-out PATH`, `--trace-format chrome|paje` and
+//! `--metrics-out PATH` (re-run the figure's representative cell with a
+//! probe attached and export the timeline/metrics; see [`crate::obs`]).
+//! Output paths are checked at parse time — a bad path exits with
+//! status 2 before any cell runs, like a malformed `--faults` spec.
 
 use crate::figures;
 use crate::harness::FigureSpec;
+use crate::obs::{self, ObsOut, TraceFormat};
 use crate::pool;
 use memsched_platform::FaultPlan;
 
@@ -28,6 +34,8 @@ pub struct FigArgs {
     pub jobs: usize,
     /// `--faults SPEC`: fault plan injected into every run cell.
     pub faults: Option<FaultPlan>,
+    /// `--trace-out` / `--trace-format` / `--metrics-out`.
+    pub obs: ObsOut,
 }
 
 impl FigArgs {
@@ -45,6 +53,13 @@ impl FigArgs {
             fig.faults = plan.clone();
         }
         fig
+    }
+
+    /// Write the requested trace/metrics files for `fig` (no-op unless
+    /// `--trace-out` or `--metrics-out` was given). Call after the sweep
+    /// so a failing sweep never leaves half-written observability files.
+    pub fn export_obs(&self, fig: &FigureSpec) -> Result<(), String> {
+        obs::export_figure(fig, &self.obs)
     }
 }
 
@@ -80,21 +95,36 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> Result<FigArgs, String>
                 .find_map(|a| a.strip_prefix("--jobs="))
                 .and_then(|v| v.parse::<usize>().ok())
         });
-    let faults_spec = args
-        .iter()
-        .position(|a| a == "--faults")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix("--faults="))
-                .map(str::to_string)
-        });
-    let faults = match faults_spec {
+    // `--flag VALUE` or `--flag=VALUE`.
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| {
+                let prefix = format!("{flag}=");
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&prefix))
+                    .map(str::to_string)
+            })
+    };
+    let faults = match value_of("--faults") {
         Some(spec) => {
             Some(FaultPlan::parse(&spec).map_err(|e| format!("--faults {spec:?}: {e}"))?)
         }
         None => None,
+    };
+    let trace_out = value_of("--trace-out");
+    if let Some(p) = &trace_out {
+        obs::validate_out_path("--trace-out", p)?;
+    }
+    let metrics_out = value_of("--metrics-out");
+    if let Some(p) = &metrics_out {
+        obs::validate_out_path("--metrics-out", p)?;
+    }
+    let trace_format = match value_of("--trace-format") {
+        Some(f) => TraceFormat::parse(&f)?,
+        None => TraceFormat::default(),
     };
     Ok(FigArgs {
         quick,
@@ -102,6 +132,11 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> Result<FigArgs, String>
         json,
         jobs: pool::resolve_jobs(jobs_arg),
         faults,
+        obs: ObsOut {
+            trace_out,
+            trace_format,
+            metrics_out,
+        },
     })
 }
 
@@ -179,5 +214,34 @@ mod tests {
 
         let bad = parse_from(argv(&["--faults", "explode:3"]));
         assert!(bad.is_err(), "malformed spec must be rejected");
+    }
+
+    #[test]
+    fn parses_obs_flags_and_rejects_bad_paths_at_parse_time() {
+        let a = parse_from(argv(&[
+            "--trace-out",
+            "/tmp/t.json",
+            "--trace-format=paje",
+            "--metrics-out",
+            "/tmp/m.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.obs.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(a.obs.trace_format, TraceFormat::Paje);
+        assert_eq!(a.obs.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert!(a.obs.is_active());
+
+        let d = parse_from(argv(&[])).unwrap();
+        assert!(!d.obs.is_active());
+        assert_eq!(d.obs.trace_format, TraceFormat::Chrome);
+
+        // Bad paths and formats surface as parse errors (→ exit 2),
+        // exactly like a malformed --faults spec.
+        let e = parse_from(argv(&["--trace-out", "/no/such/dir/t.json"]));
+        assert!(e.unwrap_err().contains("--trace-out"));
+        let e = parse_from(argv(&["--metrics-out=/no/such/dir/m.json"]));
+        assert!(e.unwrap_err().contains("--metrics-out"));
+        let e = parse_from(argv(&["--trace-format", "vite"]));
+        assert!(e.unwrap_err().contains("--trace-format"));
     }
 }

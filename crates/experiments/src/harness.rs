@@ -59,6 +59,17 @@ pub struct Row {
     /// Tasks re-dispatched after injected fail-stop GPU faults.
     #[serde(default)]
     pub redispatched: u64,
+    /// Mean per-GPU time executing tasks, ms (simulated; deterministic).
+    #[serde(default)]
+    pub busy_ms: f64,
+    /// Mean per-GPU time starved on in-flight transfers, ms. For each
+    /// GPU `busy + stall + idle == makespan` exactly, so these three
+    /// columns localize where the throughput of a row went.
+    #[serde(default)]
+    pub stall_ms: f64,
+    /// Mean per-GPU time with no work and no pending transfer, ms.
+    #[serde(default)]
+    pub idle_ms: f64,
 }
 
 impl Row {
@@ -69,6 +80,11 @@ impl Row {
         gpus: usize,
         r: &RunReport,
     ) -> Self {
+        let k = r.per_gpu.len().max(1) as f64;
+        let mean_ms =
+            |f: fn(&memsched_platform::GpuRunStats) -> u64| {
+                r.per_gpu.iter().map(f).sum::<u64>() as f64 / k / 1e6
+            };
         Self {
             figure: figure.to_string(),
             workload: workload.label(),
@@ -86,6 +102,9 @@ impl Row {
             max_load: r.max_load(),
             retries: r.transfer_retries,
             redispatched: r.tasks_redispatched,
+            busy_ms: mean_ms(|g| g.busy),
+            stall_ms: mean_ms(|g| g.stall),
+            idle_ms: mean_ms(|g| g.idle),
         }
     }
 
@@ -247,11 +266,12 @@ impl FigureSpec {
         let mut out = String::from(
             "figure,workload,ws_mb,gpus,scheduler,gflops,gflops_with_sched,\
              transfers_mb,loads,evictions,makespan_ms,prepare_ms,sched_ms,max_load,\
-             retries,redispatched\n",
+             retries,redispatched,busy_ms,stall_ms,idle_ms\n",
         );
         for r in rows {
             out.push_str(&format!(
-                "{},{},{:.1},{},{},{:.1},{:.1},{:.1},{},{},{:.3},{:.3},{:.3},{},{},{}\n",
+                "{},{},{:.1},{},{},{:.1},{:.1},{:.1},{},{},{:.3},{:.3},{:.3},{},{},{},\
+                 {:.3},{:.3},{:.3}\n",
                 r.figure,
                 r.workload.replace(',', ";"),
                 r.ws_mb,
@@ -267,7 +287,10 @@ impl FigureSpec {
                 r.sched_ms,
                 r.max_load,
                 r.retries,
-                r.redispatched
+                r.redispatched,
+                r.busy_ms,
+                r.stall_ms,
+                r.idle_ms
             ));
         }
         out
@@ -427,6 +450,23 @@ mod tests {
             assert_eq!(c.gflops, r.gflops);
             assert_eq!(c.loads, r.loads);
             assert_eq!(c.makespan_ms, r.makespan_ms);
+        }
+    }
+
+    #[test]
+    fn breakdown_columns_sum_to_makespan() {
+        let fig = tiny_figure();
+        for r in fig.run().unwrap() {
+            assert!(r.busy_ms > 0.0, "{}: no busy time", r.scheduler);
+            // The per-GPU split is exact in ns; the ms means may lose at
+            // most a rounding ulp each.
+            let sum = r.busy_ms + r.stall_ms + r.idle_ms;
+            assert!(
+                (sum - r.makespan_ms).abs() < 1e-6,
+                "{}: busy+stall+idle {sum} != makespan {}",
+                r.scheduler,
+                r.makespan_ms
+            );
         }
     }
 

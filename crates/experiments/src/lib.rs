@@ -18,9 +18,11 @@ pub mod checks;
 pub mod cli;
 pub mod figures;
 pub mod harness;
+pub mod obs;
 pub mod pool;
 
 pub use checks::{shape_checks, CheckResult};
 pub use figures::all_figures;
 pub use harness::{canonical_json, FigureSpec, Metric, Row, SweepPoint};
+pub use obs::{export_figure, lint_chrome, ObsOut, TraceFormat};
 pub use pool::resolve_jobs;

@@ -1,0 +1,430 @@
+//! Observed-run export for the figure binaries (`--trace-out`,
+//! `--trace-format`, `--metrics-out`) plus the Chrome-trace linter
+//! behind the `trace_lint` binary.
+//!
+//! A figure sweep runs dozens of cells; recording all of them would
+//! produce gigabytes of spans nobody opens. Instead the harness re-runs
+//! **one representative cell** — the last sweep point (largest working
+//! set, where contention is most visible) with the point's first
+//! scheduler — through [`memsched_platform::run_observed`] and writes:
+//!
+//! - the timeline in Chrome Trace Event Format (Perfetto,
+//!   `chrome://tracing`) or Paje (`.trace`, ViTE) — `--trace-out`;
+//! - a metrics JSON (counters, histograms, gauge timeseries, per-GPU
+//!   busy/stall/idle split, bus-utilization timeline) — `--metrics-out`.
+//!
+//! Both paths are validated at argument-parse time (parent directory
+//! must exist, path must not be a directory), matching the `--faults`
+//! convention: a bad invocation exits with status 2 and a readable
+//! message before any cell runs.
+
+use crate::harness::FigureSpec;
+use memsched_platform::obs::{bus_utilization, chrome_trace_json, paje_trace, Metrics, Probe};
+use memsched_platform::{run_observed, RunConfig};
+use serde::{Number, Value};
+use std::path::Path;
+
+/// Timeline export format selected by `--trace-format`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome Trace Event Format JSON (Perfetto, `chrome://tracing`).
+    #[default]
+    Chrome,
+    /// Paje `.trace` (ViTE, the StarPU-native visualization path).
+    Paje,
+}
+
+impl TraceFormat {
+    /// Parse a `--trace-format` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "chrome" => Ok(Self::Chrome),
+            "paje" => Ok(Self::Paje),
+            other => Err(format!(
+                "--trace-format {other:?}: expected \"chrome\" or \"paje\""
+            )),
+        }
+    }
+}
+
+/// Observability outputs requested on the command line; inactive (both
+/// paths `None`) unless `--trace-out` / `--metrics-out` were given.
+#[derive(Clone, Debug, Default)]
+pub struct ObsOut {
+    /// `--trace-out PATH`: timeline destination.
+    pub trace_out: Option<String>,
+    /// `--trace-format chrome|paje` (default chrome).
+    pub trace_format: TraceFormat,
+    /// `--metrics-out PATH`: metrics JSON destination.
+    pub metrics_out: Option<String>,
+}
+
+impl ObsOut {
+    /// Whether any output was requested.
+    pub fn is_active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// A copy with `.fig06` (etc.) inserted before each path's
+    /// extension, so `all_figures` can fan one `--trace-out` over every
+    /// figure without the files clobbering each other.
+    pub fn suffixed(&self, id: &str) -> ObsOut {
+        ObsOut {
+            trace_out: self.trace_out.as_deref().map(|p| suffix_path(p, id)),
+            trace_format: self.trace_format,
+            metrics_out: self.metrics_out.as_deref().map(|p| suffix_path(p, id)),
+        }
+    }
+}
+
+/// `results/trace.json` + `fig06` → `results/trace.fig06.json`.
+fn suffix_path(path: &str, id: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
+            format!("{stem}.{id}.{ext}")
+        }
+        _ => format!("{path}.{id}"),
+    }
+}
+
+/// Reject unusable output paths before any cell runs: the path must not
+/// be a directory and its parent directory must already exist. Returns
+/// a message naming the flag, ready for the parser's exit-2 path.
+pub fn validate_out_path(flag: &str, path: &str) -> Result<(), String> {
+    if path.is_empty() {
+        return Err(format!("{flag}: path is empty"));
+    }
+    let p = Path::new(path);
+    if p.is_dir() {
+        return Err(format!("{flag} {path:?}: path is a directory"));
+    }
+    let parent = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if !parent.is_dir() {
+        return Err(format!(
+            "{flag} {path:?}: parent directory {:?} does not exist",
+            parent.display()
+        ));
+    }
+    Ok(())
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Run the figure's representative cell observed and write the
+/// requested files. No-op when nothing was requested. The cell is the
+/// **last sweep point, first scheduler** — deterministic, so repeated
+/// invocations produce identical traces.
+pub fn export_figure(fig: &FigureSpec, out: &ObsOut) -> Result<(), String> {
+    if !out.is_active() {
+        return Ok(());
+    }
+    let point = fig
+        .points
+        .last()
+        .ok_or_else(|| format!("{}: no sweep points to observe", fig.id))?;
+    let named = point
+        .schedulers
+        .first()
+        .ok_or_else(|| format!("{}: observed point has no schedulers", fig.id))?;
+    let ts = point.workload.generate();
+    let mut sched = named.build();
+    let probe = Probe::unbounded();
+    let config = RunConfig {
+        faults: fig.faults.clone(),
+        ..RunConfig::default()
+    };
+    let (report, _trace) = run_observed(&ts, &fig.spec, sched.as_mut(), &config, &probe)
+        .map_err(|e| format!("{}: observed cell failed: {e}", fig.id))?;
+    let events = probe.events();
+
+    if let Some(path) = &out.trace_out {
+        let text = match out.trace_format {
+            TraceFormat::Chrome => chrome_trace_json(&events)
+                .map_err(|e| format!("{}: chrome export: {e}", fig.id))?,
+            TraceFormat::Paje => {
+                paje_trace(&events).map_err(|e| format!("{}: paje export: {e}", fig.id))?
+            }
+        };
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote {path} ({} events, {} · {} on {})",
+            events.len(),
+            point.workload.label(),
+            report.scheduler,
+            fig.id
+        );
+    }
+
+    if let Some(path) = &out.metrics_out {
+        let text = render_metrics(fig, &events, &report, &probe)?;
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Number of equal slices the bus-utilization timeline is bucketed into.
+const BUS_BUCKETS: usize = 50;
+
+/// Metrics JSON for one observed run: registry (counters, histograms,
+/// gauge snapshots) plus the derived per-GPU busy/stall/idle split and
+/// the bus-utilization timeline.
+fn render_metrics(
+    fig: &FigureSpec,
+    events: &[memsched_platform::ObsEvent],
+    report: &memsched_platform::RunReport,
+    probe: &Probe,
+) -> Result<String, String> {
+    let makespan = report.makespan;
+    // Snapshot cadence: ~64 slices of the run (at least 1 ns apart).
+    let mut metrics = Metrics::with_snapshots((makespan / 64).max(1));
+    metrics.ingest(events);
+    let util = bus_utilization(events, BUS_BUCKETS, makespan)
+        .map_err(|e| format!("{}: bus utilization: {e}", fig.id))?;
+
+    let per_gpu: Vec<Value> = report
+        .per_gpu
+        .iter()
+        .enumerate()
+        .map(|(g, st)| {
+            obj(vec![
+                ("gpu", Value::Num(Number::U(g as u64))),
+                ("busy_ns", Value::Num(Number::U(st.busy))),
+                ("stall_ns", Value::Num(Number::U(st.stall))),
+                ("idle_ns", Value::Num(Number::U(st.idle))),
+                ("tasks", Value::Num(Number::U(st.tasks as u64))),
+                ("loads", Value::Num(Number::U(st.loads))),
+                ("evictions", Value::Num(Number::U(st.evictions))),
+            ])
+        })
+        .collect();
+
+    let root = obj(vec![
+        ("figure", Value::Str(fig.id.to_string())),
+        (
+            "workload",
+            Value::Str(
+                fig.points
+                    .last()
+                    .map(|p| p.workload.label())
+                    .unwrap_or_default(),
+            ),
+        ),
+        ("scheduler", Value::Str(report.scheduler.clone())),
+        ("makespan_ns", Value::Num(Number::U(makespan))),
+        ("events", Value::Num(Number::U(events.len() as u64))),
+        ("dropped_events", Value::Num(Number::U(probe.dropped()))),
+        ("per_gpu", Value::Arr(per_gpu)),
+        (
+            "bus_utilization",
+            Value::Arr(util.into_iter().map(|v| Value::Num(Number::F(v))).collect()),
+        ),
+        ("metrics", metrics.to_value()),
+    ]);
+    serde_json::to_string_pretty(&root).map_err(|e| format!("serialize metrics: {e}"))
+}
+
+/// Summary counts of a linted Chrome trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChromeLint {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// `"ph": "X"` complete spans.
+    pub spans: usize,
+    /// `"ph": "i"` instants.
+    pub instants: usize,
+    /// `"ph": "C"` counter samples.
+    pub counters: usize,
+    /// `"ph": "M"` metadata entries.
+    pub metadata: usize,
+    /// Distinct `tid`s seen.
+    pub tracks: usize,
+}
+
+fn num_of(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(Number::U(u)) => Some(*u as f64),
+        Value::Num(Number::I(i)) => Some(*i as f64),
+        Value::Num(Number::F(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+fn require_num(ev: &Value, key: &str, i: usize) -> Result<f64, String> {
+    let v = ev
+        .field(key, "event")
+        .map_err(|_| format!("event {i}: missing {key:?}"))?;
+    num_of(v).ok_or_else(|| format!("event {i}: {key:?} is not a number"))
+}
+
+/// Validate a parsed Chrome Trace Event JSON document: the structural
+/// schema (`traceEvents` array; every event carries `ph`/`pid`/`tid`;
+/// spans carry numeric non-negative `ts`/`dur`) plus the simulator's
+/// own guarantee that spans on one track never overlap (per-GPU compute
+/// is sequential and the buses are FIFO).
+pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
+    let events = doc
+        .field("traceEvents", "trace")
+        .map_err(|_| "top level: missing \"traceEvents\"".to_string())?
+        .as_arr()
+        .ok_or_else(|| "\"traceEvents\" is not an array".to_string())?;
+
+    let mut lint = ChromeLint {
+        events: events.len(),
+        ..ChromeLint::default()
+    };
+    // (tid, ts, ts+dur) of every span, for the per-track overlap check.
+    let mut spans: Vec<(u64, f64, f64)> = Vec::new();
+    let mut tids: Vec<u64> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .field("ph", "event")
+            .map_err(|_| format!("event {i}: missing \"ph\""))?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: \"ph\" is not a string"))?;
+        if ev.field("name", "event").is_err() {
+            return Err(format!("event {i}: missing \"name\""));
+        }
+        let tid = require_num(ev, "tid", i)? as u64;
+        require_num(ev, "pid", i)?;
+        tids.push(tid);
+        match ph {
+            "X" => {
+                lint.spans += 1;
+                let ts = require_num(ev, "ts", i)?;
+                let dur = require_num(ev, "dur", i)?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                spans.push((tid, ts, ts + dur));
+            }
+            "i" => {
+                lint.instants += 1;
+                require_num(ev, "ts", i)?;
+            }
+            "C" => {
+                lint.counters += 1;
+                require_num(ev, "ts", i)?;
+            }
+            "M" => lint.metadata += 1,
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    tids.sort_unstable();
+    tids.dedup();
+    lint.tracks = tids.len();
+
+    spans.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+    // ts/dur are microsecond doubles converted from exact nanosecond
+    // integers; summing them can overshoot by an ulp, so abutting spans
+    // get one simulator tick (1 ns = 1e-3 us) of tolerance.
+    const EPS_US: f64 = 1e-3;
+    for w in spans.windows(2) {
+        let ((tid_a, _, end_a), (tid_b, start_b, _)) = (w[0], w[1]);
+        if tid_a == tid_b && start_b + EPS_US < end_a {
+            return Err(format!(
+                "track {tid_a}: overlapping spans (ends {end_a}, next begins {start_b})"
+            ));
+        }
+    }
+    Ok(lint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    #[test]
+    fn trace_format_parses_or_rejects() {
+        assert_eq!(TraceFormat::parse("chrome").unwrap(), TraceFormat::Chrome);
+        assert_eq!(TraceFormat::parse("paje").unwrap(), TraceFormat::Paje);
+        assert!(TraceFormat::parse("vite").is_err());
+    }
+
+    #[test]
+    fn out_path_validation_matches_the_faults_convention() {
+        assert!(validate_out_path("--trace-out", "").is_err());
+        assert!(validate_out_path("--trace-out", "/definitely/not/here/x.json").is_err());
+        assert!(validate_out_path("--trace-out", "/tmp").is_err(), "directory");
+        assert!(validate_out_path("--trace-out", "trace.json").is_ok());
+        assert!(validate_out_path("--metrics-out", "/tmp/metrics.json").is_ok());
+    }
+
+    #[test]
+    fn suffixing_keeps_the_extension() {
+        assert_eq!(suffix_path("results/t.json", "fig06"), "results/t.fig06.json");
+        assert_eq!(suffix_path("trace", "fig03"), "trace.fig03");
+        assert_eq!(suffix_path("a.b/trace", "fig03"), "a.b/trace.fig03");
+    }
+
+    #[test]
+    fn export_writes_lintable_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("memsched_obs_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let metrics = dir.join("m.json");
+        let fig = figures::quick(figures::fig03());
+        let out = ObsOut {
+            trace_out: Some(trace.to_str().unwrap().into()),
+            trace_format: TraceFormat::Chrome,
+            metrics_out: Some(metrics.to_str().unwrap().into()),
+        };
+        export_figure(&fig, &out).expect("export");
+
+        let doc = serde_json::parse_value(&std::fs::read_to_string(&trace).unwrap())
+            .expect("valid JSON");
+        let lint = lint_chrome(&doc).expect("lintable");
+        assert!(lint.spans > 0, "trace must contain spans");
+        assert!(lint.tracks >= 2, "GPU + bus tracks at least");
+
+        let m = serde_json::parse_value(&std::fs::read_to_string(&metrics).unwrap())
+            .expect("valid metrics JSON");
+        let per_gpu = m.field("per_gpu", "metrics").unwrap().as_arr().unwrap();
+        assert_eq!(per_gpu.len(), fig.spec.num_gpus);
+        let makespan = match m.field("makespan_ns", "metrics").unwrap() {
+            Value::Num(Number::U(u)) => *u,
+            other => panic!("makespan_ns not a u64: {other:?}"),
+        };
+        for g in per_gpu {
+            let part = |k: &str| match g.field(k, "gpu").unwrap() {
+                Value::Num(Number::U(u)) => *u,
+                other => panic!("{k} not a u64: {other:?}"),
+            };
+            assert_eq!(part("busy_ns") + part("stall_ns") + part("idle_ns"), makespan);
+        }
+        let util = m.field("bus_utilization", "metrics").unwrap().as_arr().unwrap();
+        assert_eq!(util.len(), BUS_BUCKETS);
+
+        // Paje output is non-empty and ViTE-shaped (header + states).
+        let out = ObsOut {
+            trace_out: Some(trace.to_str().unwrap().into()),
+            trace_format: TraceFormat::Paje,
+            metrics_out: None,
+        };
+        export_figure(&fig, &out).expect("paje export");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.contains("%EventDef"), "paje header missing");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_rejects_malformed_documents() {
+        let bad = serde_json::parse_value("{\"traceEvents\": [{\"ph\": \"X\"}]}").unwrap();
+        assert!(lint_chrome(&bad).is_err(), "span without name/ts/dur");
+        let not_obj = serde_json::parse_value("[1, 2]").unwrap();
+        assert!(lint_chrome(&not_obj).is_err());
+        let overlap = serde_json::parse_value(
+            "{\"traceEvents\": [\
+             {\"name\": \"a\", \"ph\": \"X\", \"pid\": 0, \"tid\": 1, \"ts\": 0, \"dur\": 10},\
+             {\"name\": \"b\", \"ph\": \"X\", \"pid\": 0, \"tid\": 1, \"ts\": 5, \"dur\": 10}]}",
+        )
+        .unwrap();
+        assert!(lint_chrome(&overlap).is_err(), "overlapping spans on one track");
+    }
+}

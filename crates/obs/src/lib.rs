@@ -1,0 +1,41 @@
+//! Structured tracing and metrics for the memsched simulation
+//! (`memsched-obs`).
+//!
+//! The simulation engine and the scheduler families emit typed
+//! [`ObsEvent`]s — spans (transfer begin/end, compute begin/end) and
+//! instants (evictions, scheduler decisions, steals, faults, gauges) —
+//! into a [`Probe`], a cheaply cloneable handle over a ring-buffered
+//! [`Recorder`]. The subsystem is strictly opt-in: when no probe is
+//! attached the engine takes the exact same code path as before and the
+//! golden traces stay byte-identical (see the `obs_overhead` bench).
+//!
+//! On top of the raw event stream:
+//! - [`chrome::chrome_trace_json`] exports Chrome Trace Event Format
+//!   (loadable in `chrome://tracing` and Perfetto), one track per GPU
+//!   plus one for the PCI bus, NVLink and each scheduler context;
+//! - [`paje::paje_trace`] exports a Paje `.trace` readable by ViTE,
+//!   the StarPU-native visualization path;
+//! - [`Metrics`] is a counter/gauge/histogram registry with periodic
+//!   timeseries snapshots, fed from the same events;
+//! - [`breakdown`] derives per-GPU busy/stall/idle splits and a bus
+//!   utilization timeline from the span structure.
+//!
+//! This crate is deliberately free of simulation dependencies: events
+//! carry raw `u32` ids so the crate sits below `memsched-platform` in
+//! the dependency graph.
+
+pub mod breakdown;
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod paje;
+pub mod sink;
+pub mod wellformed;
+
+pub use breakdown::{bus_utilization, gpu_breakdowns, GpuBreakdown};
+pub use chrome::{chrome_trace, chrome_trace_json};
+pub use event::{GaugeKind, Nanos, ObsEvent, Track};
+pub use metrics::{Counter, Histogram, Metrics, Snapshot};
+pub use paje::paje_trace;
+pub use sink::{Probe, Recorder, TraceSink};
+pub use wellformed::{build_timeline, check_well_formed, Span, SpanKind, Timeline, WellFormedError};

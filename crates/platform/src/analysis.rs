@@ -6,6 +6,7 @@
 
 use crate::report::{RunReport, TraceEvent};
 use crate::spec::Nanos;
+use memsched_obs::{Counter, Metrics, ObsEvent};
 
 /// Aggregated view of a trace.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -110,16 +111,117 @@ fn intersection(mut a: Vec<(Nanos, Nanos)>, mut b: Vec<(Nanos, Nanos)>) -> Nanos
     total
 }
 
+/// Convert an engine [`TraceEvent`] stream into the typed
+/// [`ObsEvent`] stream the `memsched-obs` registry and exporters
+/// consume, so a legacy `collect_trace` run can be counted, exported,
+/// and cross-checked through the same pipeline as a probed one.
+///
+/// Information the legacy trace never carried is filled with neutral
+/// values: transfer `bytes` are 0, `bus_wait` is 0 (the trace records
+/// issue time, not grant time — the whole queued interval becomes the
+/// span), evictions are tagged `by_scheduler: false`, and retried loads
+/// keep `attempt: 1` because the trace does not split attempts into
+/// separate wire spans. Counter semantics are unaffected.
+pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
+    let mut out = Vec::with_capacity(trace.len());
+    // Open compute span per GPU, so a fail-stop closes it interrupted.
+    let mut running: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    for ev in trace {
+        match *ev {
+            TraceEvent::LoadIssued { at, gpu, data, .. } => out.push(ObsEvent::TransferBegin {
+                t: at,
+                gpu: gpu as u32,
+                data: data as u32,
+                bytes: 0,
+                bus_wait: 0,
+                peer: None,
+                attempt: 1,
+            }),
+            TraceEvent::LoadDone { at, gpu, data } => out.push(ObsEvent::TransferEnd {
+                t: at,
+                gpu: gpu as u32,
+                data: data as u32,
+                bytes: 0,
+                peer: None,
+                attempt: 1,
+                delivered: true,
+            }),
+            TraceEvent::Evicted { at, gpu, data } => out.push(ObsEvent::Eviction {
+                t: at,
+                gpu: gpu as u32,
+                data: data as u32,
+                bytes: 0,
+                by_scheduler: false,
+            }),
+            TraceEvent::TaskStarted { at, gpu, task } => {
+                running.insert(gpu, task as u32);
+                out.push(ObsEvent::ComputeBegin {
+                    t: at,
+                    gpu: gpu as u32,
+                    task: task as u32,
+                });
+            }
+            TraceEvent::TaskFinished { at, gpu, task } => {
+                running.remove(&gpu);
+                out.push(ObsEvent::ComputeEnd {
+                    t: at,
+                    gpu: gpu as u32,
+                    task: task as u32,
+                    interrupted: false,
+                });
+            }
+            TraceEvent::GpuFailed { at, gpu } => {
+                if let Some(task) = running.remove(&gpu) {
+                    out.push(ObsEvent::ComputeEnd {
+                        t: at,
+                        gpu: gpu as u32,
+                        task,
+                        interrupted: true,
+                    });
+                }
+                out.push(ObsEvent::GpuFailed { t: at, gpu: gpu as u32 });
+            }
+            TraceEvent::TransferRetry { at, gpu, data, attempt } => {
+                out.push(ObsEvent::TransferRetry {
+                    t: at,
+                    gpu: gpu as u32,
+                    data: data as u32,
+                    attempt,
+                })
+            }
+            TraceEvent::CapacityShrunk { at, gpu, capacity } => {
+                out.push(ObsEvent::CapacityShrunk {
+                    t: at,
+                    gpu: gpu as u32,
+                    capacity,
+                })
+            }
+            TraceEvent::GpuSlowed { at, gpu, factor } => out.push(ObsEvent::GpuSlowed {
+                t: at,
+                gpu: gpu as u32,
+                factor,
+            }),
+        }
+    }
+    out
+}
+
 /// Analyse a trace produced by [`crate::run_with_config`] with
 /// `collect_trace = true`. `num_gpus` must match the run's platform.
+///
+/// Event *counts* (loads, evictions, tasks, retries, failures) are
+/// derived by feeding the converted stream ([`to_obs_events`]) through
+/// the [`Metrics`] registry — one counting implementation shared with
+/// live probes, so the analysis and a `--metrics-out` file can never
+/// disagree. The interval math (overlap, busy time) stays local: it
+/// needs the paired starts the registry does not retain.
 pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
     let mut transfers: Vec<(Nanos, Nanos)> = Vec::new();
     let mut compute: Vec<(Nanos, Nanos)> = Vec::new();
     let mut gpu_busy = vec![0; num_gpus];
     let mut started: Vec<Option<Nanos>> = vec![None; num_gpus];
     let mut makespan = 0;
-    let (mut loads, mut evictions, mut tasks) = (0, 0, 0);
-    let (mut gpu_failures, mut transfer_retries, mut capacity_shrinks) = (0, 0, 0);
+    let mut capacity_shrinks = 0;
 
     for ev in trace {
         match *ev {
@@ -128,18 +230,15 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
                 makespan = makespan.max(done_at);
             }
             TraceEvent::LoadDone { at, .. } => {
-                loads += 1;
                 makespan = makespan.max(at);
             }
             TraceEvent::Evicted { at, .. } => {
-                evictions += 1;
                 makespan = makespan.max(at);
             }
             TraceEvent::TaskStarted { at, gpu, .. } => {
                 started[gpu] = Some(at);
             }
             TraceEvent::TaskFinished { at, gpu, .. } => {
-                tasks += 1;
                 makespan = makespan.max(at);
                 if let Some(s) = started[gpu].take() {
                     compute.push((s, at));
@@ -147,7 +246,6 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
                 }
             }
             TraceEvent::GpuFailed { at, gpu } => {
-                gpu_failures += 1;
                 makespan = makespan.max(at);
                 // The interrupted task never finishes here: close its
                 // compute interval at the failure (matching the engine's
@@ -158,7 +256,6 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
                 }
             }
             TraceEvent::TransferRetry { at, .. } => {
-                transfer_retries += 1;
                 makespan = makespan.max(at);
             }
             TraceEvent::CapacityShrunk { at, .. } => {
@@ -171,17 +268,22 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
         }
     }
 
+    let mut metrics = Metrics::new();
+    metrics.ingest(&to_obs_events(trace));
+
     TraceAnalysis {
         makespan,
         bus_busy: covered(transfers.clone()),
         any_compute: covered(compute.clone()),
         overlap: intersection(transfers, compute),
         gpu_busy,
-        loads,
-        evictions,
-        tasks,
-        gpu_failures,
-        transfer_retries,
+        loads: metrics.counter(Counter::Loads) as usize,
+        evictions: metrics.counter(Counter::Evictions) as usize,
+        tasks: metrics.counter(Counter::Tasks) as usize,
+        gpu_failures: metrics.counter(Counter::GpuFailures) as usize,
+        transfer_retries: metrics.counter(Counter::TransferRetries) as usize,
+        // The registry deliberately does not count shrink steps (they
+        // are capacity states, not events a policy can influence).
         capacity_shrinks,
     }
 }
@@ -196,6 +298,8 @@ pub fn analyze_checked(report: &RunReport, trace: &[TraceEvent]) -> TraceAnalysi
         a.tasks,
         report.per_gpu.iter().map(|g| g.tasks).sum::<usize>()
     );
+    debug_assert_eq!(a.transfer_retries as u64, report.transfer_retries);
+    debug_assert_eq!(a.gpu_failures as u64, report.gpu_failures);
     a
 }
 
@@ -398,5 +502,79 @@ mod tests {
         assert_eq!(a.tasks, 10);
         // 9 of 10 transfers hide behind compute (first one cannot).
         assert!(a.overlap_ratio() > 0.85, "overlap = {}", a.overlap_ratio());
+    }
+
+    #[test]
+    fn retry_counts_cross_check_report_trace_and_metrics() {
+        use crate::fault::{FaultPlan, TransferFaultSpec};
+        use crate::{run_with_config, PlatformSpec, RunConfig};
+        use memsched_model::TaskSetBuilder;
+
+        let mut b = TaskSetBuilder::new();
+        for _ in 0..4 {
+            let d = b.add_data(1000);
+            b.add_task(&[d], 5_000.0);
+        }
+        let ts = b.build();
+        struct Fifo(u32);
+        impl crate::Scheduler for Fifo {
+            fn name(&self) -> String {
+                "fifo".into()
+            }
+            fn pop_task(
+                &mut self,
+                _: memsched_model::GpuId,
+                v: &crate::RuntimeView<'_>,
+            ) -> Option<memsched_model::TaskId> {
+                if self.0 < v.task_set().num_tasks() as u32 {
+                    self.0 += 1;
+                    Some(memsched_model::TaskId(self.0 - 1))
+                } else {
+                    None
+                }
+            }
+        }
+        let spec = PlatformSpec {
+            num_gpus: 1,
+            memory_bytes: 10_000,
+            bus_bandwidth: 1e9,
+            transfer_latency: 0,
+            gpu_gflops: 1.0,
+            pipeline_depth: 2,
+            gpu_gflops_override: None,
+            nvlink_bandwidth: None,
+        };
+        // Heavy transient fault rate so retries actually fire.
+        let faults = FaultPlan::none().with_transfer_faults(TransferFaultSpec {
+            seed: 7,
+            fault_ppm: 500_000,
+            max_attempts: 10,
+            backoff_base: 100,
+        });
+        let (report, trace) = run_with_config(
+            &ts,
+            &spec,
+            &mut Fifo(0),
+            &RunConfig {
+                collect_trace: true,
+                faults,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.transfer_retries > 0, "plan must actually fire");
+        // Trace-event count == report counter.
+        let in_trace = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TransferRetry { .. }))
+            .count() as u64;
+        assert_eq!(in_trace, report.transfer_retries);
+        // And the metrics registry, fed from the converted stream,
+        // agrees with both.
+        let mut m = Metrics::new();
+        m.ingest(&to_obs_events(&trace));
+        assert_eq!(m.counter(Counter::TransferRetries), report.transfer_retries);
+        let a = analyze_checked(&report, &trace);
+        assert_eq!(a.transfer_retries as u64, report.transfer_retries);
     }
 }

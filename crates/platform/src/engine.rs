@@ -36,6 +36,7 @@ use crate::report::{GpuRunStats, RunReport, TraceEvent};
 use crate::scheduler::{MissingCache, RuntimeView, Scheduler};
 use crate::spec::{Nanos, PlatformSpec};
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
+use memsched_obs::{GaugeKind, ObsEvent, Probe};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::time::Instant;
@@ -181,6 +182,39 @@ pub fn run_with_config(
     scheduler: &mut dyn Scheduler,
     config: &RunConfig,
 ) -> Result<(RunReport, Vec<TraceEvent>), RunError> {
+    run_inner(ts, spec, scheduler, config, None)
+}
+
+/// As [`run_with_config`], additionally streaming typed
+/// [`ObsEvent`]s into `probe`: transfer and compute spans, evictions
+/// with the victim policy, per-decision wall times, fault instants and
+/// occupancy gauges. The probe is also attached to the scheduler
+/// (via [`Scheduler::attach_probe`], before `prepare`) so policies can
+/// emit their own events — queue-depth gauges, steals.
+///
+/// The observed run takes exactly the same decisions as the unobserved
+/// one: reports and engine traces are identical, only the side channel
+/// differs. On an `Err` return the probe may hold transfer spans whose
+/// end was never reached; successful runs always produce a well-formed
+/// stream (see `memsched_obs::check_well_formed`).
+pub fn run_observed(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    config: &RunConfig,
+    probe: &Probe,
+) -> Result<(RunReport, Vec<TraceEvent>), RunError> {
+    scheduler.attach_probe(probe.clone());
+    run_inner(ts, spec, scheduler, config, Some(probe.clone()))
+}
+
+fn run_inner(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    config: &RunConfig,
+    obs: Option<Probe>,
+) -> Result<(RunReport, Vec<TraceEvent>), RunError> {
     let k = spec.num_gpus;
     let m = ts.num_tasks();
 
@@ -227,6 +261,10 @@ pub fn run_with_config(
         retries: 0,
         redispatched: 0,
         failures: 0,
+        lane_last: vec![0; k],
+        inflight: vec![0; k],
+        stall: vec![0; k],
+        obs,
     };
 
     // Seed the fault timeline. With the default empty plan this pushes
@@ -322,6 +360,37 @@ pub fn run_with_config(
                                 attempt: attempt + 1,
                             });
                         }
+                        // The failed attempt's span closes undelivered and
+                        // the retry opens a fresh span — always from host,
+                        // matching the engine's re-fetch rule. The GPU's
+                        // in-flight count is unchanged: the data stays
+                        // `Loading` across the retry.
+                        if st.observed() {
+                            st.emit(ObsEvent::TransferEnd {
+                                t: st.now,
+                                gpu,
+                                data,
+                                bytes: size,
+                                peer: (src != FROM_HOST).then_some(src),
+                                attempt,
+                                delivered: false,
+                            });
+                            st.emit(ObsEvent::TransferRetry {
+                                t: st.now,
+                                gpu,
+                                data,
+                                attempt: attempt + 1,
+                            });
+                            st.emit(ObsEvent::TransferBegin {
+                                t: start,
+                                gpu,
+                                data,
+                                bytes: size,
+                                bus_wait: start - st.now,
+                                peer: None,
+                                attempt: attempt + 1,
+                            });
+                        }
                         let view = st.view(ts, spec);
                         timed(&mut sched_wall, g, || {
                             scheduler.on_transfer_retry(GpuId(gpu), d, attempt + 1, &view)
@@ -329,6 +398,8 @@ pub fn run_with_config(
                         continue;
                     }
                 }
+                st.lane_advance(g);
+                st.inflight[g] -= 1;
                 st.mem[g].finish_load(d, ts.data_size(d), st.now);
                 if src != FROM_HOST {
                     // Release the read pin on the NVLink source replica.
@@ -342,6 +413,18 @@ pub fn run_with_config(
                         gpu: g,
                         data: data as usize,
                     });
+                }
+                if st.observed() {
+                    st.emit(ObsEvent::TransferEnd {
+                        t: st.now,
+                        gpu,
+                        data,
+                        bytes: ts.data_size(d),
+                        peer: (src != FROM_HOST).then_some(src),
+                        attempt,
+                        delivered: true,
+                    });
+                    st.emit_occupancy(g);
                 }
                 // New residency can unblock pops (e.g. DARTS's free-task
                 // counts change when a load lands).
@@ -364,8 +447,17 @@ pub fn run_with_config(
                 }
                 let t = TaskId(task);
                 debug_assert!(st.running[g] && st.pipeline[g].front() == Some(&t));
+                st.lane_advance(g);
                 st.pipeline[g].pop_front();
                 st.running[g] = false;
+                if st.observed() {
+                    st.emit(ObsEvent::ComputeEnd {
+                        t: st.now,
+                        gpu,
+                        task,
+                        interrupted: false,
+                    });
+                }
                 for d in ts.input_ids(t) {
                     st.mem[g].unpin(d);
                     st.mem[g].touch(d, st.now);
@@ -396,6 +488,7 @@ pub fn run_with_config(
                 if st.dead[g] {
                     continue;
                 }
+                st.lane_advance(g);
                 st.dead[g] = true;
                 st.failures += 1;
                 if st.running[g] {
@@ -410,6 +503,17 @@ pub fn run_with_config(
                     let rem = st.gpu_free_at[g].saturating_sub(st.now);
                     st.busy[g] = st.busy[g].saturating_sub(rem);
                     st.running[g] = false;
+                    if st.observed() {
+                        st.emit(ObsEvent::ComputeEnd {
+                            t: st.now,
+                            gpu: g as u32,
+                            task: head.0,
+                            interrupted: true,
+                        });
+                    }
+                }
+                if st.observed() {
+                    st.emit(ObsEvent::GpuFailed { t: st.now, gpu: g as u32 });
                 }
                 st.gpu_free_at[g] = st.now;
                 st.pending_shrinks.retain(|&(gg, _)| gg != g);
@@ -466,6 +570,43 @@ pub fn run_with_config(
                         factor: s.factor,
                     });
                 }
+                if st.observed() {
+                    st.emit(ObsEvent::GpuSlowed {
+                        t: st.now,
+                        gpu: s.gpu as u32,
+                        factor: s.factor,
+                    });
+                }
+            }
+        }
+    }
+
+    // Close the stall accounting at the makespan, then close transfer
+    // spans still in flight (prefetches issued for tasks that were no
+    // longer needed once the last task finished). The event heap pops in
+    // completion order, which on each link equals grant order, so the
+    // probe's FIFO span pairing stays valid.
+    for g in 0..k {
+        st.lane_advance(g);
+    }
+    if st.observed() {
+        while let Some(Reverse((time, _, ev))) = st.events.pop() {
+            if let Event::TransferDone {
+                gpu,
+                data,
+                src,
+                attempt,
+            } = ev
+            {
+                st.emit(ObsEvent::TransferEnd {
+                    t: time,
+                    gpu,
+                    data,
+                    bytes: ts.data_size(DataId(data)),
+                    peer: (src != FROM_HOST).then_some(src),
+                    attempt,
+                    delivered: false,
+                });
             }
         }
     }
@@ -477,6 +618,8 @@ pub fn run_with_config(
             load_bytes: st.mem[g].load_bytes,
             evictions: st.mem[g].evictions,
             busy: st.busy[g],
+            stall: st.stall[g],
+            idle: st.now.saturating_sub(st.busy[g] + st.stall[g]),
             sched_wall: sched_wall[g],
             nvlink_loads: st.nvlink_loads[g],
             nvlink_bytes: st.nvlink_bytes[g],
@@ -541,6 +684,18 @@ struct State {
     redispatched: u64,
     /// GPUs lost to fail-stop faults.
     failures: u64,
+    /// Per-GPU time of the last stall-accounting transition (see
+    /// [`State::lane_advance`]).
+    lane_last: Vec<Nanos>,
+    /// Per-GPU number of in-flight transfers (issued, not yet done).
+    inflight: Vec<u32>,
+    /// Per-GPU accumulated transfer-stall time: not computing, alive,
+    /// and at least one transfer in flight. Always maintained (a few
+    /// integer ops per transition) so every report carries the
+    /// busy/stall/idle split without observation enabled.
+    stall: Vec<Nanos>,
+    /// Observability side channel; `None` keeps the legacy path.
+    obs: Option<Probe>,
 }
 
 impl State {
@@ -562,13 +717,59 @@ impl State {
         self.seq += 1;
         self.events.push(Reverse((at, self.seq, ev)));
     }
+
+    /// Bucket the time since the last transition for GPU `g`. Only the
+    /// stall bucket needs explicit accounting: busy time is already
+    /// charged per task, and idle is derived at report time as
+    /// `makespan − busy − stall`. Called at every transition of the
+    /// predicate (task start/end, transfer issue/completion, death).
+    fn lane_advance(&mut self, g: usize) {
+        let dt = self.now - self.lane_last[g];
+        if dt > 0 && !self.running[g] && !self.dead[g] && self.inflight[g] > 0 {
+            self.stall[g] += dt;
+        }
+        self.lane_last[g] = self.now;
+    }
+
+    /// Emit into the probe, if one is attached.
+    fn emit(&self, ev: ObsEvent) {
+        if let Some(p) = &self.obs {
+            p.emit(ev);
+        }
+    }
+
+    /// True when an observation probe is attached.
+    fn observed(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Emit a fresh occupancy sample for GPU `g` (after a residency
+    /// change); no-op without a probe.
+    fn emit_occupancy(&self, g: usize) {
+        if self.observed() {
+            let cap = self.mem[g].capacity().max(1);
+            self.emit(ObsEvent::Gauge {
+                t: self.now,
+                gpu: Some(g as u32),
+                kind: GaugeKind::Occupancy,
+                value: self.mem[g].used_bytes() as f64 / cap as f64,
+            });
+        }
+    }
 }
 
 fn timed<R>(wall: &mut [Nanos], gpu: usize, f: impl FnOnce() -> R) -> R {
+    timed_with(wall, gpu, f).0
+}
+
+/// As [`timed`], also returning the elapsed wall nanoseconds (used to
+/// stamp per-decision latency onto [`ObsEvent::Decision`]).
+fn timed_with<R>(wall: &mut [Nanos], gpu: usize, f: impl FnOnce() -> R) -> (R, Nanos) {
     let start = Instant::now();
     let r = f();
-    wall[gpu] += start.elapsed().as_nanos() as Nanos;
-    r
+    let dt = start.elapsed().as_nanos() as Nanos;
+    wall[gpu] += dt;
+    (r, dt)
 }
 
 /// Give GPU `g` every chance to advance: refill its pipeline from the
@@ -588,9 +789,17 @@ fn progress(
     // 1. Refill the pipeline.
     while st.pipeline[g].len() < spec.pipeline_depth && !st.stalled_pop[g] {
         let view = st.view(ts, spec);
-        let popped = timed(sched_wall, g, || {
+        let (popped, pop_wall) = timed_with(sched_wall, g, || {
             scheduler.pop_task(GpuId(g as u32), &view)
         });
+        if st.observed() {
+            st.emit(ObsEvent::Decision {
+                t: st.now,
+                gpu: g as u32,
+                task: popped.map(|t| t.0),
+                wall_ns: pop_wall,
+            });
+        }
         match popped {
             Some(t) => {
                 // The upfront feasibility check used the nominal capacity;
@@ -636,7 +845,7 @@ fn progress(
             while st.mem[g].free_bytes() < size {
                 let victim = pick_victim(ts, spec, scheduler, st, sched_wall, g, &protect);
                 match victim {
-                    Some(v) => {
+                    Some((v, by_scheduler)) => {
                         st.mem[g].evict(v, ts.data_size(v));
                         st.missing.evicted(ts, g, v);
                         if config.collect_trace {
@@ -645,6 +854,16 @@ fn progress(
                                 gpu: g,
                                 data: v.index(),
                             });
+                        }
+                        if st.observed() {
+                            st.emit(ObsEvent::Eviction {
+                                t: st.now,
+                                gpu: g as u32,
+                                data: v.0,
+                                bytes: ts.data_size(v),
+                                by_scheduler,
+                            });
+                            st.emit_occupancy(g);
                         }
                         let view = st.view(ts, spec);
                         timed(sched_wall, g, || {
@@ -675,19 +894,21 @@ fn progress(
             let peer = spec.nvlink_bandwidth.and_then(|_| {
                 (0..st.mem.len()).find(|&h| h != g && !st.dead[h] && st.mem[h].is_resident(d))
             });
-            let (done_at, src) = match peer {
+            let (done_at, start, src) = match peer {
                 Some(h) => {
                     // Pin the source replica for the transfer duration so
                     // it cannot be evicted mid-copy.
                     st.mem[h].pin(d);
-                    let done = st.nvlink_free_at.max(st.now) + spec.nvlink_time(size);
+                    let start = st.nvlink_free_at.max(st.now);
+                    let done = start + spec.nvlink_time(size);
                     st.nvlink_free_at = done;
-                    (done, h as u32)
+                    (done, start, h as u32)
                 }
                 None => {
-                    let done = st.bus_free_at.max(st.now) + spec.transfer_time(size);
+                    let start = st.bus_free_at.max(st.now);
+                    let done = start + spec.transfer_time(size);
                     st.bus_free_at = done;
-                    (done, FROM_HOST)
+                    (done, start, FROM_HOST)
                 }
             };
             st.push_event(
@@ -707,6 +928,22 @@ fn progress(
                     done_at,
                 });
             }
+            // The span begins when the link grants the transfer, but the
+            // GPU is starved from the issue instant — `bus_wait` carries
+            // the queueing delay so the stall breakdown can recover it.
+            if st.observed() {
+                st.emit(ObsEvent::TransferBegin {
+                    t: start,
+                    gpu: g as u32,
+                    data: raw,
+                    bytes: size,
+                    bus_wait: start - st.now,
+                    peer: (src != FROM_HOST).then_some(src),
+                    attempt: 1,
+                });
+            }
+            st.lane_advance(g);
+            st.inflight[g] += 1;
             // Notify the policy at issue time: `is_resident_or_loading`
             // already counts this data, so policies maintaining free-task
             // state incrementally must observe the transition now, not at
@@ -740,7 +977,15 @@ fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize, config
         st.mem[g].pin(d);
         st.mem[g].touch(d, st.now);
     }
+    st.lane_advance(g);
     st.running[g] = true;
+    if st.observed() {
+        st.emit(ObsEvent::ComputeBegin {
+            t: st.now,
+            gpu: g as u32,
+            task: head.0,
+        });
+    }
     let base = spec.compute_time_on(g, ts.flops(head));
     // A straggler fault divides the GPU's effective speed; the untouched
     // 1.0 path preserves the fault-free durations bit-for-bit.
@@ -796,7 +1041,9 @@ fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
 
 /// Choose an eviction victim on GPU `g`: ask the scheduler first (LUF),
 /// validate its answer, fall back to LRU. `protect` holds the inputs of
-/// the task the fetch is for.
+/// the task the fetch is for. The flag in the result records whether
+/// the scheduler's choice was used (`true`) or the LRU fallback
+/// (`false`) — the eviction-policy tag on [`ObsEvent::Eviction`].
 #[allow(clippy::too_many_arguments)]
 fn pick_victim(
     ts: &TaskSet,
@@ -806,7 +1053,7 @@ fn pick_victim(
     sched_wall: &mut [Nanos],
     g: usize,
     protect: &[u32],
-) -> Option<DataId> {
+) -> Option<(DataId, bool)> {
     let evictable = |mem: &GpuMemory, d: DataId| {
         mem.is_resident(d) && !mem.is_pinned(d) && protect.binary_search(&d.0).is_err()
     };
@@ -816,13 +1063,15 @@ fn pick_victim(
     });
     if let Some(v) = choice {
         if evictable(&st.mem[g], v) {
-            return Some(v);
+            return Some((v, true));
         }
     }
     // LRU fallback, skipping protected items: walk the memory's intrusive
     // LRU list from the oldest end (equivalent to the old key-argmin scan
     // because touch keys are unique) instead of scanning all data.
-    st.mem[g].lru_victim_where(|d| protect.binary_search(&d.0).is_err())
+    st.mem[g]
+        .lru_victim_where(|d| protect.binary_search(&d.0).is_err())
+        .map(|v| (v, false))
 }
 
 /// Apply a fault-induced capacity shrink on GPU `g`: evict down to
@@ -846,7 +1095,8 @@ fn apply_shrink(
 ) -> bool {
     let mut evicted_any = false;
     while st.mem[g].used_bytes() > target {
-        let Some(v) = pick_victim(ts, spec, scheduler, st, sched_wall, g, &[]) else {
+        let Some((v, by_scheduler)) = pick_victim(ts, spec, scheduler, st, sched_wall, g, &[])
+        else {
             break;
         };
         st.mem[g].evict(v, ts.data_size(v));
@@ -858,6 +1108,16 @@ fn apply_shrink(
                 gpu: g,
                 data: v.index(),
             });
+        }
+        if st.observed() {
+            st.emit(ObsEvent::Eviction {
+                t: st.now,
+                gpu: g as u32,
+                data: v.0,
+                bytes: ts.data_size(v),
+                by_scheduler,
+            });
+            st.emit_occupancy(g);
         }
         let view = st.view(ts, spec);
         timed(sched_wall, g, || {
@@ -873,6 +1133,14 @@ fn apply_shrink(
                 gpu: g,
                 capacity: effective,
             });
+        }
+        if st.observed() {
+            st.emit(ObsEvent::CapacityShrunk {
+                t: st.now,
+                gpu: g as u32,
+                capacity: effective,
+            });
+            st.emit_occupancy(g);
         }
         let view = st.view(ts, spec);
         timed(sched_wall, g, || {
@@ -1442,5 +1710,110 @@ mod tests {
         assert!(e.to_string().contains("5/9"));
         let e = RunError::InvalidFaultPlan("fail: GPU 7 out of range".into());
         assert!(e.to_string().contains("GPU 7"));
+    }
+
+    #[test]
+    fn observed_run_is_decision_identical_and_well_formed() {
+        let ts = two_task_set();
+        let spec = tiny_spec(1, 10_000);
+        let config = RunConfig {
+            collect_trace: true,
+            ..Default::default()
+        };
+        let base = run_with_config(&ts, &spec, &mut Fifo::new(&ts), &config).unwrap();
+        let probe = Probe::unbounded();
+        let obs = run_observed(&ts, &spec, &mut Fifo::new(&ts), &config, &probe).unwrap();
+        // Wall-clock measurements (sched_wall, prepare_wall) are real
+        // time and differ between runs; everything simulated must match.
+        let strip = |mut r: RunReport| {
+            r.prepare_wall = 0;
+            r.sched_wall = 0;
+            for g in &mut r.per_gpu {
+                g.sched_wall = 0;
+            }
+            r
+        };
+        assert_eq!(strip(base.0.clone()), strip(obs.0), "probe must not change the report");
+        assert_eq!(base.1, obs.1, "probe must not change the trace");
+
+        let events = probe.events();
+        let timeline = memsched_obs::check_well_formed(&events).unwrap();
+        // One compute span per task, one transfer span per load.
+        let computes = timeline
+            .spans
+            .iter()
+            .filter(|s| matches!(s.kind, memsched_obs::SpanKind::Compute { .. }))
+            .count();
+        assert_eq!(computes, 2);
+        let transfers = timeline
+            .spans
+            .iter()
+            .filter(|s| matches!(s.kind, memsched_obs::SpanKind::Transfer { .. }))
+            .count();
+        assert_eq!(transfers as u64, base.0.total_loads);
+    }
+
+    #[test]
+    fn lane_accounting_sums_to_makespan_and_matches_derived_breakdown() {
+        let ts = two_task_set();
+        let spec = tiny_spec(1, 10_000);
+        let probe = Probe::unbounded();
+        let (report, _) = run_observed(
+            &ts,
+            &spec,
+            &mut Fifo::new(&ts),
+            &RunConfig::default(),
+            &probe,
+        )
+        .unwrap();
+        for g in &report.per_gpu {
+            assert_eq!(g.busy + g.stall + g.idle, report.makespan);
+        }
+        // D0's initial load (1000 ns) is the only stall; D1 prefetches
+        // under task 0's compute.
+        assert_eq!(report.per_gpu[0].stall, 1000);
+        let derived =
+            memsched_obs::gpu_breakdowns(&probe.events(), 1, report.makespan).unwrap();
+        assert_eq!(derived[0].busy, report.per_gpu[0].busy);
+        assert_eq!(derived[0].stall, report.per_gpu[0].stall);
+        assert_eq!(derived[0].idle, report.per_gpu[0].idle);
+    }
+
+    #[test]
+    fn faulted_observed_run_closes_interrupted_spans() {
+        let ts = four_task_set();
+        let spec = tiny_spec(2, 10_000);
+        // GPU 1's queued bus loads land at 3000; it computes 3000..8000,
+        // so a failure at 5000 interrupts it mid-task.
+        let plan = FaultPlan::none().with_gpu_failure(1, 5_000);
+        let probe = Probe::unbounded();
+        let (report, _) = run_observed(
+            &ts,
+            &spec,
+            &mut Recovering::new(&ts),
+            &faulty_config(plan),
+            &probe,
+        )
+        .unwrap();
+        let events = probe.events();
+        let timeline = memsched_obs::check_well_formed(&events).unwrap();
+        let interrupted = timeline
+            .spans
+            .iter()
+            .filter(
+                |s| matches!(s.kind, memsched_obs::SpanKind::Compute { interrupted: true, .. }),
+            )
+            .count();
+        assert_eq!(interrupted, 1, "GPU 1's running task ends interrupted");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ObsEvent::GpuFailed { .. }))
+                .count() as u64,
+            report.gpu_failures
+        );
+        for g in &report.per_gpu {
+            assert_eq!(g.busy + g.stall + g.idle, report.makespan);
+        }
     }
 }

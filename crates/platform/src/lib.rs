@@ -41,8 +41,12 @@ mod report;
 mod scheduler;
 mod spec;
 
-pub use analysis::{analyze, analyze_checked, render_gantt, TraceAnalysis};
-pub use engine::{run, run_with_config, RunConfig, RunError};
+pub use analysis::{analyze, analyze_checked, render_gantt, to_obs_events, TraceAnalysis};
+pub use engine::{run, run_observed, run_with_config, RunConfig, RunError};
+/// The observability subsystem (re-exported so downstream crates can
+/// build probes and exporters without naming `memsched-obs` directly).
+pub use memsched_obs as obs;
+pub use memsched_obs::{ObsEvent, Probe};
 pub use fault::{CapacityShrink, FaultPlan, GpuFailure, Straggler, TransferFaultSpec};
 pub use memory::{GpuMemory, Residency};
 pub use report::{GpuRunStats, RunReport, TraceEvent};

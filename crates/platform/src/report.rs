@@ -16,6 +16,15 @@ pub struct GpuRunStats {
     pub evictions: u64,
     /// Nanoseconds spent executing tasks.
     pub busy: Nanos,
+    /// Nanoseconds starved by data movement: not executing, alive, and at
+    /// least one transfer destined for this GPU in flight (queued on the
+    /// bus or on the wire). Disjoint from `busy`;
+    /// `busy + stall + idle == makespan` exactly.
+    #[serde(default)]
+    pub stall: Nanos,
+    /// Remaining nanoseconds: no runnable work, or dead after a fault.
+    #[serde(default)]
+    pub idle: Nanos,
     /// Wall-clock nanoseconds spent inside scheduler callbacks for this
     /// GPU's worker (pop/eviction decisions).
     pub sched_wall: Nanos,

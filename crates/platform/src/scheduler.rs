@@ -306,4 +306,14 @@ pub trait Scheduler {
     fn on_capacity_changed(&mut self, gpu: GpuId, capacity: u64, view: &RuntimeView<'_>) {
         let _ = (gpu, capacity, view);
     }
+
+    /// An observability probe was attached for this run
+    /// ([`crate::run_observed`]). Schedulers that emit their own events
+    /// (queue-depth gauges, steal records) keep the clone; the default
+    /// ignores it, so policies without internal state to expose need no
+    /// changes. Never called on the unobserved path, which therefore
+    /// stays byte-identical.
+    fn attach_probe(&mut self, probe: memsched_obs::Probe) {
+        let _ = probe;
+    }
 }

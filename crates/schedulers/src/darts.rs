@@ -37,7 +37,8 @@
 //! kept behind the `naive` feature as the reference.
 
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
-use memsched_platform::{PlatformSpec, RuntimeView, Scheduler};
+use memsched_platform::obs::{GaugeKind, ObsEvent};
+use memsched_platform::{PlatformSpec, Probe, RuntimeView, Scheduler};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeSet, VecDeque};
@@ -340,6 +341,8 @@ pub struct DartsScheduler {
     cv_stamp: Vec<u32>,
     cv_first: Vec<u32>,
     cv_epoch: u32,
+    /// Observability probe (`nbFreeTasks` / planned-depth gauges).
+    probe: Option<Probe>,
 }
 
 const FREE: u8 = 0;
@@ -371,6 +374,7 @@ impl DartsScheduler {
             cv_stamp: Vec::new(),
             cv_first: Vec::new(),
             cv_epoch: 0,
+            probe: None,
         }
     }
 
@@ -863,6 +867,35 @@ impl DartsScheduler {
     }
 }
 
+impl DartsScheduler {
+    /// The actual pop logic ([`Scheduler::pop_task`] wraps it with the
+    /// post-decision gauge emission).
+    fn pop_task_inner(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+        let ts = view.task_set();
+        let g = gpu.index();
+        if let Some(t) = self.planned[g].pop_front() {
+            self.on_planned_pop(ts, g, t);
+            return Some(t);
+        }
+        if self.refill(ts, view, gpu) {
+            let t = self.planned[g].pop_front();
+            if let Some(t) = t {
+                self.on_planned_pop(ts, g, t);
+            }
+            return t;
+        }
+        // No data frees a task (e.g. the very beginning of the run).
+        if self.cfg.three_inputs {
+            if let Some(t) = self.three_inputs_pick(ts, view, gpu) {
+                return Some(t);
+            }
+        }
+        let t = self.random_task()?;
+        self.take_task(ts, view, gpu, t);
+        Some(t)
+    }
+}
+
 impl Scheduler for DartsScheduler {
     fn name(&self) -> String {
         let mut name = String::from("DARTS");
@@ -943,28 +976,29 @@ impl Scheduler for DartsScheduler {
     }
 
     fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
-        let ts = view.task_set();
-        let g = gpu.index();
-        if let Some(t) = self.planned[g].pop_front() {
-            self.on_planned_pop(ts, g, t);
-            return Some(t);
+        let t = self.pop_task_inner(gpu, view);
+        if let Some(p) = &self.probe {
+            // DARTS's decision state, after the pop: how many tasks are
+            // still unallocated (the paper's nbFreeTasks pool) and how
+            // deep this GPU's planned queue is.
+            p.emit(ObsEvent::Gauge {
+                t: view.now(),
+                gpu: None,
+                kind: GaugeKind::NbFreeTasks,
+                value: self.unallocated as f64,
+            });
+            p.emit(ObsEvent::Gauge {
+                t: view.now(),
+                gpu: Some(gpu.0),
+                kind: GaugeKind::ReadyQueueDepth,
+                value: self.planned[gpu.index()].len() as f64,
+            });
         }
-        if self.refill(ts, view, gpu) {
-            let t = self.planned[g].pop_front();
-            if let Some(t) = t {
-                self.on_planned_pop(ts, g, t);
-            }
-            return t;
-        }
-        // No data frees a task (e.g. the very beginning of the run).
-        if self.cfg.three_inputs {
-            if let Some(t) = self.three_inputs_pick(ts, view, gpu) {
-                return Some(t);
-            }
-        }
-        let t = self.random_task()?;
-        self.take_task(ts, view, gpu, t);
-        Some(t)
+        t
+    }
+
+    fn attach_probe(&mut self, probe: Probe) {
+        self.probe = Some(probe);
     }
 
     fn choose_victim(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<DataId> {

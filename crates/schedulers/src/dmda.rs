@@ -15,7 +15,8 @@
 
 use crate::ready::{ready_pick, DEFAULT_READY_WINDOW};
 use memsched_model::{GpuId, TaskId, TaskSet};
-use memsched_platform::{Nanos, PlatformSpec, RuntimeView, Scheduler};
+use memsched_platform::obs::{GaugeKind, ObsEvent};
+use memsched_platform::{Nanos, PlatformSpec, Probe, RuntimeView, Scheduler};
 
 /// The DMDA family; [`DmdaScheduler::dmda`] builds the plain variant and
 /// [`DmdaScheduler::dmdar`] the Ready one used throughout the paper.
@@ -26,6 +27,8 @@ pub struct DmdaScheduler {
     window: usize,
     /// Per-GPU allocated task queues, filled during `prepare`.
     queues: Vec<Vec<TaskId>>,
+    /// Observability probe (queue-depth gauges); absent unless attached.
+    probe: Option<Probe>,
     /// Serve Ready through the input-walking reference implementation.
     #[cfg(feature = "naive")]
     naive_ready: bool,
@@ -38,6 +41,7 @@ impl DmdaScheduler {
             ready: false,
             window: DEFAULT_READY_WINDOW,
             queues: Vec::new(),
+            probe: None,
             #[cfg(feature = "naive")]
             naive_ready: false,
         }
@@ -49,6 +53,7 @@ impl DmdaScheduler {
             ready: true,
             window: DEFAULT_READY_WINDOW,
             queues: Vec::new(),
+            probe: None,
             #[cfg(feature = "naive")]
             naive_ready: false,
         }
@@ -131,7 +136,20 @@ impl Scheduler for DmdaScheduler {
         } else {
             0
         };
-        Some(q.remove(i))
+        let task = q.remove(i);
+        if let Some(p) = &self.probe {
+            p.emit(ObsEvent::Gauge {
+                t: view.now(),
+                gpu: Some(gpu.0),
+                kind: GaugeKind::ReadyQueueDepth,
+                value: self.queues[gpu.index()].len() as f64,
+            });
+        }
+        Some(task)
+    }
+
+    fn attach_probe(&mut self, probe: Probe) {
+        self.probe = Some(probe);
     }
 
     fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {

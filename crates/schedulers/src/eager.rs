@@ -7,7 +7,8 @@
 //! memory LRU reloads all of it for every row.
 
 use memsched_model::{GpuId, TaskId, TaskSet};
-use memsched_platform::{PlatformSpec, RuntimeView, Scheduler};
+use memsched_platform::obs::{GaugeKind, ObsEvent};
+use memsched_platform::{PlatformSpec, Probe, RuntimeView, Scheduler};
 use std::collections::VecDeque;
 
 /// Shared-queue scheduler: tasks are handed out in submission order to
@@ -15,6 +16,7 @@ use std::collections::VecDeque;
 #[derive(Debug, Default)]
 pub struct EagerScheduler {
     queue: VecDeque<TaskId>,
+    probe: Option<Probe>,
 }
 
 impl EagerScheduler {
@@ -33,8 +35,22 @@ impl Scheduler for EagerScheduler {
         self.queue = ts.tasks().collect();
     }
 
-    fn pop_task(&mut self, _gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
-        self.queue.pop_front()
+    fn pop_task(&mut self, _gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+        let t = self.queue.pop_front();
+        if let Some(p) = &self.probe {
+            // The queue is shared, so the depth gauge is global.
+            p.emit(ObsEvent::Gauge {
+                t: view.now(),
+                gpu: None,
+                kind: GaugeKind::ReadyQueueDepth,
+                value: self.queue.len() as f64,
+            });
+        }
+        t
+    }
+
+    fn attach_probe(&mut self, probe: Probe) {
+        self.probe = Some(probe);
     }
 
     fn on_gpu_failed(&mut self, _gpu: GpuId, lost: &[TaskId], _view: &RuntimeView<'_>) {

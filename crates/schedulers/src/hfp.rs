@@ -32,7 +32,7 @@
 use crate::ready::DEFAULT_READY_WINDOW;
 use crate::stealing::StealingQueues;
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
-use memsched_platform::{PlatformSpec, RuntimeView, Scheduler};
+use memsched_platform::{PlatformSpec, Probe, RuntimeView, Scheduler};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -620,6 +620,8 @@ pub struct HfpScheduler {
     window: usize,
     steal: bool,
     queues: Option<StealingQueues>,
+    /// Probe kept until `prepare` builds the queues that emit with it.
+    probe: Option<Probe>,
     #[cfg(feature = "naive")]
     naive_pack: bool,
 }
@@ -637,6 +639,7 @@ impl HfpScheduler {
             window: DEFAULT_READY_WINDOW,
             steal: true,
             queues: None,
+            probe: None,
             #[cfg(feature = "naive")]
             naive_pack: false,
         }
@@ -673,7 +676,18 @@ impl Scheduler for HfpScheduler {
             config
         };
         let queues = pack_with(ts, &config);
-        self.queues = Some(StealingQueues::new(queues, self.window, self.steal));
+        let mut sq = StealingQueues::new(queues, self.window, self.steal);
+        if let Some(p) = &self.probe {
+            sq.attach_probe(p.clone());
+        }
+        self.queues = Some(sq);
+    }
+
+    fn attach_probe(&mut self, probe: Probe) {
+        if let Some(q) = self.queues.as_mut() {
+            q.attach_probe(probe.clone());
+        }
+        self.probe = Some(probe);
     }
 
     fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {

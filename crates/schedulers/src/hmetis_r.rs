@@ -6,7 +6,7 @@ use crate::ready::DEFAULT_READY_WINDOW;
 use crate::stealing::StealingQueues;
 use memsched_hypergraph::{partition, partition_clique, Hypergraph, PartitionConfig};
 use memsched_model::{GpuId, TaskId, TaskSet};
-use memsched_platform::{PlatformSpec, RuntimeView, Scheduler};
+use memsched_platform::{PlatformSpec, Probe, RuntimeView, Scheduler};
 
 /// The hMETIS+R scheduler.
 #[derive(Debug, Default)]
@@ -14,6 +14,8 @@ pub struct HmetisRScheduler {
     /// Partitioner settings (`k` is overwritten with the GPU count).
     config: PartitionerOptions,
     queues: Option<StealingQueues>,
+    /// Probe kept until `prepare` builds the queues that emit with it.
+    probe: Option<Probe>,
     /// Connectivity−1 of the partition (for reports/tests).
     pub partition_cost: u64,
 }
@@ -58,6 +60,7 @@ impl HmetisRScheduler {
         Self {
             config,
             queues: None,
+            probe: None,
             partition_cost: 0,
         }
     }
@@ -118,11 +121,18 @@ impl Scheduler for HmetisRScheduler {
         for t in ts.tasks() {
             queues[parts[t.index()] as usize].push(t);
         }
-        self.queues = Some(StealingQueues::new(
-            queues,
-            self.config.window,
-            self.config.steal,
-        ));
+        let mut sq = StealingQueues::new(queues, self.config.window, self.config.steal);
+        if let Some(p) = &self.probe {
+            sq.attach_probe(p.clone());
+        }
+        self.queues = Some(sq);
+    }
+
+    fn attach_probe(&mut self, probe: Probe) {
+        if let Some(q) = self.queues.as_mut() {
+            q.attach_probe(probe.clone());
+        }
+        self.probe = Some(probe);
     }
 
     fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {

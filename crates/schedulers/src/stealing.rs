@@ -5,7 +5,8 @@
 
 use crate::ready::ready_pick;
 use memsched_model::{GpuId, TaskId};
-use memsched_platform::RuntimeView;
+use memsched_platform::obs::{GaugeKind, ObsEvent};
+use memsched_platform::{Probe, RuntimeView};
 
 /// Per-GPU task queues with Ready service and tail-half stealing.
 #[derive(Clone, Debug, Default)]
@@ -17,6 +18,9 @@ pub struct StealingQueues {
     steal: bool,
     /// Number of successful steals (for reporting/tests).
     pub steals: u64,
+    /// Observability probe (steal events, queue-depth gauges); absent on
+    /// unobserved runs.
+    probe: Option<Probe>,
 }
 
 impl StealingQueues {
@@ -27,7 +31,14 @@ impl StealingQueues {
             window: window.max(1),
             steal,
             steals: 0,
+            probe: None,
         }
+    }
+
+    /// Attach an observability probe; subsequent steals emit
+    /// [`ObsEvent::Steal`] and pops sample per-GPU queue depth.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = Some(probe);
     }
 
     /// Remaining tasks on `gpu`.
@@ -45,14 +56,32 @@ impl StealingQueues {
     pub fn pop(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
         let g = gpu.index();
         if self.queues[g].is_empty() && self.steal {
-            self.try_steal(g);
+            if let Some((victim, take)) = self.try_steal(g) {
+                if let Some(p) = &self.probe {
+                    p.emit(ObsEvent::Steal {
+                        t: view.now(),
+                        from: victim as u32,
+                        to: g as u32,
+                        tasks: take,
+                    });
+                }
+            }
         }
         let q = &mut self.queues[g];
         if q.is_empty() {
             return None;
         }
         let i = ready_pick(q, gpu, view, self.window)?;
-        Some(q.remove(i))
+        let task = q.remove(i);
+        if let Some(p) = &self.probe {
+            p.emit(ObsEvent::Gauge {
+                t: view.now(),
+                gpu: Some(g as u32),
+                kind: GaugeKind::ReadyQueueDepth,
+                value: self.queues[g].len() as f64,
+            });
+        }
+        Some(task)
     }
 
     /// Fault recovery: `gpu` died with `lost` tasks in its pipeline.
@@ -77,18 +106,20 @@ impl StealingQueues {
     }
 
     /// Steal half (rounded down, at least one when possible) of the tail
-    /// of the most loaded queue into queue `g`.
-    fn try_steal(&mut self, g: usize) {
+    /// of the most loaded queue into queue `g`. Returns the victim and
+    /// how many tasks moved, for the caller's steal event.
+    fn try_steal(&mut self, g: usize) -> Option<(usize, u32)> {
         let victim = (0..self.queues.len())
             .filter(|&v| v != g)
             .max_by_key(|&v| self.queues[v].len())
             .filter(|&v| !self.queues[v].is_empty());
-        let Some(v) = victim else { return };
+        let v = victim?;
         let vlen = self.queues[v].len();
         let take = (vlen / 2).max(1);
         let stolen: Vec<TaskId> = self.queues[v].split_off(vlen - take);
         self.queues[g] = stolen;
         self.steals += 1;
+        Some((v, take as u32))
     }
 }
 
@@ -241,6 +272,49 @@ mod tests {
             })
             .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4, 5], "service order preserved");
+    }
+
+    #[test]
+    fn observed_steals_emit_events_matching_the_counter() {
+        let ts = uniform_tasks(8);
+        let queues = vec![ts.tasks().collect(), Vec::new()];
+        struct Observed(StealingQueues);
+        impl Scheduler for Observed {
+            fn name(&self) -> String {
+                "steal-observed".into()
+            }
+            fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
+                self.0.pop(gpu, view)
+            }
+            fn attach_probe(&mut self, probe: memsched_platform::Probe) {
+                self.0.attach_probe(probe);
+            }
+        }
+        let mut sched = Observed(StealingQueues::new(queues, 8, true));
+        let spec = PlatformSpec::v100(2).with_memory(100);
+        let probe = memsched_platform::Probe::unbounded();
+        memsched_platform::run_observed(
+            &ts,
+            &spec,
+            &mut sched,
+            &memsched_platform::RunConfig::default(),
+            &probe,
+        )
+        .unwrap();
+        let steal_events: Vec<(u32, u32, u32)> = probe
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                memsched_platform::ObsEvent::Steal { from, to, tasks, .. } => {
+                    Some((from, to, tasks))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steal_events.len() as u64, sched.0.steals);
+        assert!(steal_events.iter().all(|&(from, to, tasks)| {
+            from == 0 && to == 1 && tasks >= 1
+        }));
     }
 
     #[test]

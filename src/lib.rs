@@ -12,6 +12,7 @@
 //!
 //! * [`model`] — the bipartite task/data model, schedules, offline replay;
 //! * [`platform`] — the discrete-event multi-GPU runtime simulator;
+//! * [`obs`] — structured tracing, Chrome/Paje export, metrics registry;
 //! * [`schedulers`] — EAGER, DMDA(R), hMETIS+R, mHFP, DARTS(+LUF);
 //! * [`hypergraph`] — the multilevel K-way partitioner;
 //! * [`workloads`] — 2D/3D gemm, Cholesky and sparse generators;
@@ -39,6 +40,7 @@
 pub use memsched_experiments as experiments;
 pub use memsched_hypergraph as hypergraph;
 pub use memsched_model as model;
+pub use memsched_obs as obs;
 pub use memsched_platform as platform;
 pub use memsched_schedulers as schedulers;
 pub use memsched_workloads as workloads;
@@ -48,9 +50,10 @@ pub mod prelude {
     pub use memsched_model::{
         bounds, replay, DataId, EvictionPolicy, GpuId, Schedule, TaskId, TaskSet, TaskSetBuilder,
     };
+    pub use memsched_obs::{ObsEvent, Probe};
     pub use memsched_platform::{
-        run, run_with_config, FaultPlan, PlatformSpec, RunConfig, RunError, RunReport,
-        RuntimeView, Scheduler, TransferFaultSpec,
+        run, run_observed, run_with_config, FaultPlan, PlatformSpec, RunConfig, RunError,
+        RunReport, RuntimeView, Scheduler, TransferFaultSpec,
     };
     pub use memsched_schedulers::{
         DartsConfig, DartsEviction, DartsScheduler, DmdaScheduler, EagerScheduler, HfpScheduler,

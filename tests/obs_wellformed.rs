@@ -1,0 +1,183 @@
+//! Property tests of the observability subsystem over random workloads:
+//! every recorded trace is well-formed, the Chrome export is valid JSON
+//! that round-trips through `serde_json`, event counts agree with the
+//! engine's own report and trace, the derived per-GPU breakdown sums to
+//! the makespan, and attaching a probe never changes a decision (the
+//! golden-trace guarantee, checked here as trace equality between the
+//! observed and unobserved runs).
+
+use memsched::obs::{
+    check_well_formed, chrome_trace_json, gpu_breakdowns, Counter, Metrics, ObsEvent, SpanKind,
+};
+use memsched::prelude::*;
+use proptest::prelude::*;
+
+/// Random task set: `nd` unit-size data items, tasks with 1–3 inputs.
+fn arb_taskset(max_data: usize, max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    (2usize..=max_data, 1usize..=max_tasks)
+        .prop_flat_map(|(nd, mt)| {
+            let inputs =
+                proptest::collection::vec(proptest::collection::vec(0..nd as u32, 1..=3), mt);
+            (Just(nd), inputs)
+        })
+        .prop_map(|(nd, task_inputs)| {
+            let mut b = TaskSetBuilder::new();
+            let data: Vec<DataId> = (0..nd).map(|_| b.add_data(1)).collect();
+            for ins in task_inputs {
+                let ids: Vec<DataId> = ins.iter().map(|&i| data[i as usize]).collect();
+                b.add_task(&ids, 1000.0);
+            }
+            b.build()
+        })
+}
+
+fn tiny_spec(gpus: usize, mem: u64) -> PlatformSpec {
+    PlatformSpec {
+        num_gpus: gpus,
+        memory_bytes: mem,
+        bus_bandwidth: 1e9,
+        transfer_latency: 10,
+        gpu_gflops: 1e-3,
+        pipeline_depth: 2,
+        gpu_gflops_override: None,
+        nvlink_bandwidth: None,
+    }
+}
+
+fn schedulers() -> Vec<NamedScheduler> {
+    vec![
+        NamedScheduler::Eager,
+        NamedScheduler::Dmdar,
+        NamedScheduler::DartsLuf,
+        NamedScheduler::HmetisR,
+        NamedScheduler::Mhfp,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free observed runs: well-formed trace, counts matching the
+    /// report, exact breakdown agreement, decision identity.
+    #[test]
+    fn observed_runs_are_well_formed_and_decision_identical(
+        ts in arb_taskset(10, 20),
+        gpus in 1usize..4,
+        mem in 3u64..8,
+        sched_idx in 0usize..5,
+    ) {
+        let spec = tiny_spec(gpus, mem);
+        let named = &schedulers()[sched_idx];
+        let config = RunConfig::default();
+
+        // Baseline, no probe anywhere near it.
+        let mut plain = named.build();
+        let (plain_report, plain_trace) =
+            run_with_config(&ts, &spec, plain.as_mut(), &config).unwrap();
+
+        let mut sched = named.build();
+        let probe = Probe::unbounded();
+        let (report, trace) =
+            run_observed(&ts, &spec, sched.as_mut(), &config, &probe).unwrap();
+        let events = probe.events();
+
+        // Observation changes no decision: identical engine traces.
+        prop_assert_eq!(&plain_trace, &trace, "{}", named.build().name());
+        prop_assert_eq!(plain_report.makespan, report.makespan);
+
+        // Well-formed: spans nested per track, timestamps monotone,
+        // every begin matched.
+        let timeline = check_well_formed(&events).unwrap();
+
+        // Counts line up with the engine's own accounting.
+        let mut computes = 0usize;
+        let mut delivered = 0usize;
+        for s in &timeline.spans {
+            match &s.kind {
+                SpanKind::Compute { interrupted, .. } => {
+                    prop_assert!(!interrupted, "no faults injected");
+                    computes += 1;
+                }
+                SpanKind::Transfer { delivered: d, .. } => delivered += usize::from(*d),
+            }
+        }
+        prop_assert_eq!(computes, ts.num_tasks());
+        prop_assert_eq!(delivered as u64, report.total_loads);
+        let evictions = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::Eviction { .. }))
+            .count() as u64;
+        prop_assert_eq!(evictions, report.total_evictions);
+
+        // The metrics registry sees the same totals.
+        let mut metrics = Metrics::new();
+        metrics.ingest(&events);
+        prop_assert_eq!(metrics.counter(Counter::Loads), report.total_loads);
+        prop_assert_eq!(metrics.counter(Counter::Tasks), ts.num_tasks() as u64);
+        prop_assert_eq!(metrics.counter(Counter::Evictions), report.total_evictions);
+
+        // Per-GPU: the engine's online split sums to the makespan and
+        // matches the split derived offline from the spans.
+        let derived = gpu_breakdowns(&events, gpus, report.makespan).unwrap();
+        for (g, st) in report.per_gpu.iter().enumerate() {
+            prop_assert_eq!(
+                st.busy + st.stall + st.idle,
+                report.makespan,
+                "gpu {} split does not cover the run",
+                g
+            );
+            prop_assert_eq!(st.busy, derived[g].busy, "gpu {} busy", g);
+            prop_assert_eq!(st.stall, derived[g].stall, "gpu {} stall", g);
+            prop_assert_eq!(st.idle, derived[g].idle, "gpu {} idle", g);
+        }
+
+        // Chrome export: valid JSON, round-trippable, span count right.
+        let text = chrome_trace_json(&events).unwrap();
+        let doc = serde_json::parse_value(&text).unwrap();
+        let lint = memsched::experiments::obs::lint_chrome(&doc).unwrap();
+        prop_assert_eq!(lint.spans, timeline.spans.len());
+        let re_rendered = serde_json::to_string(&doc).unwrap();
+        let re_parsed = serde_json::parse_value(&re_rendered).unwrap();
+        prop_assert_eq!(
+            memsched::experiments::obs::lint_chrome(&re_parsed).unwrap(),
+            lint
+        );
+    }
+
+    /// With transient transfer faults injected, the trace stays
+    /// well-formed and retry instants match the report.
+    #[test]
+    fn faulted_observed_runs_keep_their_books(
+        ts in arb_taskset(8, 14),
+        gpus in 1usize..3,
+        fault_ppm in 50_000u32..500_000,
+    ) {
+        let spec = tiny_spec(gpus, 4);
+        let config = RunConfig {
+            faults: FaultPlan::none().with_transfer_faults(TransferFaultSpec {
+                seed: 11,
+                fault_ppm,
+                max_attempts: 10,
+                backoff_base: 100,
+            }),
+            ..RunConfig::default()
+        };
+        let mut sched = NamedScheduler::Eager.build();
+        let probe = Probe::unbounded();
+        let (report, _) = run_observed(&ts, &spec, sched.as_mut(), &config, &probe).unwrap();
+        let events = probe.events();
+        check_well_formed(&events).unwrap();
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::TransferRetry { .. }))
+            .count() as u64;
+        prop_assert_eq!(retries, report.transfer_retries);
+        let undelivered = events
+            .iter()
+            .filter(
+                |e| matches!(e, ObsEvent::TransferEnd { delivered: false, .. }),
+            )
+            .count() as u64;
+        prop_assert!(undelivered >= report.transfer_retries, "every retry closes a span");
+    }
+}
