@@ -1,0 +1,469 @@
+//! Online serving load sweep: drive every scheduler family with a
+//! seeded request stream through the engine's admission loop and report
+//! serving metrics (p50/p99 task latency, queueing delay, sustained
+//! throughput).
+//!
+//! ```text
+//! serve [--arrival-rate R1,R2,…] [--pattern poisson|bursty]
+//!       [--duration SECS] [--sched eager|dmda|dmdar|hmetis|mhfp|darts|all]
+//!       [--seed N] [--jobs N] [--faults SPEC] [--out CSV] [--quick]
+//!       [--trace-out PATH] [--trace-format chrome|paje] [--metrics-out PATH]
+//! ```
+//!
+//! Each (scheduler × rate) cell generates `rate × duration` tasks on a
+//! 2D-GEMM grid, stamps them with open-loop arrivals, and runs the
+//! stream with admission control enabled. Results are printed as a
+//! table and optionally written as CSV (`--out`). `--faults` composes a
+//! deterministic fault plan into every cell, so degraded-capacity
+//! serving is measurable with the same flag grammar as the figure
+//! binaries; malformed flags exit with status 2 before anything runs.
+//! `--trace-out`/`--metrics-out` re-run the representative cell (first
+//! scheduler, highest rate) observed and export the timeline — with the
+//! arrival/admit/defer admission track — and the metrics registry
+//! including the latency histograms (`trace_lint --metrics` checks
+//! them).
+
+use memsched_experiments::obs::{self, TraceFormat};
+use memsched_experiments::pool;
+use memsched_model::{DataId, TaskSet};
+use memsched_platform::obs::{chrome_trace_json, paje_trace, Metrics, Probe};
+use memsched_platform::{
+    run_observed, run_with_config, AdmissionConfig, FaultPlan, PlatformSpec, RunConfig, RunReport,
+};
+use memsched_schedulers::NamedScheduler;
+use memsched_workloads::{gemm_2d, open_loop_arrivals, ArrivalPattern};
+use serde::{Number, Value};
+
+#[derive(Clone, Debug, PartialEq)]
+enum PatternKind {
+    Poisson,
+    Bursty,
+}
+
+impl PatternKind {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "poisson" => Ok(Self::Poisson),
+            "bursty" => Ok(Self::Bursty),
+            other => Err(format!(
+                "--pattern {other:?}: expected \"poisson\" or \"bursty\""
+            )),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Self::Poisson => "poisson",
+            Self::Bursty => "bursty",
+        }
+    }
+
+    /// The arrival process at a given long-run mean rate. The bursty
+    /// shape alternates 20 ms phases at 1.6× and 0.4× the rate, so the
+    /// blended mean matches the requested rate.
+    fn at_rate(&self, rate_per_sec: f64) -> ArrivalPattern {
+        match self {
+            Self::Poisson => ArrivalPattern::Poisson { rate_per_sec },
+            Self::Bursty => ArrivalPattern::Bursty {
+                on_rate_per_sec: 1.6 * rate_per_sec,
+                off_rate_per_sec: 0.4 * rate_per_sec,
+                on_ns: 20_000_000,
+                off_ns: 20_000_000,
+            },
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ServeArgs {
+    rates: Vec<f64>,
+    pattern: PatternKind,
+    duration_s: f64,
+    scheds: Vec<NamedScheduler>,
+    seed: u64,
+    jobs: usize,
+    faults: FaultPlan,
+    out: Option<String>,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
+    metrics_out: Option<String>,
+}
+
+const KNOWN_VALUE_FLAGS: &[&str] = &[
+    "--arrival-rate",
+    "--pattern",
+    "--duration",
+    "--sched",
+    "--seed",
+    "--jobs",
+    "--faults",
+    "--out",
+    "--trace-out",
+    "--trace-format",
+    "--metrics-out",
+];
+
+fn parse_scheds(spec: &str) -> Result<Vec<NamedScheduler>, String> {
+    let mut out = Vec::new();
+    for name in spec.split(',').filter(|s| !s.is_empty()) {
+        match name {
+            "eager" => out.push(NamedScheduler::Eager),
+            "dmda" => out.push(NamedScheduler::Dmda),
+            "dmdar" => out.push(NamedScheduler::Dmdar),
+            "hmetis" => out.push(NamedScheduler::HmetisR),
+            "mhfp" => out.push(NamedScheduler::Mhfp),
+            "darts" => out.push(NamedScheduler::DartsLuf),
+            "all" => out.extend([
+                NamedScheduler::Eager,
+                NamedScheduler::Dmdar,
+                NamedScheduler::HmetisR,
+                NamedScheduler::Mhfp,
+                NamedScheduler::DartsLuf,
+            ]),
+            other => {
+                return Err(format!(
+                    "--sched {other:?}: expected eager|dmda|dmdar|hmetis|mhfp|darts|all"
+                ))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("--sched: empty scheduler list".to_string());
+    }
+    Ok(out)
+}
+
+fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
+    // Reject unknown flags up front (exit-2 convention): every argument
+    // must be --quick, a known --flag VALUE pair, or --flag=VALUE.
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--quick" {
+            i += 1;
+        } else if let Some((flag, _)) = a.split_once('=') {
+            if !KNOWN_VALUE_FLAGS.contains(&flag) {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            i += 1;
+        } else if KNOWN_VALUE_FLAGS.contains(&a.as_str()) {
+            if args.get(i + 1).is_none() {
+                return Err(format!("{a}: missing value"));
+            }
+            i += 2;
+        } else {
+            return Err(format!("unknown argument {a:?}"));
+        }
+    }
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| {
+                let prefix = format!("{flag}=");
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&prefix))
+                    .map(str::to_string)
+            })
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut rates: Vec<f64> = match value_of("--arrival-rate") {
+        Some(spec) => spec
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|_| format!("--arrival-rate {s:?}: not a number"))
+                    .and_then(|r| {
+                        if r > 0.0 {
+                            Ok(r)
+                        } else {
+                            Err(format!("--arrival-rate {s:?}: must be positive"))
+                        }
+                    })
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![200.0, 500.0, 1000.0],
+    };
+    if rates.is_empty() {
+        return Err("--arrival-rate: empty rate list".to_string());
+    }
+    let pattern = match value_of("--pattern") {
+        Some(p) => PatternKind::parse(&p)?,
+        None => PatternKind::Poisson,
+    };
+    let mut duration_s = match value_of("--duration") {
+        Some(d) => {
+            let d = d
+                .parse::<f64>()
+                .map_err(|_| format!("--duration {d:?}: not a number"))?;
+            if d <= 0.0 {
+                return Err(format!("--duration {d}: must be positive"));
+            }
+            d
+        }
+        None => 1.0,
+    };
+    let scheds = parse_scheds(&value_of("--sched").unwrap_or_else(|| "all".to_string()))?;
+    let seed = match value_of("--seed") {
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| format!("--seed {s:?}: not a u64"))?,
+        None => 42,
+    };
+    let jobs_arg = match value_of("--jobs") {
+        Some(j) => Some(
+            j.parse::<usize>()
+                .map_err(|_| format!("--jobs {j:?}: not a number"))?,
+        ),
+        None => None,
+    };
+    let faults = match value_of("--faults") {
+        Some(spec) => FaultPlan::parse(&spec).map_err(|e| format!("--faults {spec:?}: {e}"))?,
+        None => FaultPlan::default(),
+    };
+    let out = value_of("--out");
+    if let Some(p) = &out {
+        obs::validate_out_path("--out", p)?;
+    }
+    let trace_out = value_of("--trace-out");
+    if let Some(p) = &trace_out {
+        obs::validate_out_path("--trace-out", p)?;
+    }
+    let metrics_out = value_of("--metrics-out");
+    if let Some(p) = &metrics_out {
+        obs::validate_out_path("--metrics-out", p)?;
+    }
+    let trace_format = match value_of("--trace-format") {
+        Some(f) => TraceFormat::parse(&f)?,
+        None => TraceFormat::default(),
+    };
+    if quick {
+        rates.truncate(1);
+        duration_s = duration_s.min(0.25);
+    }
+    Ok(ServeArgs {
+        rates,
+        pattern,
+        duration_s,
+        scheds,
+        seed,
+        jobs: pool::resolve_jobs(jobs_arg),
+        faults,
+        out,
+        trace_out,
+        trace_format,
+        metrics_out,
+    })
+}
+
+/// The stream workload for one cell: a 2D-GEMM grid sized to carry
+/// `rate × duration` tasks, stamped with open-loop arrivals.
+fn stream_taskset(args: &ServeArgs, rate: f64) -> TaskSet {
+    let target = (rate * args.duration_s).ceil().max(1.0) as usize;
+    let n = (target as f64).sqrt().ceil().max(2.0) as usize;
+    let ts = gemm_2d(n);
+    let arrivals = open_loop_arrivals(&args.pattern.at_rate(rate), args.seed, ts.num_tasks());
+    ts.with_arrivals(arrivals)
+}
+
+/// The serving platform for one cell: two V100s under mild memory
+/// pressure (half the working set, at least four tiles per GPU).
+fn stream_spec(ts: &TaskSet) -> PlatformSpec {
+    let tile = ts.data_size(DataId(0));
+    let tiles = (ts.num_data() as u64 / 2).max(4);
+    PlatformSpec::v100(2).with_memory(tiles * tile)
+}
+
+fn serve_config(args: &ServeArgs) -> RunConfig {
+    RunConfig {
+        faults: args.faults.clone(),
+        admission: Some(AdmissionConfig::default()),
+        ..RunConfig::default()
+    }
+}
+
+struct CellResult {
+    scheduler: String,
+    rate: f64,
+    tasks: usize,
+    report: RunReport,
+}
+
+fn run_cell(args: &ServeArgs, named: &NamedScheduler, rate: f64) -> Result<CellResult, String> {
+    let ts = stream_taskset(args, rate);
+    let spec = stream_spec(&ts);
+    let mut sched = named.build();
+    let config = serve_config(args);
+    let (report, _trace) = run_with_config(&ts, &spec, sched.as_mut(), &config)
+        .map_err(|e| format!("{} @ {rate}/s: {e}", named.label()))?;
+    Ok(CellResult {
+        scheduler: report.scheduler.clone(),
+        rate,
+        tasks: ts.num_tasks(),
+        report,
+    })
+}
+
+const CSV_HEADER: &str = "scheduler,pattern,rate_per_sec,tasks,makespan_ns,p50_latency_ns,\
+                          p99_latency_ns,mean_latency_ns,p50_queueing_ns,p99_queueing_ns,\
+                          throughput_tps,admitted,deferred";
+
+fn csv_row(args: &ServeArgs, c: &CellResult) -> String {
+    let o = c.report.online.clone().unwrap_or_default();
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{:.3},{},{}",
+        c.scheduler,
+        args.pattern.label(),
+        c.rate,
+        c.tasks,
+        c.report.makespan,
+        o.p50_latency,
+        o.p99_latency,
+        o.mean_latency,
+        o.p50_queueing,
+        o.p99_queueing,
+        o.throughput_tps,
+        o.tasks_admitted,
+        o.tasks_deferred
+    )
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Observed re-run of the representative cell (first scheduler, highest
+/// rate) for `--trace-out` / `--metrics-out`.
+fn export_obs(args: &ServeArgs) -> Result<(), String> {
+    if args.trace_out.is_none() && args.metrics_out.is_none() {
+        return Ok(());
+    }
+    let named = args.scheds.first().expect("non-empty scheduler list");
+    let rate = args.rates.iter().cloned().fold(f64::MIN, f64::max);
+    let ts = stream_taskset(args, rate);
+    let spec = stream_spec(&ts);
+    let mut sched = named.build();
+    let config = serve_config(args);
+    let probe = Probe::unbounded();
+    let (report, _trace) = run_observed(&ts, &spec, sched.as_mut(), &config, &probe)
+        .map_err(|e| format!("observed cell failed: {e}"))?;
+    let events = probe.events();
+
+    if let Some(path) = &args.trace_out {
+        let text = match args.trace_format {
+            TraceFormat::Chrome => {
+                chrome_trace_json(&events).map_err(|e| format!("chrome export: {e}"))?
+            }
+            TraceFormat::Paje => paje_trace(&events).map_err(|e| format!("paje export: {e}"))?,
+        };
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path} ({} events)", events.len());
+    }
+    if let Some(path) = &args.metrics_out {
+        let mut metrics = Metrics::with_snapshots((report.makespan / 64).max(1));
+        metrics.ingest(&events);
+        let o = report.online.clone().unwrap_or_default();
+        let root = obj(vec![
+            ("bin", Value::Str("serve".to_string())),
+            ("scheduler", Value::Str(report.scheduler.clone())),
+            ("pattern", Value::Str(args.pattern.label().to_string())),
+            ("rate_per_sec", Value::Num(Number::F(rate))),
+            ("makespan_ns", Value::Num(Number::U(report.makespan))),
+            (
+                "online",
+                obj(vec![
+                    ("tasks_admitted", Value::Num(Number::U(o.tasks_admitted))),
+                    ("tasks_deferred", Value::Num(Number::U(o.tasks_deferred))),
+                    ("p50_latency_ns", Value::Num(Number::U(o.p50_latency))),
+                    ("p99_latency_ns", Value::Num(Number::U(o.p99_latency))),
+                    ("mean_latency_ns", Value::Num(Number::U(o.mean_latency))),
+                    ("p50_queueing_ns", Value::Num(Number::U(o.p50_queueing))),
+                    ("p99_queueing_ns", Value::Num(Number::U(o.p99_queueing))),
+                    ("throughput_tps", Value::Num(Number::F(o.throughput_tps))),
+                ]),
+            ),
+            ("metrics", metrics.to_value()),
+        ]);
+        let text = serde_json::to_string_pretty(&root)
+            .map_err(|e| format!("serialize metrics: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_from(std::env::args().skip(1).collect()) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let cells: Vec<(NamedScheduler, f64)> = args
+        .scheds
+        .iter()
+        .flat_map(|s| args.rates.iter().map(move |&r| (s.clone(), r)))
+        .collect();
+    let results = pool::run_indexed(&cells, args.jobs, |_, (named, rate)| {
+        run_cell(&args, named, *rate)
+    });
+
+    println!(
+        "{:<14} {:>8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "scheduler", "rate/s", "tasks", "makespan_ms", "p50_lat_us", "p99_lat_us", "p50_queue_us",
+        "thru/s", "deferred"
+    );
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for res in results {
+        match res {
+            Ok(c) => {
+                let o = c.report.online.clone().unwrap_or_default();
+                println!(
+                    "{:<14} {:>8} {:>7} {:>12.3} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>8}",
+                    c.scheduler,
+                    c.rate,
+                    c.tasks,
+                    c.report.makespan as f64 / 1e6,
+                    o.p50_latency as f64 / 1e3,
+                    o.p99_latency as f64 / 1e3,
+                    o.p50_queueing as f64 / 1e3,
+                    o.throughput_tps,
+                    o.tasks_deferred
+                );
+                rows.push(csv_row(&args, &c));
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let mut text = String::from(CSV_HEADER);
+        text.push('\n');
+        for r in &rows {
+            text.push_str(r);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} ({} rows)", rows.len());
+    }
+
+    if let Err(e) = export_obs(&args) {
+        eprintln!("error: {e}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

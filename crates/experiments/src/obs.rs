@@ -244,6 +244,8 @@ pub struct ChromeLint {
     pub metadata: usize,
     /// Distinct `tid`s seen.
     pub tracks: usize,
+    /// Admission-track instants (arrive/admit/defer), zero on batch runs.
+    pub admission: usize,
 }
 
 fn num_of(v: &Value) -> Option<f64> {
@@ -281,6 +283,10 @@ pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
     // (tid, ts, ts+dur) of every span, for the per-track overlap check.
     let mut spans: Vec<(u64, f64, f64)> = Vec::new();
     let mut tids: Vec<u64> = Vec::new();
+    // Admission-track state: arrivals must be time-ordered, and a task
+    // can only be admitted at or after its recorded arrival.
+    let mut last_arrival = f64::NEG_INFINITY;
+    let mut arrivals: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .field("ph", "event")
@@ -305,7 +311,48 @@ pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
             }
             "i" => {
                 lint.instants += 1;
-                require_num(ev, "ts", i)?;
+                let ts = require_num(ev, "ts", i)?;
+                let cat = ev.field("cat", "event").ok().and_then(Value::as_str);
+                if cat == Some("admission") {
+                    lint.admission += 1;
+                    let name = ev
+                        .field("name", "event")
+                        .ok()
+                        .and_then(Value::as_str)
+                        .unwrap_or_default();
+                    let task = ev
+                        .field("args", "event")
+                        .ok()
+                        .and_then(|a| a.field("task", "args").ok())
+                        .and_then(num_of)
+                        .ok_or_else(|| {
+                            format!("event {i}: admission instant without args.task")
+                        })? as u64;
+                    if let Some(rest) = name.strip_prefix("arrive ") {
+                        let _ = rest;
+                        if ts + EPS_US < last_arrival {
+                            return Err(format!(
+                                "event {i}: arrivals out of order ({ts} after {last_arrival})"
+                            ));
+                        }
+                        last_arrival = last_arrival.max(ts);
+                        arrivals.insert(task, ts);
+                    } else if name.starts_with("admit ") || name.starts_with("defer ") {
+                        let arrived = arrivals.get(&task).copied().ok_or_else(|| {
+                            format!("event {i}: task {task} admitted/deferred before arriving")
+                        })?;
+                        if ts + EPS_US < arrived {
+                            return Err(format!(
+                                "event {i}: task {task} admitted at {ts} before its arrival \
+                                 at {arrived}"
+                            ));
+                        }
+                    } else {
+                        return Err(format!(
+                            "event {i}: unexpected admission instant {name:?}"
+                        ));
+                    }
+                }
             }
             "C" => {
                 lint.counters += 1;
@@ -331,6 +378,96 @@ pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
                 "track {tid_a}: overlapping spans (ends {end_a}, next begins {start_b})"
             ));
         }
+    }
+    Ok(lint)
+}
+
+/// Summary of a linted metrics JSON (`--metrics-out` output).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsLint {
+    /// Histograms checked.
+    pub histograms: usize,
+    /// Whether the run carried admission traffic (online serving mode).
+    pub online: bool,
+}
+
+fn require_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    let f = v
+        .field(key, ctx)
+        .map_err(|_| format!("{ctx}: missing {key:?}"))
+        .and_then(|x| num_of(x).ok_or_else(|| format!("{ctx}.{key}: not a number")))?;
+    Ok(f as u64)
+}
+
+/// Sanity-check a metrics JSON produced by `--metrics-out`: every
+/// histogram must satisfy `p50 ≤ p99` with `min ≤ p50 ≤ p99 ≤ 2·max`
+/// when non-empty (quantiles are log2 bucket upper bounds, so they may
+/// overshoot the exact max by less than 2×), and on online runs the latency histogram must hold one
+/// sample per completed task while the admission counters stay
+/// consistent (`admitted ≤ arrived`, `deferred ≤ arrived`).
+pub fn lint_metrics(doc: &Value) -> Result<MetricsLint, String> {
+    let m = doc
+        .field("metrics", "root")
+        .map_err(|_| "top level: missing \"metrics\"".to_string())?;
+    let histograms = m
+        .field("histograms", "metrics")
+        .map_err(|_| "metrics: missing \"histograms\"".to_string())?;
+    let counters = m
+        .field("counters", "metrics")
+        .map_err(|_| "metrics: missing \"counters\"".to_string())?;
+
+    let mut lint = MetricsLint::default();
+    let entries = match histograms {
+        Value::Obj(entries) => entries,
+        _ => return Err("\"histograms\" is not an object".to_string()),
+    };
+    let mut latency_count = 0u64;
+    for (name, h) in entries {
+        let ctx = format!("histograms.{name}");
+        let count = require_u64(h, "count", &ctx)?;
+        let p50 = require_u64(h, "p50", &ctx)?;
+        let p99 = require_u64(h, "p99", &ctx)?;
+        let max = require_u64(h, "max", &ctx)?;
+        if p50 > p99 {
+            return Err(format!("{ctx}: p50 {p50} > p99 {p99}"));
+        }
+        if count > 0 {
+            let min = require_u64(h, "min", &ctx)?;
+            // Quantiles come from log2 bucket upper bounds, so they can
+            // overshoot the exact max by up to 2× — never more.
+            if min > p50 || p99 > max.saturating_mul(2) {
+                return Err(format!(
+                    "{ctx}: quantiles not ordered (min {min}, p50 {p50}, p99 {p99}, max {max})"
+                ));
+            }
+        }
+        if name == "task_latency_ns" {
+            latency_count = count;
+        }
+        lint.histograms += 1;
+    }
+
+    let arrived = require_u64(counters, "tasks_arrived", "counters")?;
+    let admitted = require_u64(counters, "tasks_admitted", "counters")?;
+    let deferred = require_u64(counters, "tasks_deferred", "counters")?;
+    let tasks = require_u64(counters, "tasks", "counters")?;
+    if arrived > 0 {
+        lint.online = true;
+        if admitted > arrived || deferred > arrived {
+            return Err(format!(
+                "admission counters inconsistent: arrived {arrived}, admitted {admitted}, \
+                 deferred {deferred}"
+            ));
+        }
+        if latency_count != tasks {
+            return Err(format!(
+                "task_latency_ns holds {latency_count} samples but {tasks} tasks completed"
+            ));
+        }
+    } else if latency_count != 0 {
+        return Err(format!(
+            "batch run (no arrivals) carries {latency_count} latency samples"
+        ));
     }
     Ok(lint)
 }

@@ -42,6 +42,11 @@ pub struct TaskSet {
     task_flops: Vec<f64>,
     /// sum of input sizes per task (cached)
     task_footprint: Vec<u64>,
+    /// arrival time (ns) of each task for online serving; empty means
+    /// "all tasks available at t = 0" (batch mode). `#[serde(default)]`
+    /// keeps task sets serialized before this field existed loadable.
+    #[serde(default)]
+    arrivals: Vec<u64>,
 }
 
 impl TaskSet {
@@ -162,6 +167,35 @@ impl TaskSet {
         bytes
     }
 
+    /// Arrival time of a task in nanoseconds (0 in batch mode, where no
+    /// arrivals were recorded).
+    #[inline]
+    pub fn arrival(&self, t: TaskId) -> u64 {
+        self.arrivals.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// True when any task arrives after t = 0 (a *stream*, as opposed to
+    /// a batch where the whole set is available up front).
+    pub fn has_arrivals(&self) -> bool {
+        self.arrivals.iter().any(|&a| a > 0)
+    }
+
+    /// A copy of this task set with per-task arrival times attached (one
+    /// entry per task, in id order). The primary way to turn a batch
+    /// workload into a stream: generate arrivals with a traffic model and
+    /// attach them here.
+    ///
+    /// Panics when `arrivals.len()` differs from the task count.
+    pub fn with_arrivals(mut self, arrivals: Vec<u64>) -> TaskSet {
+        assert_eq!(
+            arrivals.len(),
+            self.num_tasks(),
+            "one arrival time per task required"
+        );
+        self.arrivals = arrivals;
+        self
+    }
+
     /// Maximum number of inputs over all tasks.
     pub fn max_inputs_per_task(&self) -> usize {
         (0..self.num_tasks())
@@ -189,6 +223,7 @@ pub struct TaskSetBuilder {
     data_size: Vec<u64>,
     task_inputs: Vec<Vec<u32>>,
     task_flops: Vec<f64>,
+    arrivals: Vec<u64>,
 }
 
 impl TaskSetBuilder {
@@ -234,7 +269,21 @@ impl TaskSetBuilder {
         let id = TaskId::from_usize(self.task_inputs.len());
         self.task_inputs.push(ins);
         self.task_flops.push(flops);
+        self.arrivals.push(0);
         id
+    }
+
+    /// Like [`TaskSetBuilder::add_task`], with an arrival time in
+    /// nanoseconds for online serving.
+    pub fn add_task_at(&mut self, inputs: &[DataId], flops: f64, arrival: u64) -> TaskId {
+        let id = self.add_task(inputs, flops);
+        self.arrivals[id.index()] = arrival;
+        id
+    }
+
+    /// Set the arrival time of an already-added task.
+    pub fn set_arrival(&mut self, t: TaskId, arrival: u64) {
+        self.arrivals[t.index()] = arrival;
     }
 
     /// Number of tasks added so far.
@@ -295,6 +344,13 @@ impl TaskSetBuilder {
             data_size: self.data_size,
             task_flops: self.task_flops,
             task_footprint,
+            // Batch sets stay byte-identical on disk: only record the
+            // arrivals vector when some task actually arrives late.
+            arrivals: if self.arrivals.iter().any(|&a| a > 0) {
+                self.arrivals
+            } else {
+                Vec::new()
+            },
         }
     }
 }
@@ -386,6 +442,33 @@ mod tests {
     fn task_without_inputs_panics() {
         let mut b = TaskSetBuilder::new();
         b.add_task(&[], 1.0);
+    }
+
+    #[test]
+    fn arrivals_default_to_batch_and_round_trip() {
+        let ts = figure1_example();
+        assert!(!ts.has_arrivals());
+        assert_eq!(ts.arrival(TaskId(0)), 0);
+
+        let mut b = TaskSetBuilder::new();
+        let d = b.add_data(1);
+        b.add_task(&[d], 1.0);
+        let t1 = b.add_task_at(&[d], 1.0, 500);
+        b.set_arrival(t1, 700);
+        let ts = b.build();
+        assert!(ts.has_arrivals());
+        assert_eq!(ts.arrival(TaskId(0)), 0);
+        assert_eq!(ts.arrival(TaskId(1)), 700);
+
+        let streamed = figure1_example().with_arrivals((0..9).map(|i| i * 10).collect());
+        assert!(streamed.has_arrivals());
+        assert_eq!(streamed.arrival(TaskId(8)), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "one arrival time per task")]
+    fn with_arrivals_rejects_wrong_length() {
+        figure1_example().with_arrivals(vec![0; 3]);
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn sort_index(track: Track) -> u64 {
         Track::NvLink => 101,
         Track::Sched(g) => 200 + u64::from(g),
         Track::Global => 300,
+        Track::Admission => 400,
     }
 }
 
@@ -179,6 +180,21 @@ fn instant_payload(ev: &ObsEvent) -> Option<(String, &'static str, Value)> {
             format!("GPU {gpu} slowed"),
             "fault",
             obj(vec![("gpu", u(u64::from(gpu))), ("factor", f(factor))]),
+        )),
+        ObsEvent::TaskArrived { task, .. } => Some((
+            format!("arrive T{task}"),
+            "admission",
+            obj(vec![("task", u(u64::from(task)))]),
+        )),
+        ObsEvent::TaskAdmitted { task, wait, .. } => Some((
+            format!("admit T{task}"),
+            "admission",
+            obj(vec![("task", u(u64::from(task))), ("wait_ns", u(wait))]),
+        )),
+        ObsEvent::TaskDeferred { task, .. } => Some((
+            format!("defer T{task}"),
+            "admission",
+            obj(vec![("task", u(u64::from(task)))]),
         )),
         _ => None,
     }

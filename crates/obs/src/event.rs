@@ -26,6 +26,9 @@ pub enum Track {
     Sched(u32),
     /// Platform-wide gauges with no per-GPU owner (e.g. `nbFreeTasks`).
     Global,
+    /// The online admission loop: arrival, admit and defer instants
+    /// (empty in batch runs).
+    Admission,
 }
 
 impl Track {
@@ -37,6 +40,7 @@ impl Track {
             Track::NvLink => "NVLink".to_string(),
             Track::Sched(g) => format!("sched GPU {g}"),
             Track::Global => "scheduler (global)".to_string(),
+            Track::Admission => "admission".to_string(),
         }
     }
 
@@ -48,6 +52,7 @@ impl Track {
             Track::NvLink => 1001,
             Track::Sched(g) => 2000 + u64::from(*g),
             Track::Global => 3000,
+            Track::Admission => 4000,
         }
     }
 
@@ -59,6 +64,7 @@ impl Track {
             Track::NvLink => "nvlink".to_string(),
             Track::Sched(g) => format!("s{g}"),
             Track::Global => "sched".to_string(),
+            Track::Admission => "adm".to_string(),
         }
     }
 }
@@ -238,6 +244,31 @@ pub enum ObsEvent {
         /// GFlop/s multiplier now in effect.
         factor: f64,
     },
+    /// A task arrived at the online admission loop.
+    TaskArrived {
+        /// Arrival time.
+        t: Nanos,
+        /// Task id.
+        task: u32,
+    },
+    /// The admission loop released a task to the scheduler.
+    TaskAdmitted {
+        /// Admission time.
+        t: Nanos,
+        /// Task id.
+        task: u32,
+        /// Time spent deferred before admission (0 when admitted on
+        /// arrival).
+        wait: Nanos,
+    },
+    /// The admission loop deferred a task (emitted once per arrival, at
+    /// the first defer decision).
+    TaskDeferred {
+        /// Defer time.
+        t: Nanos,
+        /// Task id.
+        task: u32,
+    },
 }
 
 impl ObsEvent {
@@ -255,7 +286,10 @@ impl ObsEvent {
             | ObsEvent::TransferRetry { t, .. }
             | ObsEvent::GpuFailed { t, .. }
             | ObsEvent::CapacityShrunk { t, .. }
-            | ObsEvent::GpuSlowed { t, .. } => t,
+            | ObsEvent::GpuSlowed { t, .. }
+            | ObsEvent::TaskArrived { t, .. }
+            | ObsEvent::TaskAdmitted { t, .. }
+            | ObsEvent::TaskDeferred { t, .. } => t,
         }
     }
 
@@ -282,6 +316,9 @@ impl ObsEvent {
                 Some(g) => Track::Sched(g),
                 None => Track::Global,
             },
+            ObsEvent::TaskArrived { .. }
+            | ObsEvent::TaskAdmitted { .. }
+            | ObsEvent::TaskDeferred { .. } => Track::Admission,
         }
     }
 

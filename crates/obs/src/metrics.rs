@@ -27,11 +27,17 @@ pub enum Counter {
     Decisions,
     /// Fail-stop GPU failures.
     GpuFailures,
+    /// Online arrivals at the admission loop.
+    TasksArrived,
+    /// Online admissions (tasks released to the scheduler).
+    TasksAdmitted,
+    /// Online arrivals deferred at least once.
+    TasksDeferred,
 }
 
 impl Counter {
     /// All counters, in stable serialization order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::Loads,
         Counter::Evictions,
         Counter::TransferRetries,
@@ -40,6 +46,9 @@ impl Counter {
         Counter::Tasks,
         Counter::Decisions,
         Counter::GpuFailures,
+        Counter::TasksArrived,
+        Counter::TasksAdmitted,
+        Counter::TasksDeferred,
     ];
 
     /// Stable metric name.
@@ -53,6 +62,9 @@ impl Counter {
             Counter::Tasks => "tasks",
             Counter::Decisions => "decisions",
             Counter::GpuFailures => "gpu_failures",
+            Counter::TasksArrived => "tasks_arrived",
+            Counter::TasksAdmitted => "tasks_admitted",
+            Counter::TasksDeferred => "tasks_deferred",
         }
     }
 
@@ -193,8 +205,15 @@ pub struct Metrics {
     gauges: BTreeMap<String, f64>,
     transfer_ns: Histogram,
     decision_ns: Histogram,
+    /// Task latency (completion − arrival) of online runs.
+    task_latency_ns: Histogram,
+    /// Queueing delay (compute start − arrival) of online runs.
+    queueing_ns: Histogram,
     /// Open transfer begin times, keyed by (gpu, data, attempt).
     open_transfers: HashMap<(u32, u32, u32), Nanos>,
+    /// Arrival times of online tasks, for latency accounting (lookup
+    /// only — never iterated, so the map's order cannot leak).
+    arrival_ns: HashMap<u32, Nanos>,
     snapshot_every: Nanos,
     next_snapshot: Nanos,
     /// Periodic samples (empty unless built with
@@ -216,7 +235,10 @@ impl Metrics {
             gauges: BTreeMap::new(),
             transfer_ns: Histogram::new(),
             decision_ns: Histogram::new(),
+            task_latency_ns: Histogram::new(),
+            queueing_ns: Histogram::new(),
             open_transfers: HashMap::new(),
+            arrival_ns: HashMap::new(),
             snapshot_every: 0,
             next_snapshot: 0,
             timeseries: Vec::new(),
@@ -260,6 +282,17 @@ impl Metrics {
         &self.decision_ns
     }
 
+    /// Task latency histogram (completion − arrival; online runs only).
+    pub fn task_latency(&self) -> &Histogram {
+        &self.task_latency_ns
+    }
+
+    /// Queueing-delay histogram (compute start − arrival; online runs
+    /// only).
+    pub fn queueing_delay(&self) -> &Histogram {
+        &self.queueing_ns
+    }
+
     fn maybe_snapshot(&mut self, t: Nanos) {
         if self.snapshot_every == 0 {
             return;
@@ -295,6 +328,8 @@ impl Metrics {
         let histograms = Value::Obj(vec![
             ("transfer_duration_ns".into(), self.transfer_ns.to_value()),
             ("decision_latency_ns".into(), self.decision_ns.to_value()),
+            ("task_latency_ns".into(), self.task_latency_ns.to_value()),
+            ("queueing_delay_ns".into(), self.queueing_ns.to_value()),
         ]);
         let timeseries = Value::Arr(
             self.timeseries
@@ -354,10 +389,17 @@ impl TraceSink for Metrics {
                     }
                 }
             }
-            ObsEvent::ComputeBegin { .. } => {}
-            ObsEvent::ComputeEnd { interrupted, .. } => {
+            ObsEvent::ComputeBegin { t, task, .. } => {
+                if let Some(&arrived) = self.arrival_ns.get(&task) {
+                    self.queueing_ns.record(t.saturating_sub(arrived));
+                }
+            }
+            ObsEvent::ComputeEnd { t, task, interrupted, .. } => {
                 if !interrupted {
                     self.bump(Counter::Tasks);
+                    if let Some(arrived) = self.arrival_ns.remove(&task) {
+                        self.task_latency_ns.record(t.saturating_sub(arrived));
+                    }
                 }
             }
             ObsEvent::Eviction { .. } => self.bump(Counter::Evictions),
@@ -375,6 +417,12 @@ impl TraceSink for Metrics {
             ObsEvent::TransferRetry { .. } => self.bump(Counter::TransferRetries),
             ObsEvent::GpuFailed { .. } => self.bump(Counter::GpuFailures),
             ObsEvent::CapacityShrunk { .. } | ObsEvent::GpuSlowed { .. } => {}
+            ObsEvent::TaskArrived { t, task } => {
+                self.bump(Counter::TasksArrived);
+                self.arrival_ns.insert(task, t);
+            }
+            ObsEvent::TaskAdmitted { .. } => self.bump(Counter::TasksAdmitted),
+            ObsEvent::TaskDeferred { .. } => self.bump(Counter::TasksDeferred),
         }
     }
 }

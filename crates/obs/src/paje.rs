@@ -103,7 +103,9 @@ fn state_type(track: Track) -> &'static str {
     match track {
         Track::Gpu(_) => "ST",
         Track::Bus | Track::NvLink => "LT",
-        Track::Sched(_) | Track::Global => "ST",
+        // The admission track only carries instants; the arm exists for
+        // exhaustiveness.
+        Track::Sched(_) | Track::Global | Track::Admission => "ST",
     }
 }
 
@@ -138,6 +140,9 @@ fn instant_value(ev: &ObsEvent) -> Option<(&'static str, String)> {
             Some(("FA", format!("shrunk_to_{capacity}")))
         }
         ObsEvent::GpuSlowed { factor, .. } => Some(("FA", format!("slowed_x{factor}"))),
+        ObsEvent::TaskArrived { task, .. } => Some(("AD", format!("arrive_t{task}"))),
+        ObsEvent::TaskAdmitted { task, .. } => Some(("AD", format!("admit_t{task}"))),
+        ObsEvent::TaskDeferred { task, .. } => Some(("AD", format!("defer_t{task}"))),
         _ => None,
     }
 }
@@ -156,12 +161,14 @@ pub fn paje_trace(events: &[ObsEvent]) -> Result<String, WellFormedError> {
     out.push_str("0 CG CP \"gpu\"\n");
     out.push_str("0 CB CP \"interconnect\"\n");
     out.push_str("0 CS CP \"scheduler\"\n");
+    out.push_str("0 CA CP \"admission\"\n");
     out.push_str("1 ST CG \"gpu state\"\n");
     out.push_str("1 LT CB \"link state\"\n");
     out.push_str("2 EV CG \"eviction\"\n");
     out.push_str("2 FA CG \"fault\"\n");
     out.push_str("2 DE CS \"decision\"\n");
     out.push_str("2 SL CS \"steal\"\n");
+    out.push_str("2 AD CA \"admission event\"\n");
     out.push_str("3 VO CS \"occupancy\"\n");
     out.push_str("3 VQ CS \"ready queue depth\"\n");
     out.push_str("3 VF CS \"nb free tasks\"\n");
@@ -175,6 +182,7 @@ pub fn paje_trace(events: &[ObsEvent]) -> Result<String, WellFormedError> {
             Track::Gpu(_) => "CG",
             Track::Bus | Track::NvLink => "CB",
             Track::Sched(_) | Track::Global => "CS",
+            Track::Admission => "CA",
         };
         let _ = writeln!(
             out,
@@ -242,6 +250,7 @@ pub fn paje_trace(events: &[ObsEvent]) -> Result<String, WellFormedError> {
             Track::Gpu(_) => "CG",
             Track::Bus | Track::NvLink => "CB",
             Track::Sched(_) | Track::Global => "CS",
+            Track::Admission => "CA",
         };
         let _ = writeln!(out, "6 {} {} {ctype}", secs(horizon), track.paje_alias());
     }

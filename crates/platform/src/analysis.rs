@@ -201,6 +201,22 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
                 gpu: gpu as u32,
                 factor,
             }),
+            TraceEvent::TaskArrived { at, task } => out.push(ObsEvent::TaskArrived {
+                t: at,
+                task: task as u32,
+            }),
+            // The engine trace does not carry the deferral wait; replay
+            // it as zero (the obs stream from a live probe has the true
+            // value).
+            TraceEvent::TaskAdmitted { at, task } => out.push(ObsEvent::TaskAdmitted {
+                t: at,
+                task: task as u32,
+                wait: 0,
+            }),
+            TraceEvent::TaskDeferred { at, task } => out.push(ObsEvent::TaskDeferred {
+                t: at,
+                task: task as u32,
+            }),
         }
     }
     out
@@ -263,6 +279,11 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
                 makespan = makespan.max(at);
             }
             TraceEvent::GpuSlowed { at, .. } => {
+                makespan = makespan.max(at);
+            }
+            TraceEvent::TaskArrived { at, .. }
+            | TraceEvent::TaskAdmitted { at, .. }
+            | TraceEvent::TaskDeferred { at, .. } => {
                 makespan = makespan.max(at);
             }
         }

@@ -32,7 +32,7 @@
 
 use crate::fault::FaultPlan;
 use crate::memory::GpuMemory;
-use crate::report::{GpuRunStats, RunReport, TraceEvent};
+use crate::report::{GpuRunStats, OnlineStats, RunReport, TraceEvent};
 use crate::scheduler::{MissingCache, RuntimeView, Scheduler};
 use crate::spec::{Nanos, PlatformSpec};
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
@@ -53,6 +53,15 @@ pub struct RunConfig {
     /// injects nothing and leaves every run byte-identical to a fault-free
     /// build.
     pub faults: FaultPlan,
+    /// Online serving mode. `None` (the default) is batch mode: every
+    /// task is handed to the scheduler up front via
+    /// [`Scheduler::prepare`] and the run is byte-identical to a build
+    /// without the admission subsystem. `Some` switches the engine to an
+    /// admission loop that releases tasks as their
+    /// [`TaskSet::arrival`](memsched_model::TaskSet::arrival) times pass,
+    /// calling [`Scheduler::prepare_stream`] /
+    /// [`Scheduler::on_task_arrival`] instead.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for RunConfig {
@@ -61,8 +70,27 @@ impl Default for RunConfig {
             collect_trace: false,
             max_events: u64::MAX,
             faults: FaultPlan::none(),
+            admission: None,
         }
     }
+}
+
+/// Options of the online admission loop (see [`RunConfig::admission`]).
+///
+/// An arriving task is **admitted** — released to the scheduler — when
+/// it is *feasible* (its input footprint fits the current capacity of at
+/// least one alive GPU), the backlog bound below has room, and no
+/// earlier arrival is still waiting; otherwise it is **deferred** into a
+/// FIFO queue that is retried, strictly in order, whenever a task
+/// completion frees backlog or pinned memory. A deferred task whose
+/// footprint can never fit again (after fault shrinks) surfaces as
+/// [`RunError::SchedulerStuck`] once the event queue drains.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum number of admitted-but-unfinished tasks. Arrivals beyond
+    /// the bound are deferred until completions make room. `None`
+    /// (default) admits every feasible arrival immediately.
+    pub max_backlog: Option<usize>,
 }
 
 /// Failure modes of a run.
@@ -161,6 +189,11 @@ enum Event {
     Shrink { idx: u32 },
     /// Straggler onset; index into `FaultPlan::stragglers`.
     Straggle { idx: u32 },
+    /// Online arrival of a task (admission loop only; batch runs and
+    /// tasks arriving at t = 0 never seed one, keeping their event
+    /// sequence numbering — and all tie-breaks — byte-identical to a
+    /// batch build).
+    Arrive { task: u32 },
 }
 
 /// `src` sentinel for host→GPU transfers.
@@ -229,8 +262,13 @@ fn run_inner(
         }
     }
 
+    let online = config.admission.is_some();
     let prepare_started = Instant::now();
-    scheduler.prepare(ts, spec);
+    if online {
+        scheduler.prepare_stream(ts, spec);
+    } else {
+        scheduler.prepare(ts, spec);
+    }
     let prepare_wall = prepare_started.elapsed().as_nanos() as Nanos;
 
     let mut st = State {
@@ -264,6 +302,14 @@ fn run_inner(
         lane_last: vec![0; k],
         inflight: vec![0; k],
         stall: vec![0; k],
+        online,
+        released: if online { vec![false; m] } else { Vec::new() },
+        backlog: 0,
+        deferred: VecDeque::new(),
+        latencies: Vec::new(),
+        queueing: Vec::new(),
+        admitted: 0,
+        deferrals: 0,
         obs,
     };
 
@@ -288,6 +334,27 @@ fn run_inner(
     }
 
     let mut sched_wall: Vec<Nanos> = vec![0; k];
+
+    // Online mode: seed future arrivals on the event timeline, then hand
+    // the t = 0 arrivals through the admission loop before the clock
+    // starts. Tasks arriving at t = 0 deliberately get *no* event of
+    // their own: with every arrival at zero the event heap's sequence
+    // numbering is untouched, so an all-t=0 online run takes the exact
+    // tie-breaks of a batch run (the zero-cost-admission guarantee the
+    // golden tests pin).
+    if online {
+        for t in ts.tasks() {
+            let at = ts.arrival(t);
+            if at > 0 {
+                st.push_event(at, Event::Arrive { task: t.0 });
+            }
+        }
+        for t in ts.tasks() {
+            if ts.arrival(t) == 0 {
+                arrive(ts, spec, scheduler, &mut st, &mut sched_wall, config, t);
+            }
+        }
+    }
     let mut processed: u64 = 0;
     loop {
         for g in 0..k {
@@ -465,6 +532,10 @@ fn run_inner(
                 st.completed += 1;
                 st.tasks_done[g] += 1;
                 st.flops_done += ts.flops(t);
+                if st.online {
+                    st.backlog -= 1;
+                    st.latencies.push(st.now - ts.arrival(t));
+                }
                 if config.collect_trace {
                     st.trace.push(TraceEvent::TaskFinished {
                         at: st.now,
@@ -482,6 +553,12 @@ fn run_inner(
                 // The completion released pins: a deferred fault shrink
                 // may now complete.
                 retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g, config);
+                // The completion freed backlog (and possibly memory): the
+                // deferred-arrival queue may admit again. Completions are
+                // the only event that can improve admissibility —
+                // capacities only ever shrink — so this is the sole retry
+                // point.
+                retry_deferred(ts, spec, scheduler, &mut st, &mut sched_wall, config);
             }
             Event::GpuFail { idx } => {
                 let g = config.faults.gpu_failures[idx as usize].gpu;
@@ -578,6 +655,9 @@ fn run_inner(
                     });
                 }
             }
+            Event::Arrive { task } => {
+                arrive(ts, spec, scheduler, &mut st, &mut sched_wall, config, TaskId(task));
+            }
         }
     }
 
@@ -638,8 +718,38 @@ fn run_inner(
         transfer_retries: st.retries,
         gpu_failures: st.failures,
         tasks_redispatched: st.redispatched,
+        online: online.then(|| {
+            st.latencies.sort_unstable();
+            st.queueing.sort_unstable();
+            OnlineStats {
+                tasks_admitted: st.admitted,
+                tasks_deferred: st.deferrals,
+                p50_latency: quantile(&st.latencies, 0.50),
+                p99_latency: quantile(&st.latencies, 0.99),
+                mean_latency: if st.latencies.is_empty() {
+                    0
+                } else {
+                    st.latencies.iter().sum::<Nanos>() / st.latencies.len() as Nanos
+                },
+                p50_queueing: quantile(&st.queueing, 0.50),
+                p99_queueing: quantile(&st.queueing, 0.99),
+                throughput_tps: if st.now == 0 {
+                    0.0
+                } else {
+                    m as f64 / (st.now as f64 / 1e9)
+                },
+            }
+        }),
     };
     Ok((report, st.trace))
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample (0 when empty).
+fn quantile(sorted: &[Nanos], q: f64) -> Nanos {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
 }
 
 struct State {
@@ -694,6 +804,25 @@ struct State {
     /// integer ops per transition) so every report carries the
     /// busy/stall/idle split without observation enabled.
     stall: Vec<Nanos>,
+    /// Online serving mode (`RunConfig::admission` is set). All the
+    /// admission fields below stay empty in batch runs.
+    online: bool,
+    /// Per-task admitted flag: `pop_task` may only return released
+    /// tasks (debug-asserted in `progress`).
+    released: Vec<bool>,
+    /// Admitted-but-unfinished task count, bounded by
+    /// [`AdmissionConfig::max_backlog`].
+    backlog: usize,
+    /// Arrived tasks awaiting admission, strictly FIFO.
+    deferred: VecDeque<u32>,
+    /// Per-completion task latency samples (completion − arrival).
+    latencies: Vec<Nanos>,
+    /// Per-start queueing-delay samples (compute start − arrival).
+    queueing: Vec<Nanos>,
+    /// Admission decisions taken.
+    admitted: u64,
+    /// Arrivals deferred at least once.
+    deferrals: u64,
     /// Observability side channel; `None` keeps the legacy path.
     obs: Option<Probe>,
 }
@@ -802,6 +931,10 @@ fn progress(
         }
         match popped {
             Some(t) => {
+                debug_assert!(
+                    !st.online || st.released[t.index()],
+                    "online scheduler popped task {t:?} before its admission"
+                );
                 // The upfront feasibility check used the nominal capacity;
                 // a fault shrink may have lowered this GPU's since. A task
                 // that cannot ever fit must fail loudly, not stall.
@@ -979,6 +1112,9 @@ fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize, config
     }
     st.lane_advance(g);
     st.running[g] = true;
+    if st.online {
+        st.queueing.push(st.now - ts.arrival(head));
+    }
     if st.observed() {
         st.emit(ObsEvent::ComputeBegin {
             t: st.now,
@@ -1183,6 +1319,117 @@ fn retry_pending_shrinks(
     }
     st.pending_shrinks
         .retain(|&(gg, t)| gg != g || !reached.contains(&t));
+}
+
+/// Process the online arrival of task `t`: record it, then admit it to
+/// the scheduler or defer it into the FIFO queue. Admission is strictly
+/// first-come-first-served — a feasible arrival still queues behind
+/// earlier deferred tasks.
+#[allow(clippy::too_many_arguments)]
+fn arrive(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    config: &RunConfig,
+    t: TaskId,
+) {
+    if config.collect_trace {
+        st.trace.push(TraceEvent::TaskArrived {
+            at: st.now,
+            task: t.index(),
+        });
+    }
+    if st.observed() {
+        st.emit(ObsEvent::TaskArrived { t: st.now, task: t.0 });
+    }
+    if st.deferred.is_empty() && admissible(ts, st, config, t) {
+        admit(ts, spec, scheduler, st, sched_wall, config, t);
+    } else {
+        st.deferrals += 1;
+        st.deferred.push_back(t.0);
+        if config.collect_trace {
+            st.trace.push(TraceEvent::TaskDeferred {
+                at: st.now,
+                task: t.index(),
+            });
+        }
+        if st.observed() {
+            st.emit(ObsEvent::TaskDeferred { t: st.now, task: t.0 });
+        }
+    }
+}
+
+/// Whether task `t` can be admitted right now: its inputs fit the
+/// current capacity of at least one alive GPU and the backlog bound has
+/// room.
+fn admissible(ts: &TaskSet, st: &State, config: &RunConfig, t: TaskId) -> bool {
+    let fits = (0..st.mem.len())
+        .any(|g| !st.dead[g] && ts.task_footprint(t) <= st.mem[g].capacity());
+    let backlog_ok = config
+        .admission
+        .as_ref()
+        .and_then(|a| a.max_backlog)
+        .is_none_or(|b| st.backlog < b);
+    fits && backlog_ok
+}
+
+/// Release task `t` to the scheduler: mark it poppable, notify the
+/// policy, and wake every worker.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    config: &RunConfig,
+    t: TaskId,
+) {
+    st.released[t.index()] = true;
+    st.backlog += 1;
+    st.admitted += 1;
+    if config.collect_trace {
+        st.trace.push(TraceEvent::TaskAdmitted {
+            at: st.now,
+            task: t.index(),
+        });
+    }
+    if st.observed() {
+        st.emit(ObsEvent::TaskAdmitted {
+            t: st.now,
+            task: t.0,
+            wait: st.now - ts.arrival(t),
+        });
+    }
+    // A release can unblock pops on every worker.
+    st.stalled_pop.iter_mut().for_each(|s| *s = false);
+    // Admission has no owning worker; charge the callback to worker 0 so
+    // `sched_wall` still sums every scheduler invocation.
+    let view = st.view(ts, spec);
+    timed(sched_wall, 0, || scheduler.on_task_arrival(t, &view));
+}
+
+/// Re-try the deferred FIFO after a completion freed backlog or pinned
+/// memory; stops at the first still-inadmissible head to preserve
+/// arrival order.
+fn retry_deferred(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    config: &RunConfig,
+) {
+    while let Some(&raw) = st.deferred.front() {
+        let t = TaskId(raw);
+        if !admissible(ts, st, config, t) {
+            break;
+        }
+        st.deferred.pop_front();
+        admit(ts, spec, scheduler, st, sched_wall, config, t);
+    }
 }
 
 #[cfg(test)]
@@ -1815,5 +2062,135 @@ mod tests {
         for g in &report.per_gpu {
             assert_eq!(g.busy + g.stall + g.idle, report.makespan);
         }
+    }
+
+    /// FIFO scheduler that only pops tasks the admission loop has
+    /// released — the contract online schedulers must follow.
+    struct StreamFifo {
+        q: std::collections::VecDeque<TaskId>,
+    }
+
+    impl Scheduler for StreamFifo {
+        fn name(&self) -> String {
+            "stream-fifo-test".into()
+        }
+        fn prepare_stream(&mut self, _ts: &TaskSet, _spec: &PlatformSpec) {
+            self.q.clear();
+        }
+        fn on_task_arrival(&mut self, task: TaskId, _view: &RuntimeView<'_>) {
+            self.q.push_back(task);
+        }
+        fn pop_task(&mut self, _gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
+            self.q.pop_front()
+        }
+    }
+
+    fn traced_online_config(max_backlog: Option<usize>) -> RunConfig {
+        RunConfig {
+            collect_trace: true,
+            admission: Some(AdmissionConfig { max_backlog }),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn admission_none_ignores_arrival_stamps() {
+        // With `admission: None` the engine takes the batch path even if
+        // the task set carries arrival times: identical trace, no
+        // admission events, no online stats.
+        let ts = two_task_set();
+        let stamped = ts.clone().with_arrivals(vec![0, 7_000]);
+        let config = RunConfig {
+            collect_trace: true,
+            ..RunConfig::default()
+        };
+        let (r1, t1) =
+            run_with_config(&ts, &tiny_spec(1, 10_000), &mut Fifo::new(&ts), &config).unwrap();
+        let (r2, t2) = run_with_config(
+            &stamped,
+            &tiny_spec(1, 10_000),
+            &mut Fifo::new(&stamped),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(t1, t2, "batch runs must ignore arrival stamps");
+        assert_eq!(r1.makespan, r2.makespan);
+        assert!(r2.online.is_none());
+    }
+
+    #[test]
+    fn backlog_cap_defers_and_retries_in_fcfs_order() {
+        // Three independent tasks all arrive at t = 0 under a backlog
+        // bound of 1: task 0 is admitted up front, 1 and 2 defer and are
+        // re-admitted one completion at a time, in arrival order.
+        let mut b = TaskSetBuilder::new();
+        let d: Vec<_> = (0..3).map(|_| b.add_data(1000)).collect();
+        for &x in &d {
+            b.add_task(&[x], 5000.0);
+        }
+        let ts = b.build().with_arrivals(vec![0; 3]);
+        let mut sched = StreamFifo {
+            q: Default::default(),
+        };
+        let (report, trace) = run_with_config(
+            &ts,
+            &tiny_spec(1, 3000),
+            &mut sched,
+            &traced_online_config(Some(1)),
+        )
+        .unwrap();
+        let stats = report.online.expect("online stats");
+        assert_eq!(stats.tasks_admitted, 3);
+        assert_eq!(stats.tasks_deferred, 2, "tasks 1 and 2 defer once each");
+        let admitted: Vec<usize> = trace
+            .iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::TaskAdmitted { task, .. } => Some(task),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(admitted, vec![0, 1, 2], "FCFS admission order");
+        // Each later admission happens at a completion, not before.
+        let mut done = 0;
+        for ev in &trace {
+            match *ev {
+                TraceEvent::TaskFinished { .. } => done += 1,
+                TraceEvent::TaskAdmitted { task, .. } => {
+                    assert_eq!(task, done, "admission #{task} must wait for {task} completions")
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(report.per_gpu[0].tasks, 3);
+    }
+
+    #[test]
+    fn staggered_arrivals_gate_task_starts() {
+        let ts = two_task_set().with_arrivals(vec![0, 9_000]);
+        let mut sched = StreamFifo {
+            q: Default::default(),
+        };
+        let (report, trace) = run_with_config(
+            &ts,
+            &tiny_spec(1, 10_000),
+            &mut sched,
+            &traced_online_config(None),
+        )
+        .unwrap();
+        for ev in &trace {
+            match *ev {
+                TraceEvent::TaskAdmitted { at, task } => {
+                    assert_eq!(at, ts.arrival(TaskId(task as u32)), "uncontended admit is immediate")
+                }
+                TraceEvent::TaskStarted { at, task, .. } => {
+                    assert!(at >= ts.arrival(TaskId(task as u32)))
+                }
+                _ => {}
+            }
+        }
+        let stats = report.online.expect("online stats");
+        assert_eq!(stats.tasks_admitted, 2);
+        assert_eq!(stats.tasks_deferred, 0);
+        assert!(stats.throughput_tps > 0.0);
     }
 }

@@ -42,14 +42,14 @@ mod scheduler;
 mod spec;
 
 pub use analysis::{analyze, analyze_checked, render_gantt, to_obs_events, TraceAnalysis};
-pub use engine::{run, run_observed, run_with_config, RunConfig, RunError};
+pub use engine::{run, run_observed, run_with_config, AdmissionConfig, RunConfig, RunError};
 /// The observability subsystem (re-exported so downstream crates can
 /// build probes and exporters without naming `memsched-obs` directly).
 pub use memsched_obs as obs;
 pub use memsched_obs::{ObsEvent, Probe};
 pub use fault::{CapacityShrink, FaultPlan, GpuFailure, Straggler, TransferFaultSpec};
 pub use memory::{GpuMemory, Residency};
-pub use report::{GpuRunStats, RunReport, TraceEvent};
+pub use report::{GpuRunStats, OnlineStats, RunReport, TraceEvent};
 pub use scheduler::{RuntimeView, Scheduler};
 pub use spec::{
     Nanos, PlatformSpec, NVLINK_BANDWIDTH, PAPER_MEMORY_BYTES, PCIE_BANDWIDTH,

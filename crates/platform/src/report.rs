@@ -68,6 +68,36 @@ pub struct RunReport {
     /// elsewhere.
     #[serde(default)]
     pub tasks_redispatched: u64,
+    /// Serving statistics of an online run (`None` for batch runs, so
+    /// batch reports serialize unchanged).
+    #[serde(default)]
+    pub online: Option<OnlineStats>,
+}
+
+/// Serving statistics of one online (admission-loop) run.
+///
+/// *Latency* is completion minus arrival of a task; *queueing delay* is
+/// compute start minus arrival (latency minus service). Quantiles are
+/// nearest-rank over the whole run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    /// Tasks admitted (released to the scheduler).
+    pub tasks_admitted: u64,
+    /// Arrivals deferred at least once by the admission check.
+    pub tasks_deferred: u64,
+    /// Median task latency in nanoseconds.
+    pub p50_latency: Nanos,
+    /// 99th-percentile task latency in nanoseconds.
+    pub p99_latency: Nanos,
+    /// Mean task latency in nanoseconds.
+    pub mean_latency: Nanos,
+    /// Median queueing delay in nanoseconds.
+    pub p50_queueing: Nanos,
+    /// 99th-percentile queueing delay in nanoseconds.
+    pub p99_queueing: Nanos,
+    /// Sustained throughput in completed tasks per second of simulated
+    /// time.
+    pub throughput_tps: f64,
 }
 
 impl RunReport {
@@ -224,5 +254,28 @@ pub enum TraceEvent {
         gpu: usize,
         /// Speed multiplier now in effect (< 1 is slower).
         factor: f64,
+    },
+    /// `task` arrived at the admission loop (online runs only).
+    TaskArrived {
+        /// Simulation time.
+        at: Nanos,
+        /// Task index.
+        task: usize,
+    },
+    /// `task` was admitted — released to the scheduler (online runs
+    /// only).
+    TaskAdmitted {
+        /// Simulation time.
+        at: Nanos,
+        /// Task index.
+        task: usize,
+    },
+    /// `task` was deferred by the admission check; emitted once per
+    /// arrival, at the first defer decision (online runs only).
+    TaskDeferred {
+        /// Simulation time.
+        at: Nanos,
+        /// Task index.
+        task: usize,
     },
 }

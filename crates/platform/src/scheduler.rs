@@ -242,6 +242,29 @@ pub trait Scheduler {
         let _ = (ts, spec);
     }
 
+    /// Static phase of an **online** run: called instead of
+    /// [`prepare`](Self::prepare) when the engine serves a task stream.
+    /// The scheduler must start with an *empty* visible horizon — every
+    /// task (including those arriving at t = 0) is delivered through
+    /// [`on_task_arrival`](Self::on_task_arrival), in admission order.
+    ///
+    /// The default delegates to `prepare`, which makes the whole set
+    /// visible up front: correct only for policies that tolerate popping
+    /// unarrived tasks never happening (the engine asserts released-only
+    /// pops in debug builds). All built-in families override this.
+    fn prepare_stream(&mut self, ts: &TaskSet, spec: &PlatformSpec) {
+        self.prepare(ts, spec);
+    }
+
+    /// `task` was admitted into the visible horizon of an online run
+    /// (either at t = 0 before the clock starts, or mid-stream when its
+    /// arrival event fires and the admission check passes). The scheduler
+    /// must make the task poppable; tasks never delivered here must never
+    /// be returned from [`pop_task`](Self::pop_task) in an online run.
+    fn on_task_arrival(&mut self, task: TaskId, view: &RuntimeView<'_>) {
+        let _ = (task, view);
+    }
+
     /// A worker on `gpu` has pipeline room and requests a task. Return
     /// `None` if no task should run on this GPU right now (the engine
     /// retries after the next state change).

@@ -252,13 +252,19 @@ struct FenwickSet {
 impl FenwickSet {
     /// The full set {0, …, m-1}.
     fn full(m: usize) -> Self {
-        let mut s = Self {
-            tree: vec![0; m + 1],
-        };
+        let mut s = Self::empty(m);
         for i in 0..m {
             s.add(i, 1);
         }
         s
+    }
+
+    /// The empty set over the universe {0, …, m-1} (online mode: tasks
+    /// join as they arrive).
+    fn empty(m: usize) -> Self {
+        Self {
+            tree: vec![0; m + 1],
+        }
     }
 
     fn add(&mut self, i: usize, delta: i32) {
@@ -348,6 +354,9 @@ pub struct DartsScheduler {
 const FREE: u8 = 0;
 const TAKEN: u8 = 1;
 const DONE: u8 = 2;
+/// Online mode only: the task has not arrived yet — invisible to every
+/// decision rule until `on_task_arrival` releases it to FREE.
+const PENDING: u8 = 3;
 
 impl DartsScheduler {
     /// Build with the given configuration.
@@ -409,8 +418,11 @@ impl DartsScheduler {
     /// reference implementation of the `n_unprocessed` counters.
     #[cfg(feature = "naive")]
     fn n_unprocessed_scan(&self, ts: &TaskSet, d: DataId) -> usize {
+        // FREE | TAKEN, not `!= DONE`: online mode must not count tasks
+        // that have not arrived yet (batch has no PENDING state, so this
+        // is the historical filter there).
         ts.consumer_ids(d)
-            .filter(|&t| self.task_state[t.index()] != DONE)
+            .filter(|&t| matches!(self.task_state[t.index()], FREE | TAKEN))
             .count()
     }
 
@@ -973,6 +985,61 @@ impl Scheduler for DartsScheduler {
         self.cv_stamp = vec![0; nd];
         self.cv_first = vec![0; nd];
         self.cv_epoch = 0;
+    }
+
+    fn prepare_stream(&mut self, ts: &TaskSet, spec: &PlatformSpec) {
+        // Same layout as `prepare`, but every task starts PENDING and
+        // every data-driven counter starts at zero: the horizon is empty
+        // until arrivals release tasks through `on_task_arrival`.
+        let k = spec.num_gpus;
+        let (nd, m) = (ts.num_data(), ts.num_tasks());
+        self.data_not_in_mem = vec![vec![true; nd]; k];
+        self.planned = vec![VecDeque::new(); k];
+        self.task_state = vec![PENDING; m];
+        self.unallocated = 0;
+        self.unfinished = m;
+        if self.is_naive() {
+            return;
+        }
+        let ordered = self.cfg.opti || self.cfg.threshold.is_some();
+        self.n_free = vec![vec![0u32; nd]; k];
+        self.useful = vec![UsefulIndex::new(nd, ordered); k];
+        if self.cfg.three_inputs {
+            self.not_in_mem_ids = vec![(0..nd as u32).collect::<BTreeSet<u32>>(); k];
+            self.m1_consumers = vec![vec![0u32; nd]; k];
+            self.m2_consumers = vec![vec![0u32; nd]; k];
+        } else {
+            self.not_in_mem_ids = vec![BTreeSet::new(); k];
+            self.m1_consumers = Vec::new();
+            self.m2_consumers = Vec::new();
+        }
+        self.planned_uses = vec![vec![0u32; nd]; k];
+        self.n_unprocessed = vec![0; nd];
+        self.free_tasks = FenwickSet::empty(m);
+        self.cv_stamp = vec![0; nd];
+        self.cv_first = vec![0; nd];
+        self.cv_epoch = 0;
+    }
+
+    fn on_task_arrival(&mut self, task: TaskId, view: &RuntimeView<'_>) {
+        // Mirrors the eviction-release path: the task becomes visible to
+        // the refill (FREE), joins the random-draw set, and each input
+        // gains an unprocessed consumer and the task's `n_free`
+        // contribution. With every arrival at t = 0 this rebuilds exactly
+        // the `prepare` state before the first pop, which is what makes
+        // the t = 0 stream run decision-equivalent to batch.
+        debug_assert_eq!(self.task_state[task.index()], PENDING);
+        self.task_state[task.index()] = FREE;
+        self.unallocated += 1;
+        if self.is_naive() {
+            return; // the naive scans read `task_state` live
+        }
+        let ts = view.task_set();
+        self.free_tasks.insert(task.index());
+        for &d in ts.inputs(task) {
+            self.n_unprocessed[d as usize] += 1;
+        }
+        self.contrib(ts, view, task, 1);
     }
 
     fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {

@@ -27,6 +27,12 @@ pub struct DmdaScheduler {
     window: usize,
     /// Per-GPU allocated task queues, filled during `prepare`.
     queues: Vec<Vec<TaskId>>,
+    /// Predicted completion horizon per GPU — the Eq. (1) state, hoisted
+    /// into the struct so the online mode can continue the allocation
+    /// incrementally as tasks arrive.
+    ready_at: Vec<Nanos>,
+    /// Predicted per-GPU InMem sets (prefetch-requested data).
+    in_mem: Vec<Vec<bool>>,
     /// Observability probe (queue-depth gauges); absent unless attached.
     probe: Option<Probe>,
     /// Serve Ready through the input-walking reference implementation.
@@ -41,6 +47,8 @@ impl DmdaScheduler {
             ready: false,
             window: DEFAULT_READY_WINDOW,
             queues: Vec::new(),
+            ready_at: Vec::new(),
+            in_mem: Vec::new(),
             probe: None,
             #[cfg(feature = "naive")]
             naive_ready: false,
@@ -53,6 +61,8 @@ impl DmdaScheduler {
             ready: true,
             window: DEFAULT_READY_WINDOW,
             queues: Vec::new(),
+            ready_at: Vec::new(),
+            in_mem: Vec::new(),
             probe: None,
             #[cfg(feature = "naive")]
             naive_ready: false,
@@ -78,6 +88,39 @@ impl DmdaScheduler {
     pub fn queues(&self) -> &[Vec<TaskId>] {
         &self.queues
     }
+
+    /// One Eq. (1) allocation step for `t`: route it to the GPU with the
+    /// smallest predicted completion time and update the predicted
+    /// horizon and InMem state. `now` floors each GPU's horizon (0 in
+    /// the batch prepare, the arrival instant online); GPUs flagged in
+    /// `dead` are skipped (batch allocation passes `None`).
+    fn allocate(&mut self, ts: &TaskSet, spec: &PlatformSpec, t: TaskId, now: Nanos, dead: Option<&dyn Fn(usize) -> bool>) {
+        let k = self.queues.len();
+        let mut best: Option<(usize, Nanos)> = None;
+        for g in 0..k {
+            if dead.is_some_and(|is_dead| is_dead(g)) {
+                continue;
+            }
+            let comp = spec.compute_time_on(g, ts.flops(t));
+            let comm: Nanos = ts
+                .input_ids(t)
+                .filter(|&d| !self.in_mem[g][d.index()])
+                .map(|d| spec.comm_estimate(ts.data_size(d)))
+                .sum();
+            let c = self.ready_at[g].max(now) + comm + comp;
+            if best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((g, c));
+            }
+        }
+        // With every GPU dead the engine has already aborted; park the
+        // task on GPU 0 to stay panic-free.
+        let (g, c) = best.unwrap_or((0, now));
+        self.queues[g].push(t);
+        self.ready_at[g] = c;
+        for d in ts.input_ids(t) {
+            self.in_mem[g][d.index()] = true; // prefetch requested (Alg. 1 l.8-9)
+        }
+    }
 }
 
 impl Scheduler for DmdaScheduler {
@@ -89,30 +132,35 @@ impl Scheduler for DmdaScheduler {
         let k = spec.num_gpus;
         self.queues = vec![Vec::new(); k];
         // Predicted state per GPU: completion horizon and InMem set.
-        let mut ready_at: Vec<Nanos> = vec![0; k];
-        let mut in_mem: Vec<Vec<bool>> = vec![vec![false; ts.num_data()]; k];
-
+        self.ready_at = vec![0; k];
+        self.in_mem = vec![vec![false; ts.num_data()]; k];
         for t in ts.tasks() {
-            let mut best: Option<(usize, Nanos)> = None;
-            for g in 0..k {
-                let comp = spec.compute_time_on(g, ts.flops(t));
-                let comm: Nanos = ts
-                    .input_ids(t)
-                    .filter(|&d| !in_mem[g][d.index()])
-                    .map(|d| spec.comm_estimate(ts.data_size(d)))
-                    .sum();
-                let c = ready_at[g] + comm + comp;
-                if best.is_none_or(|(_, bc)| c < bc) {
-                    best = Some((g, c));
-                }
-            }
-            let (g, c) = best.expect("at least one GPU");
-            self.queues[g].push(t);
-            ready_at[g] = c;
-            for d in ts.input_ids(t) {
-                in_mem[g][d.index()] = true; // prefetch requested (Alg. 1 l.8-9)
-            }
+            // `now = 0` makes `ready_at.max(now)` the identity, so this
+            // is exactly the historical batch allocation.
+            self.allocate(ts, spec, t, 0, None);
         }
+    }
+
+    fn prepare_stream(&mut self, ts: &TaskSet, spec: &PlatformSpec) {
+        // Start from an empty horizon; `on_task_arrival` continues the
+        // Eq. (1) allocation one task at a time.
+        let k = spec.num_gpus;
+        self.queues = vec![Vec::new(); k];
+        self.ready_at = vec![0; k];
+        self.in_mem = vec![vec![false; ts.num_data()]; k];
+    }
+
+    fn on_task_arrival(&mut self, task: TaskId, view: &RuntimeView<'_>) {
+        let dead: Vec<bool> = (0..self.queues.len())
+            .map(|g| !view.is_alive(GpuId(g as u32)))
+            .collect();
+        self.allocate(
+            view.task_set(),
+            view.spec(),
+            task,
+            view.now(),
+            Some(&|g| dead[g]),
+        );
     }
 
     fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {

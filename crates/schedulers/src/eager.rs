@@ -35,6 +35,17 @@ impl Scheduler for EagerScheduler {
         self.queue = ts.tasks().collect();
     }
 
+    fn prepare_stream(&mut self, _ts: &TaskSet, _spec: &PlatformSpec) {
+        // Online mode starts with an empty horizon; arrivals fill it.
+        self.queue = VecDeque::new();
+    }
+
+    fn on_task_arrival(&mut self, task: TaskId, _view: &RuntimeView<'_>) {
+        // Admission order is submission order, so with every arrival at
+        // t = 0 the queue is exactly the batch `prepare` queue.
+        self.queue.push_back(task);
+    }
+
     fn pop_task(&mut self, _gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
         let t = self.queue.pop_front();
         if let Some(p) = &self.probe {

@@ -156,6 +156,23 @@ pub fn pack_with(ts: &TaskSet, config: &PackConfig) -> Vec<Vec<TaskId>> {
     pack_indexed(ts, config.memory, config.k)
 }
 
+/// As [`pack_with`], restricted to the given `tasks` — the online mode
+/// re-packs the visible horizon with this. Passing every task in id order
+/// reproduces [`pack_with`] exactly (the packing only ever looks at the
+/// tasks it is given), which is what makes a t = 0 stream run
+/// decision-equivalent to batch. Always uses the indexed fast path: the
+/// `naive` timing mode exists only to reproduce the paper's batch
+/// `prepare` wall time.
+pub fn pack_subset(ts: &TaskSet, config: &PackConfig, tasks: &[TaskId]) -> Vec<Vec<TaskId>> {
+    let k = config.k.max(1);
+    let mut state = PackState::of_tasks(ts, tasks.iter().copied());
+    state.phase1(config.memory, k);
+    state.phase2(k);
+    let mut packages = state.packages;
+    balance(ts, &mut packages, k);
+    finish(packages, k)
+}
+
 // ---------------------------------------------------------------------------
 // Indexed fast path
 // ---------------------------------------------------------------------------
@@ -222,7 +239,13 @@ struct PackState<'a> {
 
 impl<'a> PackState<'a> {
     fn new(ts: &'a TaskSet) -> Self {
-        let packages: Vec<Package> = ts.tasks().map(|t| Package::of_task(ts, t)).collect();
+        Self::of_tasks(ts, ts.tasks())
+    }
+
+    /// Packing state over an arbitrary task subset; slot order (and with
+    /// it every tie-break) follows the iteration order.
+    fn of_tasks(ts: &'a TaskSet, tasks: impl Iterator<Item = TaskId>) -> Self {
+        let packages: Vec<Package> = tasks.map(|t| Package::of_task(ts, t)).collect();
         let n = packages.len();
         let mut owners: Vec<Vec<u32>> = (0..ts.num_data())
             .map(|d| Vec::with_capacity(ts.consumers(DataId(d as u32)).len()))
@@ -622,6 +645,13 @@ pub struct HfpScheduler {
     queues: Option<StealingQueues>,
     /// Probe kept until `prepare` builds the queues that emit with it.
     probe: Option<Probe>,
+    /// Online mode flag, set by `prepare_stream`.
+    online: bool,
+    /// Online mode: admitted-but-unserved tasks, in admission order.
+    pending: Vec<TaskId>,
+    /// Online mode: arrivals since the last packing; the next pop
+    /// re-packs the whole pending horizon.
+    dirty: bool,
     #[cfg(feature = "naive")]
     naive_pack: bool,
 }
@@ -640,6 +670,9 @@ impl HfpScheduler {
             steal: true,
             queues: None,
             probe: None,
+            online: false,
+            pending: Vec::new(),
+            dirty: false,
             #[cfg(feature = "naive")]
             naive_pack: false,
         }
@@ -659,6 +692,43 @@ impl HfpScheduler {
     pub fn with_naive_pack(mut self) -> Self {
         self.naive_pack = true;
         self
+    }
+
+    /// Online mode: re-pack the entire pending horizon into fresh
+    /// stealing queues. Dead GPUs' lists fold into the lightest survivor
+    /// so every pending task stays reachable even with stealing disabled.
+    fn repack(&mut self, view: &RuntimeView<'_>) {
+        let ts = view.task_set();
+        let spec = view.spec();
+        let k = spec.num_gpus;
+        // The phase-1 bound tracks the current (possibly shrunk) memory
+        // of the tightest alive GPU; with no faults this is exactly
+        // `spec.memory_bytes`, keeping t = 0 runs batch-identical.
+        let memory = (0..k)
+            .filter(|&g| view.is_alive(GpuId(g as u32)))
+            .map(|g| view.capacity(GpuId(g as u32)))
+            .min()
+            .unwrap_or(spec.memory_bytes);
+        let mut lists = pack_subset(ts, &PackConfig::new(memory, k), &self.pending);
+        let alive: Vec<usize> = (0..k).filter(|&g| view.is_alive(GpuId(g as u32))).collect();
+        if alive.len() < k && !alive.is_empty() {
+            for g in 0..k {
+                if !view.is_alive(GpuId(g as u32)) && !lists[g].is_empty() {
+                    let moved = std::mem::take(&mut lists[g]);
+                    let &target = alive
+                        .iter()
+                        .min_by_key(|&&h| (lists[h].len(), h))
+                        .expect("alive is non-empty");
+                    lists[target].extend(moved);
+                }
+            }
+        }
+        let mut sq = StealingQueues::new(lists, self.window, self.steal);
+        if let Some(p) = &self.probe {
+            sq.attach_probe(p.clone());
+        }
+        self.queues = Some(sq);
+        self.dirty = false;
     }
 }
 
@@ -681,6 +751,32 @@ impl Scheduler for HfpScheduler {
             sq.attach_probe(p.clone());
         }
         self.queues = Some(sq);
+        self.online = false;
+    }
+
+    fn prepare_stream(&mut self, _ts: &TaskSet, spec: &PlatformSpec) {
+        // Start with empty queues; the first pop after each burst of
+        // arrivals re-packs the pending horizon (lazy incremental HFP).
+        self.online = true;
+        self.pending = Vec::new();
+        self.dirty = false;
+        let mut sq = StealingQueues::new(
+            vec![Vec::new(); spec.num_gpus],
+            self.window,
+            self.steal,
+        );
+        if let Some(p) = &self.probe {
+            sq.attach_probe(p.clone());
+        }
+        self.queues = Some(sq);
+    }
+
+    fn on_task_arrival(&mut self, task: TaskId, _view: &RuntimeView<'_>) {
+        // Packing is deferred to the next pop so a burst of simultaneous
+        // arrivals is packed once; with every arrival at t = 0 the first
+        // pop packs the full task set exactly as the batch `prepare`.
+        self.pending.push(task);
+        self.dirty = true;
     }
 
     fn attach_probe(&mut self, probe: Probe) {
@@ -691,13 +787,31 @@ impl Scheduler for HfpScheduler {
     }
 
     fn pop_task(&mut self, gpu: GpuId, view: &RuntimeView<'_>) -> Option<TaskId> {
-        self.queues
+        if self.online && self.dirty {
+            self.repack(view);
+        }
+        let t = self
+            .queues
             .as_mut()
             .expect("prepare() must run first")
-            .pop(gpu, view)
+            .pop(gpu, view)?;
+        if self.online {
+            if let Some(pos) = self.pending.iter().position(|&p| p == t) {
+                self.pending.remove(pos);
+            }
+        }
+        Some(t)
     }
 
     fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+        if self.online {
+            // The orphans rejoin the pending horizon; the dead GPU's
+            // still-queued tasks are already pending, and the next pop
+            // re-packs everything onto the survivors.
+            self.pending.extend_from_slice(lost);
+            self.dirty = true;
+            return;
+        }
         // The dead GPU's package tail folds into the survivors through
         // the ordinary stealing machinery.
         if let Some(q) = self.queues.as_mut() {

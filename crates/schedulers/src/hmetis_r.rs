@@ -18,6 +18,9 @@ pub struct HmetisRScheduler {
     probe: Option<Probe>,
     /// Connectivity−1 of the partition (for reports/tests).
     pub partition_cost: u64,
+    /// Online mode: per-GPU bitmap of data items referenced by tasks
+    /// already routed there, driving the greedy affinity placement.
+    assigned_data: Vec<Vec<bool>>,
 }
 
 /// User-facing knobs of [`HmetisRScheduler`].
@@ -62,6 +65,7 @@ impl HmetisRScheduler {
             queues: None,
             probe: None,
             partition_cost: 0,
+            assigned_data: Vec::new(),
         }
     }
 
@@ -126,6 +130,58 @@ impl Scheduler for HmetisRScheduler {
             sq.attach_probe(p.clone());
         }
         self.queues = Some(sq);
+    }
+
+    fn prepare_stream(&mut self, ts: &TaskSet, spec: &PlatformSpec) {
+        // A global partition needs the whole hypergraph; online we fall
+        // back to greedy affinity routing (hMETIS-style cut avoidance on
+        // the visible horizon) over empty stealing queues.
+        let k = spec.num_gpus;
+        self.partition_cost = 0;
+        self.assigned_data = vec![vec![false; ts.num_data()]; k];
+        let mut sq = StealingQueues::new(
+            vec![Vec::new(); k],
+            self.config.window,
+            self.config.steal,
+        );
+        if let Some(p) = &self.probe {
+            sq.attach_probe(p.clone());
+        }
+        self.queues = Some(sq);
+    }
+
+    fn on_task_arrival(&mut self, task: TaskId, view: &RuntimeView<'_>) {
+        // Route the arrival to the alive GPU whose assigned horizon
+        // shares the most input bytes with it (ties → shortest queue,
+        // then lowest index), mirroring the partitioner's objective of
+        // keeping each data item's consumers on one GPU.
+        let ts = view.task_set();
+        let q = self.queues.as_mut().expect("prepare_stream() must run first");
+        let mut best: Option<(usize, u64, usize)> = None;
+        for (g, seen) in self.assigned_data.iter().enumerate() {
+            if !view.is_alive(GpuId(g as u32)) {
+                continue;
+            }
+            let affinity: u64 = ts
+                .input_ids(task)
+                .filter(|&d| seen[d.index()])
+                .map(|d| ts.data_size(d))
+                .sum();
+            let len = q.len(GpuId(g as u32));
+            let better = match best {
+                None => true,
+                Some((_, ba, blen)) => affinity > ba || (affinity == ba && len < blen),
+            };
+            if better {
+                best = Some((g, affinity, len));
+            }
+        }
+        // With every GPU dead the engine aborts; park on GPU 0.
+        let g = best.map_or(0, |(g, _, _)| g);
+        q.push(GpuId(g as u32), task);
+        for d in ts.input_ids(task) {
+            self.assigned_data[g][d.index()] = true;
+        }
     }
 
     fn attach_probe(&mut self, probe: Probe) {

@@ -46,6 +46,11 @@ impl StealingQueues {
         self.queues[gpu.index()].len()
     }
 
+    /// Append `task` to `gpu`'s local queue (online arrival routing).
+    pub fn push(&mut self, gpu: GpuId, task: TaskId) {
+        self.queues[gpu.index()].push(task);
+    }
+
     /// True when every queue is empty.
     pub fn is_empty(&self) -> bool {
         self.queues.iter().all(Vec::is_empty)

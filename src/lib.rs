@@ -52,8 +52,8 @@ pub mod prelude {
     };
     pub use memsched_obs::{ObsEvent, Probe};
     pub use memsched_platform::{
-        run, run_observed, run_with_config, FaultPlan, PlatformSpec, RunConfig, RunError,
-        RunReport, RuntimeView, Scheduler, TransferFaultSpec,
+        run, run_observed, run_with_config, AdmissionConfig, FaultPlan, OnlineStats, PlatformSpec,
+        RunConfig, RunError, RunReport, RuntimeView, Scheduler, TransferFaultSpec,
     };
     pub use memsched_schedulers::{
         DartsConfig, DartsEviction, DartsScheduler, DmdaScheduler, EagerScheduler, HfpScheduler,

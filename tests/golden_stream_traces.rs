@@ -1,0 +1,215 @@
+//! Golden traces for the online serving mode: the same tiny workload as
+//! `golden_traces.rs`, but fed through the admission loop on a fixed
+//! seeded Poisson arrival trace. The snapshot pins the full event stream
+//! — arrivals, admissions, defers, loads, evictions, task execution — so
+//! any change to the admission loop, to a scheduler's horizon-limited
+//! variant, or to stream event ordering shows up as a readable diff.
+//!
+//! To regenerate after an intentional change:
+//! `MEMSCHED_UPDATE_GOLDEN=1 cargo test --test golden_stream_traces`.
+//!
+//! The last test is the zero-cost assertion: running the *batch* golden
+//! workload online with every arrival at t = 0 must reproduce the batch
+//! snapshot (`tests/golden/eager.trace`) exactly once the admission
+//! bookkeeping lines are dropped — the serving mode costs nothing when
+//! the horizon is full.
+
+use memsched::platform::TraceEvent;
+use memsched::prelude::*;
+use memsched::workloads::constants::GEMM2D_DATA_BYTES;
+use memsched::workloads::{gemm_2d, open_loop_arrivals, ArrivalPattern};
+use std::path::PathBuf;
+
+/// Stable one-line rendering, superset of the batch golden format: the
+/// admission events render on the `adm` pseudo-track.
+fn render_event(ev: &TraceEvent) -> String {
+    match *ev {
+        TraceEvent::LoadIssued {
+            at,
+            gpu,
+            data,
+            done_at,
+        } => format!("{at:>12} gpu{gpu} load-issued  data={data} done_at={done_at}"),
+        TraceEvent::LoadDone { at, gpu, data } => {
+            format!("{at:>12} gpu{gpu} load-done    data={data}")
+        }
+        TraceEvent::Evicted { at, gpu, data } => {
+            format!("{at:>12} gpu{gpu} evicted      data={data}")
+        }
+        TraceEvent::TaskStarted { at, gpu, task } => {
+            format!("{at:>12} gpu{gpu} task-started task={task}")
+        }
+        TraceEvent::TaskFinished { at, gpu, task } => {
+            format!("{at:>12} gpu{gpu} task-finished task={task}")
+        }
+        TraceEvent::TaskArrived { at, task } => {
+            format!("{at:>12} adm  task-arrived  task={task}")
+        }
+        TraceEvent::TaskAdmitted { at, task } => {
+            format!("{at:>12} adm  task-admitted task={task}")
+        }
+        TraceEvent::TaskDeferred { at, task } => {
+            format!("{at:>12} adm  task-deferred task={task}")
+        }
+        // Fault events never appear in these fault-free stream runs.
+        TraceEvent::GpuFailed { at, gpu } => {
+            format!("{at:>12} gpu{gpu} gpu-failed")
+        }
+        TraceEvent::TransferRetry {
+            at,
+            gpu,
+            data,
+            attempt,
+        } => format!("{at:>12} gpu{gpu} transfer-retry data={data} attempt={attempt}"),
+        TraceEvent::CapacityShrunk { at, gpu, capacity } => {
+            format!("{at:>12} gpu{gpu} capacity-shrunk capacity={capacity}")
+        }
+        TraceEvent::GpuSlowed { at, gpu, factor } => {
+            format!("{at:>12} gpu{gpu} gpu-slowed factor={factor}")
+        }
+    }
+}
+
+/// The batch golden workload with a fixed Poisson stream stamped on it:
+/// gemm_2d(3) on 2 V100s at M = 4 tiles, arrivals at 2000 req/s from
+/// seed 42 — slow enough that the horizon is genuinely partial, fast
+/// enough that queues form.
+fn stream_workload() -> (TaskSet, PlatformSpec) {
+    let base = gemm_2d(3);
+    let arrivals = open_loop_arrivals(
+        &ArrivalPattern::Poisson {
+            rate_per_sec: 2000.0,
+        },
+        42,
+        base.num_tasks(),
+    );
+    let ts = base.with_arrivals(arrivals);
+    let spec = PlatformSpec::v100(2).with_memory(4 * GEMM2D_DATA_BYTES);
+    (ts, spec)
+}
+
+fn render_stream_trace(named: &NamedScheduler) -> String {
+    let (ts, spec) = stream_workload();
+    let config = RunConfig {
+        collect_trace: true,
+        admission: Some(AdmissionConfig::default()),
+        ..RunConfig::default()
+    };
+    let mut sched = named.build();
+    let (report, trace) =
+        run_with_config(&ts, &spec, sched.as_mut(), &config).expect("golden stream run");
+    let mut out = format!(
+        "# scheduler: {} (online)\n\
+         # workload: gemm_2d(3) + poisson(2000/s, seed 42), 2x V100, M = 4 tiles\n",
+        report.scheduler
+    );
+    for ev in &trace {
+        out.push_str(&render_event(ev));
+        out.push('\n');
+    }
+    let stats = report.online.expect("stream run reports online stats");
+    out.push_str(&format!(
+        "# makespan={} loads={} evictions={} admitted={} deferred={} p50_latency={} p99_latency={}\n",
+        report.makespan,
+        report.total_loads,
+        report.total_evictions,
+        stats.tasks_admitted,
+        stats.tasks_deferred,
+        stats.p50_latency,
+        stats.p99_latency,
+    ));
+    out
+}
+
+fn check_golden(name: &str, named: NamedScheduler) {
+    let got = render_stream_trace(&named);
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var("MEMSCHED_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing snapshot {path:?} ({e}); run with MEMSCHED_UPDATE_GOLDEN=1 to create")
+    });
+    if got != want {
+        let diverge = got
+            .lines()
+            .zip(want.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| got.lines().count().min(want.lines().count()));
+        panic!(
+            "golden stream trace {name} differs at line {}:\n  expected: {}\n  actual:   {}\n\
+             (rerun with MEMSCHED_UPDATE_GOLDEN=1 if the change is intentional)",
+            diverge + 1,
+            want.lines().nth(diverge).unwrap_or("<eof>"),
+            got.lines().nth(diverge).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn golden_stream_eager() {
+    check_golden("eager.stream.trace", NamedScheduler::Eager);
+}
+
+#[test]
+fn golden_stream_dmdar() {
+    check_golden("dmdar.stream.trace", NamedScheduler::Dmdar);
+}
+
+#[test]
+fn golden_stream_mhfp() {
+    check_golden("mhfp.stream.trace", NamedScheduler::Mhfp);
+}
+
+#[test]
+fn golden_stream_darts_luf() {
+    check_golden("darts_luf.stream.trace", NamedScheduler::DartsLuf);
+}
+
+/// Zero-cost assertion: the batch golden snapshot is reproduced by an
+/// online run whose arrivals are all at t = 0, admission lines aside.
+/// This pins — in CI, against the checked-in batch snapshot — that
+/// enabling the serving mode cannot perturb offline results.
+#[test]
+fn online_t0_reproduces_batch_golden() {
+    let ts = gemm_2d(3).with_arrivals(vec![0; 9]);
+    let spec = PlatformSpec::v100(2).with_memory(4 * GEMM2D_DATA_BYTES);
+    let config = RunConfig {
+        collect_trace: true,
+        admission: Some(AdmissionConfig::default()),
+        ..RunConfig::default()
+    };
+    let mut sched = NamedScheduler::Eager.build();
+    let (report, trace) =
+        run_with_config(&ts, &spec, sched.as_mut(), &config).expect("t=0 online run");
+    let mut got = format!(
+        "# scheduler: {}\n# workload: gemm_2d(3), 2x V100, M = 4 tiles\n",
+        report.scheduler
+    );
+    for ev in trace.iter().filter(|ev| {
+        !matches!(
+            ev,
+            TraceEvent::TaskArrived { .. }
+                | TraceEvent::TaskAdmitted { .. }
+                | TraceEvent::TaskDeferred { .. }
+        )
+    }) {
+        got.push_str(&render_event(ev));
+        got.push('\n');
+    }
+    got.push_str(&format!(
+        "# makespan={} loads={} evictions={}\n",
+        report.makespan, report.total_loads, report.total_evictions
+    ));
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", "eager.trace"]
+        .iter()
+        .collect();
+    let want = std::fs::read_to_string(&path).expect("batch golden snapshot");
+    assert_eq!(
+        got, want,
+        "t=0 online EAGER run does not reproduce the batch golden trace"
+    );
+}

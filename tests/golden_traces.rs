@@ -48,6 +48,17 @@ fn render_event(ev: &TraceEvent) -> String {
         TraceEvent::GpuSlowed { at, gpu, factor } => {
             format!("{at:>12} gpu{gpu} gpu-slowed factor={factor}")
         }
+        // Admission events appear only in the stream snapshots
+        // (golden_stream_traces.rs); batch goldens stay free of them.
+        TraceEvent::TaskArrived { at, task } => {
+            format!("{at:>12} adm  task-arrived  task={task}")
+        }
+        TraceEvent::TaskAdmitted { at, task } => {
+            format!("{at:>12} adm  task-admitted task={task}")
+        }
+        TraceEvent::TaskDeferred { at, task } => {
+            format!("{at:>12} adm  task-deferred task={task}")
+        }
     }
 }
 

@@ -1,0 +1,285 @@
+//! Stream-invariant property tests for the online serving mode, across
+//! all five scheduler families:
+//!
+//! * no task starts before its arrival time, and the admission track is
+//!   causally ordered (arrive ≤ admit ≤ start);
+//! * every task completes exactly once, whatever the arrival pattern;
+//! * per-GPU occupancy stays under the *current* capacity when a
+//!   `CapacityShrink` fault lands mid-stream;
+//! * the same seed replays a byte-identical event stream, including when
+//!   the runs are distributed over 1, 2 or 8 pool workers.
+
+use memsched::experiments::pool;
+use memsched::platform::obs::{Counter, Metrics};
+use memsched::platform::{RunConfig, TraceEvent};
+use memsched::prelude::*;
+use memsched::workloads::{gemm_2d, open_loop_arrivals, ArrivalPattern};
+use proptest::prelude::*;
+
+const FAMILIES: [NamedScheduler; 5] = [
+    NamedScheduler::Eager,
+    NamedScheduler::Dmdar,
+    NamedScheduler::HmetisR,
+    NamedScheduler::Mhfp,
+    NamedScheduler::DartsLuf,
+];
+
+/// Strategy: a random task set (unit data, 1–3 inputs per task) with a
+/// random arrival stamp on every task.
+fn arb_stream_taskset(max_data: usize, max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    (2usize..=max_data, 1usize..=max_tasks)
+        .prop_flat_map(|(nd, mt)| {
+            let inputs =
+                proptest::collection::vec(proptest::collection::vec(0..nd as u32, 1..=3), mt);
+            let arrivals = proptest::collection::vec(0u64..20_000_000, mt);
+            (Just(nd), inputs, arrivals)
+        })
+        .prop_map(|(nd, task_inputs, arrivals)| {
+            let mut b = TaskSetBuilder::new();
+            let data: Vec<DataId> = (0..nd).map(|_| b.add_data(1)).collect();
+            for ins in task_inputs {
+                let ids: Vec<DataId> = ins.iter().map(|&i| data[i as usize]).collect();
+                b.add_task(&ids, 1000.0);
+            }
+            b.build().with_arrivals(arrivals)
+        })
+}
+
+fn small_spec(gpus: usize, mem: u64) -> PlatformSpec {
+    PlatformSpec {
+        num_gpus: gpus,
+        memory_bytes: mem, // unit-size items: capacity in items
+        bus_bandwidth: 1e9,
+        transfer_latency: 10,
+        gpu_gflops: 1e-3,
+        pipeline_depth: 2,
+        gpu_gflops_override: None,
+        nvlink_bandwidth: None,
+    }
+}
+
+fn online_config() -> RunConfig {
+    RunConfig {
+        collect_trace: true,
+        admission: Some(AdmissionConfig::default()),
+        ..RunConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Causality and exactly-once completion on random streams: arrivals
+    /// are time-ordered, no admit/start precedes the task's arrival, and
+    /// every task is admitted once, started and finished exactly once.
+    /// The same seed replays the identical stream.
+    #[test]
+    fn online_stream_causality(
+        ts in arb_stream_taskset(10, 20),
+        gpus in 1usize..4,
+        mem in 3u64..8,
+    ) {
+        prop_assume!(ts.num_tasks() >= gpus);
+        let spec = small_spec(gpus, mem);
+        let config = online_config();
+        for named in FAMILIES {
+            let mut sched = named.build();
+            let (report, trace) =
+                memsched::platform::run_with_config(&ts, &spec, sched.as_mut(), &config)
+                    .unwrap();
+            let mut sched2 = named.build();
+            let (_r2, trace2) =
+                memsched::platform::run_with_config(&ts, &spec, sched2.as_mut(), &config)
+                    .unwrap();
+            prop_assert_eq!(&trace, &trace2, "{:?}: non-deterministic stream", named);
+
+            let n = ts.num_tasks();
+            let mut arrived = vec![0u32; n];
+            let mut admitted_at = vec![None::<u64>; n];
+            let mut started = vec![0u32; n];
+            let mut finished = vec![0u32; n];
+            let mut last_arrival = 0u64;
+            for ev in &trace {
+                match *ev {
+                    TraceEvent::TaskArrived { at, task } => {
+                        arrived[task] += 1;
+                        prop_assert!(
+                            at >= last_arrival,
+                            "{named:?}: arrivals out of order at t={at}"
+                        );
+                        last_arrival = at;
+                        prop_assert_eq!(
+                            at, ts.arrival(TaskId(task as u32)),
+                            "{:?}: task {} arrived at the wrong time", named, task
+                        );
+                    }
+                    TraceEvent::TaskAdmitted { at, task } => {
+                        prop_assert!(
+                            at >= ts.arrival(TaskId(task as u32)),
+                            "{named:?}: task {task} admitted before its arrival"
+                        );
+                        prop_assert!(admitted_at[task].is_none(), "double admission");
+                        admitted_at[task] = Some(at);
+                    }
+                    TraceEvent::TaskDeferred { at, task } => {
+                        prop_assert!(
+                            at >= ts.arrival(TaskId(task as u32)),
+                            "{named:?}: task {task} deferred before its arrival"
+                        );
+                    }
+                    TraceEvent::TaskStarted { at, task, .. } => {
+                        started[task] += 1;
+                        prop_assert!(
+                            at >= ts.arrival(TaskId(task as u32)),
+                            "{named:?}: task {task} started at {at} before its arrival"
+                        );
+                        let adm = admitted_at[task];
+                        prop_assert!(
+                            adm.is_some_and(|a| at >= a),
+                            "{named:?}: task {task} started before admission"
+                        );
+                    }
+                    TraceEvent::TaskFinished { task, .. } => finished[task] += 1,
+                    _ => {}
+                }
+            }
+            prop_assert!(arrived.iter().all(|&c| c == 1), "{named:?}: {arrived:?}");
+            prop_assert!(started.iter().all(|&c| c == 1), "{named:?}: {started:?}");
+            prop_assert!(finished.iter().all(|&c| c == 1), "{named:?}: {finished:?}");
+            let stats = report.online.as_ref().expect("online run must report stats");
+            prop_assert_eq!(stats.tasks_admitted as usize, n);
+            prop_assert!(stats.p50_latency <= stats.p99_latency);
+            prop_assert!(stats.p50_queueing <= stats.p99_queueing);
+        }
+    }
+
+    /// Mid-stream capacity shrink: occupancy (resident + in-flight) never
+    /// exceeds the evolving per-GPU capacity while tasks are still
+    /// arriving, and the stream still completes exactly once per task.
+    #[test]
+    fn online_occupancy_respects_midstream_shrink(
+        ts in arb_stream_taskset(10, 20),
+        gpus in 2usize..4,
+        mem in 4u64..8,
+        shrink_gpu in 0usize..2,
+        shrink_at in 0u64..20_000_000,
+        shrink_to in 3u64..5,
+    ) {
+        prop_assume!(ts.num_tasks() >= gpus);
+        let spec = small_spec(gpus, mem);
+        let shrink_gpu = shrink_gpu % gpus;
+        let config = RunConfig {
+            faults: FaultPlan::none().with_capacity_shrink(
+                shrink_gpu,
+                shrink_at,
+                shrink_to.min(mem),
+            ),
+            ..online_config()
+        };
+        for named in FAMILIES {
+            let mut sched = named.build();
+            let (_report, trace) =
+                memsched::platform::run_with_config(&ts, &spec, sched.as_mut(), &config)
+                    .unwrap();
+            let mut cap = vec![spec.memory_bytes; gpus];
+            let mut occupied = vec![0u64; gpus];
+            let mut finished = vec![0u32; ts.num_tasks()];
+            for ev in &trace {
+                match *ev {
+                    TraceEvent::LoadIssued { gpu, data, .. } => {
+                        occupied[gpu] += ts.data_size(DataId(data as u32));
+                        prop_assert!(
+                            occupied[gpu] <= cap[gpu],
+                            "{named:?}: GPU {gpu} occupancy {} exceeds capacity {}",
+                            occupied[gpu], cap[gpu]
+                        );
+                    }
+                    TraceEvent::Evicted { gpu, data, .. } => {
+                        occupied[gpu] -= ts.data_size(DataId(data as u32));
+                    }
+                    TraceEvent::CapacityShrunk { gpu, capacity, .. } => {
+                        prop_assert!(occupied[gpu] <= capacity);
+                        cap[gpu] = capacity;
+                    }
+                    TraceEvent::TaskFinished { task, .. } => finished[task] += 1,
+                    _ => {}
+                }
+            }
+            prop_assert!(
+                finished.iter().all(|&c| c == 1),
+                "{named:?}: completion counts {finished:?}"
+            );
+        }
+    }
+}
+
+/// The pool must not influence results: the same seeded Poisson stream
+/// dispatched over 1, 2 and 8 workers yields byte-identical traces per
+/// family (the worker count only changes wall-clock, never decisions).
+#[test]
+fn same_seed_streams_identical_across_worker_counts() {
+    let ts = {
+        let base = gemm_2d(5);
+        let arrivals = open_loop_arrivals(
+            &ArrivalPattern::Poisson { rate_per_sec: 800.0 },
+            42,
+            base.num_tasks(),
+        );
+        base.with_arrivals(arrivals)
+    };
+    let tile = ts.data_size(DataId(0));
+    let spec = PlatformSpec::v100(2).with_memory(4 * tile);
+    let config = online_config();
+    let run_all = |jobs: usize| -> Vec<String> {
+        pool::run_indexed(&FAMILIES, jobs, |_, named| {
+            let mut sched = named.build();
+            let (report, trace) =
+                memsched::platform::run_with_config(&ts, &spec, sched.as_mut(), &config)
+                    .expect("stream run");
+            format!("{}:{:?}", report.makespan, trace)
+        })
+    };
+    let one = run_all(1);
+    let two = run_all(2);
+    let eight = run_all(8);
+    assert_eq!(one, two, "streams diverge between 1 and 2 workers");
+    assert_eq!(one, eight, "streams diverge between 1 and 8 workers");
+}
+
+/// Acceptance sweep: every family digests a 1k-task Poisson stream and
+/// the serving histograms land in the metrics registry (one latency and
+/// one queueing-delay sample per completed task).
+#[test]
+fn all_families_complete_1k_task_poisson_stream() {
+    let ts = {
+        let base = gemm_2d(32); // 1024 tasks
+        let arrivals = open_loop_arrivals(
+            &ArrivalPattern::Poisson { rate_per_sec: 4000.0 },
+            7,
+            base.num_tasks(),
+        );
+        base.with_arrivals(arrivals)
+    };
+    let n = ts.num_tasks() as u64;
+    let tile = ts.data_size(DataId(0));
+    let spec = PlatformSpec::v100(2).with_memory(16 * tile);
+    let config = online_config();
+    for named in FAMILIES {
+        let mut sched = named.build();
+        let probe = Probe::unbounded();
+        let (report, _trace) =
+            run_observed(&ts, &spec, sched.as_mut(), &config, &probe).expect("1k stream");
+        let stats = report.online.expect("online stats");
+        assert_eq!(stats.tasks_admitted, n, "{named:?}");
+        assert!(stats.p50_latency > 0, "{named:?}: empty latency histogram");
+        assert!(stats.p50_latency <= stats.p99_latency, "{named:?}");
+        assert!(stats.throughput_tps > 0.0, "{named:?}");
+
+        let mut metrics = Metrics::new();
+        metrics.ingest(&probe.events());
+        assert_eq!(metrics.counter(Counter::TasksArrived), n, "{named:?}");
+        assert_eq!(metrics.counter(Counter::TasksAdmitted), n, "{named:?}");
+        assert_eq!(metrics.task_latency().count(), n, "{named:?}");
+        assert_eq!(metrics.queueing_delay().count(), n, "{named:?}");
+    }
+}

@@ -264,12 +264,16 @@ proptest! {
                         finished[task] += 1;
                     }
                     TraceEvent::LoadDone { .. } => {}
-                    // Fault events cannot appear in these fault-free runs.
+                    // Fault and admission events cannot appear in these
+                    // fault-free batch runs.
                     TraceEvent::GpuFailed { .. }
                     | TraceEvent::TransferRetry { .. }
                     | TraceEvent::CapacityShrunk { .. }
-                    | TraceEvent::GpuSlowed { .. } => {
-                        prop_assert!(false, "fault event in a fault-free run: {ev:?}");
+                    | TraceEvent::GpuSlowed { .. }
+                    | TraceEvent::TaskArrived { .. }
+                    | TraceEvent::TaskAdmitted { .. }
+                    | TraceEvent::TaskDeferred { .. } => {
+                        prop_assert!(false, "unexpected event in a batch run: {ev:?}");
                     }
                 }
             }
@@ -333,7 +337,10 @@ proptest! {
                 | TraceEvent::GpuFailed { .. }
                 | TraceEvent::TransferRetry { .. }
                 | TraceEvent::CapacityShrunk { .. }
-                | TraceEvent::GpuSlowed { .. } => None,
+                | TraceEvent::GpuSlowed { .. }
+                | TraceEvent::TaskArrived { .. }
+                | TraceEvent::TaskAdmitted { .. }
+                | TraceEvent::TaskDeferred { .. } => None,
             })
             .collect();
         prop_assert!(!expected.is_empty(), "run produced no events");
