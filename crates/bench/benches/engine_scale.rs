@@ -1,0 +1,249 @@
+//! Engine-core scale tier: the pre-refactor core (binary-heap event
+//! queue, per-event full progress scan, materialized trace) against the
+//! flat core (calendar queue, dirty-GPU worklist, streaming checksum
+//! sink) on the `scale_xl` workload preset — 10⁵ and 10⁶ tasks where the
+//! engine loop itself, not the scheduler, dominates wall time.
+//!
+//! Records to `results/BENCH_engine_scale.json`:
+//!
+//! * per-tier engine wall time and tasks/sec for both cores, with the
+//!   speedup and a ≥ 3× floor asserted at the 10⁵ tier (the baseline is
+//!   measured in the same process, so the floor tracks this machine);
+//! * the run's trace checksum (hex string — the JSON shim's numbers are
+//!   f64-backed and would round a u64), cross-checked three ways: the
+//!   naive core's materialized trace folded through
+//!   [`memsched_platform::trace_checksum`] must equal the flat core's
+//!   streaming [`TraceMode::Checksum`] report — proving the two cores
+//!   pop byte-identical event streams end to end;
+//! * allocation count and peak heap bytes of each measured run from the
+//!   counting global allocator below.
+//!
+//! The 10⁶-task tier runs the flat core only (the point of the tier is
+//! that `TraceMode::Checksum` completes it in bounded memory); its
+//! checksum is pinned by `tests/engine_scale_checksums.rs`.
+//!
+//! Quick mode (`--quick` or `MEMSCHED_BENCH_QUICK=1`) shrinks the preset
+//! to 10⁴/10⁵ for CI.
+
+use memsched_platform::{
+    run_with_config, trace_checksum, PlatformSpec, RunConfig, RunReport, TraceMode,
+};
+use memsched_schedulers::EagerScheduler;
+use memsched_workloads::scale_xl_preset;
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Allocation-counting wrapper around the system allocator. Benches are
+/// standalone binaries, so installing it here affects nothing else.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        let live = LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed)
+            + layout.size() as u64;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocator deltas across one measured region.
+#[derive(Serialize, Clone, Copy)]
+struct AllocStats {
+    allocations: u64,
+    peak_bytes: u64,
+}
+
+fn measured<R>(f: impl FnOnce() -> R) -> (R, u64, AllocStats) {
+    let count0 = ALLOC_COUNT.load(Ordering::Relaxed);
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    let started = Instant::now();
+    let r = f();
+    let wall = started.elapsed().as_nanos() as u64;
+    let stats = AllocStats {
+        allocations: ALLOC_COUNT.load(Ordering::Relaxed) - count0,
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+    };
+    (r, wall, stats)
+}
+
+#[derive(Serialize)]
+struct CoreRun {
+    wall_ns: u64,
+    tasks_per_sec: f64,
+    alloc: AllocStats,
+}
+
+#[derive(Serialize)]
+struct Entry {
+    workload: String,
+    tasks: usize,
+    /// FNV-1a checksum of the trace-event stream, hex.
+    trace_checksum: String,
+    /// Flat core (calendar queue + `TraceMode::Checksum`).
+    flat: CoreRun,
+    /// Pre-refactor core (`naive_core` + `TraceMode::Full`); absent at
+    /// the 10⁶ tier, which runs the flat core only.
+    naive: Option<CoreRun>,
+    speedup: Option<f64>,
+    makespan_ns: u64,
+    total_loads: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    preset: String,
+    quick: bool,
+    reps: usize,
+    entries: Vec<Entry>,
+    /// Smallest flat-vs-naive speedup at the 10⁵ tier — the acceptance
+    /// number (must stay ≥ 3).
+    min_xl_speedup: f64,
+}
+
+fn core_run(wall_ns: u64, alloc: AllocStats, tasks: usize) -> CoreRun {
+    CoreRun {
+        wall_ns,
+        tasks_per_sec: tasks as f64 / (wall_ns as f64 / 1e9),
+        alloc,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("MEMSCHED_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 1 } else { 2 };
+    // Comparison tiers: everything below this runs both cores; at or
+    // above it (the 10⁶ tier) only the flat core.
+    const COMPARE_BELOW: usize = 500_000;
+
+    let mut entries = Vec::new();
+    let mut min_xl_speedup = f64::INFINITY;
+    for workload in scale_xl_preset(quick) {
+        let ts = workload.generate();
+        let tasks = ts.num_tasks();
+        // 8 GPUs under memory pressure: eviction and transfer events stay
+        // hot, and the pre-refactor per-event full progress scan pays for
+        // every one of the 8 workers on every event.
+        let spec = PlatformSpec::v100(16).with_memory(ts.working_set_bytes());
+
+        let mut flat_best: Option<(RunReport, u64, AllocStats)> = None;
+        for _ in 0..reps {
+            let config = RunConfig {
+                trace: TraceMode::Checksum,
+                ..RunConfig::default()
+            };
+            let ((report, _), wall, alloc) = measured(|| {
+                let mut sched = EagerScheduler::new();
+                run_with_config(&ts, &spec, &mut sched, &config).expect("flat run")
+            });
+            if let Some((prev, _, _)) = &flat_best {
+                assert_eq!(prev.trace_checksum, report.trace_checksum, "nondeterministic rep");
+            }
+            if flat_best.as_ref().is_none_or(|&(_, w, _)| wall < w) {
+                flat_best = Some((report, wall, alloc));
+            }
+        }
+        let (flat_report, flat_wall, flat_alloc) = flat_best.expect("reps >= 1");
+        let checksum = flat_report
+            .trace_checksum
+            .expect("checksum mode records a checksum");
+
+        let mut naive_entry = None;
+        let mut speedup = None;
+        if tasks < COMPARE_BELOW {
+            let mut naive_best: Option<(RunReport, Vec<_>, u64, AllocStats)> = None;
+            for _ in 0..reps {
+                let config = RunConfig {
+                    trace: TraceMode::Full,
+                    naive_core: true,
+                    ..RunConfig::default()
+                };
+                let ((report, trace), wall, alloc) = measured(|| {
+                    let mut sched = EagerScheduler::new();
+                    run_with_config(&ts, &spec, &mut sched, &config).expect("naive run")
+                });
+                if naive_best.as_ref().is_none_or(|&(_, _, w, _)| wall < w) {
+                    naive_best = Some((report, trace, wall, alloc));
+                }
+            }
+            let (naive_report, naive_trace, naive_wall, naive_alloc) =
+                naive_best.expect("reps >= 1");
+
+            // The two cores must agree on the simulated outcome AND on the
+            // byte-exact event stream (checksum of the materialized trace
+            // vs the streaming sink).
+            assert_eq!(naive_report.makespan, flat_report.makespan);
+            assert_eq!(naive_report.total_loads, flat_report.total_loads);
+            let naive_tasks: Vec<usize> = naive_report.per_gpu.iter().map(|g| g.tasks).collect();
+            let flat_tasks: Vec<usize> = flat_report.per_gpu.iter().map(|g| g.tasks).collect();
+            assert_eq!(naive_tasks, flat_tasks);
+            assert_eq!(
+                trace_checksum(&naive_trace),
+                checksum,
+                "event streams diverged between heap and calendar cores"
+            );
+
+            let s = naive_wall as f64 / flat_wall.max(1) as f64;
+            if tasks >= 100_000 {
+                min_xl_speedup = min_xl_speedup.min(s);
+            }
+            naive_entry = Some(core_run(naive_wall, naive_alloc, tasks));
+            speedup = Some(s);
+        }
+
+        println!(
+            "{:<18} {:>9} tasks  flat {:>12} ns ({:>12.0} tasks/s, {} allocs){}",
+            workload.label(),
+            tasks,
+            flat_wall,
+            tasks as f64 / (flat_wall as f64 / 1e9),
+            flat_alloc.allocations,
+            speedup.map_or(String::new(), |s| format!("  speedup {s:.1}x")),
+        );
+        entries.push(Entry {
+            workload: workload.label(),
+            tasks,
+            trace_checksum: format!("{checksum:016x}"),
+            flat: core_run(flat_wall, flat_alloc, tasks),
+            naive: naive_entry,
+            speedup,
+            makespan_ns: flat_report.makespan,
+            total_loads: flat_report.total_loads,
+        });
+    }
+
+    assert!(
+        min_xl_speedup >= 3.0,
+        "engine-loop speedup floor violated at the 10^5 tier: {min_xl_speedup:.2}x < 3x"
+    );
+
+    let output = Output {
+        preset: "scale_xl".into(),
+        quick,
+        reps,
+        entries,
+        min_xl_speedup,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_engine_scale.json"
+    );
+    let json = serde_json::to_string_pretty(&output).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write bench json");
+    println!("min scale_xl speedup: {min_xl_speedup:.1}x -> {path}");
+}

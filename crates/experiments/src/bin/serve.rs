@@ -5,14 +5,18 @@
 //!
 //! ```text
 //! serve [--arrival-rate R1,R2,…] [--pattern poisson|bursty]
-//!       [--duration SECS] [--sched eager|dmda|dmdar|hmetis|mhfp|darts|all]
+//!       [--duration SECS] [--tasks N]
+//!       [--sched eager|dmda|dmdar|hmetis|mhfp|darts|all]
 //!       [--seed N] [--jobs N] [--faults SPEC] [--out CSV] [--quick]
 //!       [--trace-out PATH] [--trace-format chrome|paje] [--metrics-out PATH]
 //! ```
 //!
 //! Each (scheduler × rate) cell generates `rate × duration` tasks on a
 //! 2D-GEMM grid, stamps them with open-loop arrivals, and runs the
-//! stream with admission control enabled. Results are printed as a
+//! stream with admission control enabled. `--tasks N` pins the per-cell
+//! task count directly instead (the grid rounds up to the next square),
+//! which is how the million-task serving runs are driven: pair it with
+//! a high `--arrival-rate` so arrivals, not the horizon, bound the run. Results are printed as a
 //! table and optionally written as CSV (`--out`). `--faults` composes a
 //! deterministic fault plan into every cell, so degraded-capacity
 //! serving is measurable with the same flag grammar as the figure
@@ -79,6 +83,8 @@ struct ServeArgs {
     rates: Vec<f64>,
     pattern: PatternKind,
     duration_s: f64,
+    /// Pinned per-cell task count; `None` sizes cells as rate × duration.
+    tasks: Option<usize>,
     scheds: Vec<NamedScheduler>,
     seed: u64,
     jobs: usize,
@@ -93,6 +99,7 @@ const KNOWN_VALUE_FLAGS: &[&str] = &[
     "--arrival-rate",
     "--pattern",
     "--duration",
+    "--tasks",
     "--sched",
     "--seed",
     "--jobs",
@@ -206,6 +213,18 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
         }
         None => 1.0,
     };
+    let tasks = match value_of("--tasks") {
+        Some(t) => {
+            let n = t
+                .parse::<usize>()
+                .map_err(|_| format!("--tasks {t:?}: not a number"))?;
+            if n == 0 {
+                return Err("--tasks 0: must be positive".to_string());
+            }
+            Some(n)
+        }
+        None => None,
+    };
     let scheds = parse_scheds(&value_of("--sched").unwrap_or_else(|| "all".to_string()))?;
     let seed = match value_of("--seed") {
         Some(s) => s
@@ -248,6 +267,7 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
         rates,
         pattern,
         duration_s,
+        tasks,
         scheds,
         seed,
         jobs: pool::resolve_jobs(jobs_arg),
@@ -260,9 +280,12 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
 }
 
 /// The stream workload for one cell: a 2D-GEMM grid sized to carry
-/// `rate × duration` tasks, stamped with open-loop arrivals.
+/// `rate × duration` tasks — or exactly `--tasks` when pinned — stamped
+/// with open-loop arrivals.
 fn stream_taskset(args: &ServeArgs, rate: f64) -> TaskSet {
-    let target = (rate * args.duration_s).ceil().max(1.0) as usize;
+    let target = args
+        .tasks
+        .unwrap_or_else(|| (rate * args.duration_s).ceil().max(1.0) as usize);
     let n = (target as f64).sqrt().ceil().max(2.0) as usize;
     let ts = gemm_2d(n);
     let arrivals = open_loop_arrivals(&args.pattern.at_rate(rate), args.seed, ts.num_tasks());

@@ -78,6 +78,24 @@ impl TaskSet {
         self.task_data.row(t.index())
     }
 
+    /// The raw CSR slab of the task→data adjacency: `(offsets, ids)` with
+    /// `ids[offsets[t] as usize .. offsets[t + 1] as usize]` the sorted
+    /// input list of task `t`. This is the flat-handle view used by
+    /// arena-style consumers (the engine's missing-input cache, HFP's
+    /// package slab) that walk many rows without a per-row call.
+    #[inline]
+    pub fn input_slab(&self) -> (&[u32], &[u32]) {
+        (&self.task_data.offsets, &self.task_data.targets)
+    }
+
+    /// The raw CSR slab of the data→task adjacency: `(offsets, ids)` with
+    /// `ids[offsets[d] as usize .. offsets[d + 1] as usize]` the sorted
+    /// consumer list of data item `d`.
+    #[inline]
+    pub fn consumer_slab(&self) -> (&[u32], &[u32]) {
+        (&self.data_tasks.offsets, &self.data_tasks.targets)
+    }
+
     /// The input data of a task as typed ids.
     pub fn input_ids(&self, t: TaskId) -> impl ExactSizeIterator<Item = DataId> + '_ {
         self.inputs(t).iter().map(|&d| DataId(d))
@@ -221,7 +239,12 @@ impl TaskSet {
 #[derive(Clone, Debug, Default)]
 pub struct TaskSetBuilder {
     data_size: Vec<u64>,
-    task_inputs: Vec<Vec<u32>>,
+    /// Task inputs accumulated directly in CSR form: `input_ends[t]` is the
+    /// exclusive end of task `t`'s row in the shared `input_ids` slab (the
+    /// implicit start is `input_ends[t - 1]`, or 0 for the first task).
+    /// Building a million-task set this way costs O(1) vectors, not O(m).
+    input_ends: Vec<u32>,
+    input_ids: Vec<u32>,
     task_flops: Vec<f64>,
     arrivals: Vec<u64>,
 }
@@ -254,20 +277,27 @@ impl TaskSetBuilder {
     pub fn add_task(&mut self, inputs: &[DataId], flops: f64) -> TaskId {
         assert!(!inputs.is_empty(), "tasks must have at least one input");
         assert!(flops >= 0.0, "flops must be non-negative");
-        let mut ins: Vec<u32> = inputs
-            .iter()
-            .map(|d| {
-                assert!(
-                    d.index() < self.data_size.len(),
-                    "task references unknown data {d}"
-                );
-                d.0
-            })
-            .collect();
-        ins.sort_unstable();
-        ins.dedup();
-        let id = TaskId::from_usize(self.task_inputs.len());
-        self.task_inputs.push(ins);
+        let start = self.input_ids.len();
+        for d in inputs {
+            assert!(
+                d.index() < self.data_size.len(),
+                "task references unknown data {d}"
+            );
+            self.input_ids.push(d.0);
+        }
+        // Sort + dedup the appended tail in place: the row lives in the
+        // shared slab, no per-task allocation.
+        self.input_ids[start..].sort_unstable();
+        let mut w = start + 1;
+        for r in start + 1..self.input_ids.len() {
+            if self.input_ids[r] != self.input_ids[w - 1] {
+                self.input_ids[w] = self.input_ids[r];
+                w += 1;
+            }
+        }
+        self.input_ids.truncate(w);
+        let id = TaskId::from_usize(self.input_ends.len());
+        self.input_ends.push(self.input_ids.len() as u32);
         self.task_flops.push(flops);
         self.arrivals.push(0);
         id
@@ -288,7 +318,7 @@ impl TaskSetBuilder {
 
     /// Number of tasks added so far.
     pub fn num_tasks(&self) -> usize {
-        self.task_inputs.len()
+        self.input_ends.len()
     }
 
     /// Number of data items added so far.
@@ -298,18 +328,18 @@ impl TaskSetBuilder {
 
     /// Finalize into an immutable [`TaskSet`].
     pub fn build(self) -> TaskSet {
-        let m = self.task_inputs.len();
+        let m = self.input_ends.len();
         let n = self.data_size.len();
+        let total_pins = self.input_ids.len();
 
         let mut task_offsets = Vec::with_capacity(m + 1);
         task_offsets.push(0u32);
-        let total_pins: usize = self.task_inputs.iter().map(Vec::len).sum();
-        let mut task_targets = Vec::with_capacity(total_pins);
+        task_offsets.extend_from_slice(&self.input_ends);
+        let task_targets = self.input_ids;
         let mut task_footprint = Vec::with_capacity(m);
-        for ins in &self.task_inputs {
-            task_targets.extend_from_slice(ins);
-            task_offsets.push(task_targets.len() as u32);
-            task_footprint.push(ins.iter().map(|&d| self.data_size[d as usize]).sum());
+        for t in 0..m {
+            let row = &task_targets[task_offsets[t] as usize..task_offsets[t + 1] as usize];
+            task_footprint.push(row.iter().map(|&d| self.data_size[d as usize]).sum());
         }
 
         // Transpose task->data into data->task, keeping consumer lists sorted
@@ -325,8 +355,8 @@ impl TaskSetBuilder {
         }
         let mut cursor: Vec<u32> = data_offsets[..n].to_vec();
         let mut data_targets = vec![0u32; total_pins];
-        for (t, ins) in self.task_inputs.iter().enumerate() {
-            for &d in ins {
+        for t in 0..m {
+            for &d in &task_targets[task_offsets[t] as usize..task_offsets[t + 1] as usize] {
                 data_targets[cursor[d as usize] as usize] = t as u32;
                 cursor[d as usize] += 1;
             }
@@ -401,6 +431,23 @@ mod tests {
         let ts = b.build();
         assert_eq!(ts.inputs(t), &[0]);
         assert_eq!(ts.task_footprint(t), 10);
+    }
+
+    #[test]
+    fn input_slab_matches_per_row_views() {
+        let ts = figure1_example();
+        let (offsets, ids) = ts.input_slab();
+        assert_eq!(offsets.len(), ts.num_tasks() + 1);
+        for t in 0..ts.num_tasks() {
+            let row = &ids[offsets[t] as usize..offsets[t + 1] as usize];
+            assert_eq!(row, ts.inputs(TaskId(t as u32)));
+        }
+        let (doffsets, dids) = ts.consumer_slab();
+        assert_eq!(doffsets.len(), ts.num_data() + 1);
+        for d in 0..ts.num_data() {
+            let row = &dids[doffsets[d] as usize..doffsets[d + 1] as usize];
+            assert_eq!(row, ts.consumers(DataId(d as u32)));
+        }
     }
 
     #[test]

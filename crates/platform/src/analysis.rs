@@ -113,8 +113,9 @@ fn intersection(mut a: Vec<(Nanos, Nanos)>, mut b: Vec<(Nanos, Nanos)>) -> Nanos
 
 /// Convert an engine [`TraceEvent`] stream into the typed
 /// [`ObsEvent`] stream the `memsched-obs` registry and exporters
-/// consume, so a legacy `collect_trace` run can be counted, exported,
-/// and cross-checked through the same pipeline as a probed one.
+/// consume, so a [`crate::TraceMode::Full`] run can be counted,
+/// exported, and cross-checked through the same pipeline as a probed
+/// one.
 ///
 /// Information the legacy trace never carried is filled with neutral
 /// values: transfer `bytes` are 0, `bus_wait` is 0 (the trace records
@@ -125,7 +126,15 @@ fn intersection(mut a: Vec<(Nanos, Nanos)>, mut b: Vec<(Nanos, Nanos)>) -> Nanos
 pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
     let mut out = Vec::with_capacity(trace.len());
     // Open compute span per GPU, so a fail-stop closes it interrupted.
-    let mut running: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    // Indexed by GPU id — a flat slot vector grown on demand beats a
+    // hash map for the handful of GPUs a platform has.
+    let mut running: Vec<Option<u32>> = Vec::new();
+    fn slot(running: &mut Vec<Option<u32>>, gpu: usize) -> &mut Option<u32> {
+        if gpu >= running.len() {
+            running.resize(gpu + 1, None);
+        }
+        &mut running[gpu]
+    }
     for ev in trace {
         match *ev {
             TraceEvent::LoadIssued { at, gpu, data, .. } => out.push(ObsEvent::TransferBegin {
@@ -154,7 +163,7 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
                 by_scheduler: false,
             }),
             TraceEvent::TaskStarted { at, gpu, task } => {
-                running.insert(gpu, task as u32);
+                *slot(&mut running, gpu) = Some(task as u32);
                 out.push(ObsEvent::ComputeBegin {
                     t: at,
                     gpu: gpu as u32,
@@ -162,7 +171,7 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
                 });
             }
             TraceEvent::TaskFinished { at, gpu, task } => {
-                running.remove(&gpu);
+                *slot(&mut running, gpu) = None;
                 out.push(ObsEvent::ComputeEnd {
                     t: at,
                     gpu: gpu as u32,
@@ -171,7 +180,7 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
                 });
             }
             TraceEvent::GpuFailed { at, gpu } => {
-                if let Some(task) = running.remove(&gpu) {
+                if let Some(task) = slot(&mut running, gpu).take() {
                     out.push(ObsEvent::ComputeEnd {
                         t: at,
                         gpu: gpu as u32,
@@ -222,8 +231,8 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
     out
 }
 
-/// Analyse a trace produced by [`crate::run_with_config`] with
-/// `collect_trace = true`. `num_gpus` must match the run's platform.
+/// Analyse a trace produced by [`crate::run_with_config`] under
+/// [`crate::TraceMode::Full`]. `num_gpus` must match the run's platform.
 ///
 /// Event *counts* (loads, evictions, tasks, retries, failures) are
 /// derived by feeding the converted stream ([`to_obs_events`]) through
@@ -470,7 +479,7 @@ mod tests {
 
     #[test]
     fn end_to_end_overlap_is_high_for_good_schedulers() {
-        use crate::{run_with_config, PlatformSpec, RunConfig};
+        use crate::{run_with_config, PlatformSpec, RunConfig, TraceMode};
         use memsched_model::TaskSetBuilder;
 
         // A chain of tasks on distinct data: with pipeline depth 2, every
@@ -514,7 +523,7 @@ mod tests {
             &spec,
             &mut Fifo(0),
             &RunConfig {
-                collect_trace: true,
+                trace: TraceMode::Full,
                 ..Default::default()
             },
         )
@@ -528,7 +537,7 @@ mod tests {
     #[test]
     fn retry_counts_cross_check_report_trace_and_metrics() {
         use crate::fault::{FaultPlan, TransferFaultSpec};
-        use crate::{run_with_config, PlatformSpec, RunConfig};
+        use crate::{run_with_config, PlatformSpec, RunConfig, TraceMode};
         use memsched_model::TaskSetBuilder;
 
         let mut b = TaskSetBuilder::new();
@@ -577,7 +586,7 @@ mod tests {
             &spec,
             &mut Fifo(0),
             &RunConfig {
-                collect_trace: true,
+                trace: TraceMode::Full,
                 faults,
                 ..Default::default()
             },

@@ -30,22 +30,27 @@
 //! numbers — and therefore traces and reports — are byte-identical to a
 //! build without the subsystem.
 
+use crate::equeue::EventQueue;
 use crate::fault::FaultPlan;
 use crate::memory::GpuMemory;
+use crate::pipeline::Pipelines;
 use crate::report::{GpuRunStats, OnlineStats, RunReport, TraceEvent};
 use crate::scheduler::{MissingCache, RuntimeView, Scheduler};
 use crate::spec::{Nanos, PlatformSpec};
+use crate::trace::{TraceMode, TraceSink};
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
 use memsched_obs::{GaugeKind, ObsEvent, Probe};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Engine options.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
-    /// Record a [`TraceEvent`] log of the run.
-    pub collect_trace: bool,
+    /// How to record the run's [`TraceEvent`] stream: `Off` (default,
+    /// fastest), `Full` (materialize the log `run_with_config` returns),
+    /// or `Checksum` (stream into `RunReport::trace_checksum` at O(1)
+    /// memory — the million-task mode).
+    pub trace: TraceMode,
     /// Abort after this many processed events (safety net against buggy
     /// scheduling policies; the default is generous).
     pub max_events: u64,
@@ -62,15 +67,40 @@ pub struct RunConfig {
     /// calling [`Scheduler::prepare_stream`] /
     /// [`Scheduler::on_task_arrival`] instead.
     pub admission: Option<AdmissionConfig>,
+    /// Drive the run on the pre-refactor reference engine core — binary
+    /// heap event queue, scan-every-GPU progress loop — instead of the
+    /// flat calendar-queue core. Decisions, traces and reports are
+    /// byte-identical either way (differential-proptested); only the
+    /// engine's own wall time differs. Compiled in by the `naive`
+    /// feature for differential tests and the engine-scale bench.
+    #[cfg(feature = "naive")]
+    pub naive_core: bool,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
         Self {
-            collect_trace: false,
+            trace: TraceMode::Off,
             max_events: u64::MAX,
             faults: FaultPlan::none(),
             admission: None,
+            #[cfg(feature = "naive")]
+            naive_core: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Whether the reference (pre-refactor) engine core drives this run.
+    #[inline]
+    fn use_naive_core(&self) -> bool {
+        #[cfg(feature = "naive")]
+        {
+            self.naive_core
+        }
+        #[cfg(not(feature = "naive"))]
+        {
+            false
         }
     }
 }
@@ -274,14 +304,16 @@ fn run_inner(
     let mut st = State {
         now: 0,
         seq: 0,
-        events: BinaryHeap::new(),
+        events: EventQueue::new(config.use_naive_core()),
         mem: (0..k)
             .map(|_| GpuMemory::new(spec.memory_bytes, ts.num_data()))
             .collect(),
         missing: MissingCache::new(ts, k),
-        pipeline: vec![VecDeque::new(); k],
+        pipeline: Pipelines::new(k, spec.pipeline_depth),
         running: vec![false; k],
         stalled_pop: vec![false; k],
+        dirty: vec![true; k],
+        reference_core: config.use_naive_core(),
         gpu_free_at: vec![0; k],
         bus_free_at: 0,
         nvlink_free_at: 0,
@@ -291,7 +323,10 @@ fn run_inner(
         nvlink_bytes: vec![0; k],
         completed: 0,
         flops_done: 0.0,
-        trace: Vec::new(),
+        // A batch run emits one LoadIssued+LoadDone pair per load plus a
+        // TaskStarted/TaskFinished pair per task; 4·m is a generous head
+        // start that kills reallocation churn in `Full` mode.
+        trace: TraceSink::new(config.trace, 4 * m + 64),
         dead: vec![false; k],
         speed: vec![1.0; k],
         pending_shrinks: Vec::new(),
@@ -306,10 +341,12 @@ fn run_inner(
         released: if online { vec![false; m] } else { Vec::new() },
         backlog: 0,
         deferred: VecDeque::new(),
-        latencies: Vec::new(),
-        queueing: Vec::new(),
+        latencies: Vec::with_capacity(if online { m } else { 0 }),
+        queueing: Vec::with_capacity(if online { m } else { 0 }),
         admitted: 0,
         deferrals: 0,
+        protect: Vec::new(),
+        merge_scratch: Vec::new(),
         obs,
     };
 
@@ -355,18 +392,27 @@ fn run_inner(
             }
         }
     }
+    let naive_core = config.use_naive_core();
     let mut processed: u64 = 0;
     loop {
+        // Worklist: only GPUs whose local state changed since their last
+        // pass can act (an event touched them, a wake cleared their stall
+        // latch, or a memory-blocked prefetch must re-ask for a victim).
+        // A clean GPU's pipeline is full-or-stalled and its last pass
+        // already issued every issuable prefetch, so skipping it takes
+        // the exact same decisions as the reference core's full scan —
+        // the differential proptests pin this. The naive core scans all.
         for g in 0..k {
-            if st.dead[g] {
+            if st.dead[g] || !(naive_core || st.dirty[g]) {
                 continue;
             }
-            progress(ts, spec, scheduler, &mut st, &mut sched_wall, g, config)?;
+            st.dirty[g] = false;
+            progress(ts, spec, scheduler, &mut st, &mut sched_wall, g)?;
         }
         if st.completed == m {
             break;
         }
-        let Some(Reverse((time, _, ev))) = st.events.pop() else {
+        let Some((time, _, ev)) = st.events.pop() else {
             // No pending events and tasks remain: every worker was given a
             // chance to make progress above, so the schedule is stuck.
             return Err(RunError::SchedulerStuck {
@@ -397,6 +443,7 @@ fn run_inner(
                         // always re-fetch from host over the PCI bus.
                         if src != FROM_HOST {
                             st.mem[src as usize].unpin(d);
+                            st.dirty[src as usize] = true;
                         }
                         if attempt >= tf.max_attempts {
                             return Err(RunError::TransferFailed {
@@ -419,7 +466,7 @@ fn run_inner(
                                 attempt: attempt + 1,
                             },
                         );
-                        if config.collect_trace {
+                        if st.trace.enabled() {
                             st.trace.push(TraceEvent::TransferRetry {
                                 at: st.now,
                                 gpu: g,
@@ -467,14 +514,16 @@ fn run_inner(
                 }
                 st.lane_advance(g);
                 st.inflight[g] -= 1;
+                st.dirty[g] = true;
                 st.mem[g].finish_load(d, ts.data_size(d), st.now);
                 if src != FROM_HOST {
                     // Release the read pin on the NVLink source replica.
                     st.mem[src as usize].unpin(d);
+                    st.dirty[src as usize] = true;
                     st.nvlink_loads[g] += 1;
                     st.nvlink_bytes[g] += ts.data_size(d);
                 }
-                if config.collect_trace {
+                if st.trace.enabled() {
                     st.trace.push(TraceEvent::LoadDone {
                         at: st.now,
                         gpu: g,
@@ -495,14 +544,14 @@ fn run_inner(
                 }
                 // New residency can unblock pops (e.g. DARTS's free-task
                 // counts change when a load lands).
-                st.stalled_pop.iter_mut().for_each(|s| *s = false);
+                st.wake_all();
                 let view = st.view(ts, spec);
                 timed(&mut sched_wall, g, || {
                     scheduler.on_data_loaded(GpuId(gpu), d, &view)
                 });
                 // The load turned Loading bytes into evictable Resident
                 // bytes: a deferred fault shrink may now complete.
-                retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g, config);
+                retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g);
             }
             Event::TaskDone { gpu, task } => {
                 let g = gpu as usize;
@@ -513,10 +562,11 @@ fn run_inner(
                     continue;
                 }
                 let t = TaskId(task);
-                debug_assert!(st.running[g] && st.pipeline[g].front() == Some(&t));
+                debug_assert!(st.running[g] && st.pipeline.front(g) == Some(t));
                 st.lane_advance(g);
-                st.pipeline[g].pop_front();
+                st.pipeline.pop_front(g);
                 st.running[g] = false;
+                st.dirty[g] = true;
                 if st.observed() {
                     st.emit(ObsEvent::ComputeEnd {
                         t: st.now,
@@ -536,7 +586,7 @@ fn run_inner(
                     st.backlog -= 1;
                     st.latencies.push(st.now - ts.arrival(t));
                 }
-                if config.collect_trace {
+                if st.trace.enabled() {
                     st.trace.push(TraceEvent::TaskFinished {
                         at: st.now,
                         gpu: g,
@@ -545,14 +595,14 @@ fn run_inner(
                 }
                 // A completion anywhere may unblock pops everywhere
                 // (stealing, shared queues).
-                st.stalled_pop.iter_mut().for_each(|s| *s = false);
+                st.wake_all();
                 let view = st.view(ts, spec);
                 timed(&mut sched_wall, g, || {
                     scheduler.on_task_complete(GpuId(gpu), t, &view)
                 });
                 // The completion released pins: a deferred fault shrink
                 // may now complete.
-                retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g, config);
+                retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g);
                 // The completion freed backlog (and possibly memory): the
                 // deferred-arrival queue may admit again. Completions are
                 // the only event that can improve admissibility —
@@ -573,7 +623,7 @@ fn run_inner(
                     // pins and refund the unexecuted tail of its busy
                     // charge (its stale TaskDone event is dropped on
                     // arrival by the dead-GPU guard above).
-                    let head = st.pipeline[g][0];
+                    let head = st.pipeline.get(g, 0);
                     for d in ts.input_ids(head) {
                         st.mem[g].unpin(d);
                     }
@@ -594,14 +644,15 @@ fn run_inner(
                 }
                 st.gpu_free_at[g] = st.now;
                 st.pending_shrinks.retain(|&(gg, _)| gg != g);
-                let lost: Vec<TaskId> = st.pipeline[g].drain(..).collect();
+                let mut lost: Vec<TaskId> = Vec::with_capacity(st.pipeline.len(g));
+                st.pipeline.drain_into(g, &mut lost);
                 st.redispatched += lost.len() as u64;
-                if config.collect_trace {
+                if st.trace.enabled() {
                     st.trace.push(TraceEvent::GpuFailed { at: st.now, gpu: g });
                 }
                 // Survivors must re-pop: the failure changes every
                 // policy's routing state.
-                st.stalled_pop.iter_mut().for_each(|s| *s = false);
+                st.wake_all();
                 let view = st.view(ts, spec);
                 timed(&mut sched_wall, g, || {
                     scheduler.on_gpu_failed(GpuId(g as u32), &lost, &view)
@@ -626,7 +677,6 @@ fn run_inner(
                     &mut sched_wall,
                     s.gpu,
                     s.new_capacity,
-                    config,
                 );
                 if !fully {
                     // Pinned or in-flight data blocked part of the
@@ -640,7 +690,8 @@ fn run_inner(
                     continue;
                 }
                 st.speed[s.gpu] = s.factor;
-                if config.collect_trace {
+                st.dirty[s.gpu] = true;
+                if st.trace.enabled() {
                     st.trace.push(TraceEvent::GpuSlowed {
                         at: st.now,
                         gpu: s.gpu,
@@ -670,7 +721,7 @@ fn run_inner(
         st.lane_advance(g);
     }
     if st.observed() {
-        while let Some(Reverse((time, _, ev))) = st.events.pop() {
+        while let Some((time, _, ev)) = st.events.pop() {
             if let Event::TransferDone {
                 gpu,
                 data,
@@ -705,6 +756,8 @@ fn run_inner(
             nvlink_bytes: st.nvlink_bytes[g],
         })
         .collect();
+    let sink = std::mem::replace(&mut st.trace, TraceSink::Off);
+    let (trace, trace_checksum) = sink.finish();
     let report = RunReport {
         scheduler: scheduler.name(),
         makespan: st.now,
@@ -740,8 +793,9 @@ fn run_inner(
                 },
             }
         }),
+        trace_checksum,
     };
-    Ok((report, st.trace))
+    Ok((report, trace))
 }
 
 /// Nearest-rank quantile of an ascending-sorted sample (0 when empty).
@@ -755,19 +809,29 @@ fn quantile(sorted: &[Nanos], q: f64) -> Nanos {
 struct State {
     now: Nanos,
     seq: u64,
-    events: BinaryHeap<Reverse<(Nanos, u64, Event)>>,
+    events: EventQueue<Event>,
     mem: Vec<GpuMemory>,
     /// Missing-input counters per (GPU, task), kept in sync with `mem`
     /// residency transitions; serves O(1) `RuntimeView::missing_bytes`.
     missing: MissingCache,
     /// Per GPU: popped-but-unfinished tasks in execution order. When
-    /// `running[g]` is true, `pipeline[g][0]` is executing. A deque so
-    /// each completion pops the head in O(1).
-    pipeline: Vec<VecDeque<TaskId>>,
+    /// `running[g]` is true, `pipeline.front(g)` is executing. One flat
+    /// ring arena for all GPUs.
+    pipeline: Pipelines,
     running: Vec<bool>,
     /// The scheduler returned `None` for this GPU and nothing changed
     /// since — do not hammer `pop_task` until the next event.
     stalled_pop: Vec<bool>,
+    /// Worklist flag: GPU `g`'s local state changed since its last
+    /// `progress` pass, so the pass could act. Set by events touching the
+    /// GPU, by [`State::wake_all`] clearing a stall latch, and by a
+    /// memory-blocked prefetch (which must re-ask for a victim every
+    /// pass, exactly as the reference core's full scan does).
+    dirty: Vec<bool>,
+    /// Running under `RunConfig::naive_core`: execute the pre-refactor
+    /// reference control flow (full per-event progress scans, no
+    /// all-resident fast path). `false` selects the flat core.
+    reference_core: bool,
     gpu_free_at: Vec<Nanos>,
     bus_free_at: Nanos,
     nvlink_free_at: Nanos,
@@ -777,7 +841,7 @@ struct State {
     nvlink_bytes: Vec<u64>,
     completed: usize,
     flops_done: f64,
-    trace: Vec<TraceEvent>,
+    trace: TraceSink,
     /// Per-GPU fail-stop flag (all false without faults).
     dead: Vec<bool>,
     /// Per-GPU speed factor applied to compute times (all 1.0 without
@@ -823,6 +887,12 @@ struct State {
     admitted: u64,
     /// Arrivals deferred at least once.
     deferrals: u64,
+    /// Reusable protected-prefix buffer of the prefetch loop (the union
+    /// of input sets of earlier pipeline tasks, sorted unique).
+    protect: Vec<u32>,
+    /// Reusable merge scratch paired with `protect`; together they make
+    /// the steady-state prefetch loop allocation-free.
+    merge_scratch: Vec<u32>,
     /// Observability side channel; `None` keeps the legacy path.
     obs: Option<Probe>,
 }
@@ -844,7 +914,20 @@ impl State {
 
     fn push_event(&mut self, at: Nanos, ev: Event) {
         self.seq += 1;
-        self.events.push(Reverse((at, self.seq, ev)));
+        self.events.push(at, self.seq, ev);
+    }
+
+    /// Clear every worker's stalled-pop latch and mark the previously
+    /// stalled ones dirty. Only they can act on the change: a non-stalled
+    /// worker's pipeline is full, so its last `progress` pass already
+    /// issued everything issuable.
+    fn wake_all(&mut self) {
+        for g in 0..self.stalled_pop.len() {
+            if self.stalled_pop[g] {
+                self.stalled_pop[g] = false;
+                self.dirty[g] = true;
+            }
+        }
     }
 
     /// Bucket the time since the last transition for GPU `g`. Only the
@@ -913,10 +996,9 @@ fn progress(
     st: &mut State,
     sched_wall: &mut [Nanos],
     g: usize,
-    config: &RunConfig,
 ) -> Result<(), RunError> {
     // 1. Refill the pipeline.
-    while st.pipeline[g].len() < spec.pipeline_depth && !st.stalled_pop[g] {
+    while st.pipeline.len(g) < spec.pipeline_depth && !st.stalled_pop[g] {
         let view = st.view(ts, spec);
         let (popped, pop_wall) = timed_with(sched_wall, g, || {
             scheduler.pop_task(GpuId(g as u32), &view)
@@ -945,7 +1027,7 @@ fn progress(
                         capacity: st.mem[g].capacity(),
                     });
                 }
-                st.pipeline[g].push_back(t)
+                st.pipeline.push_back(g, t)
             }
             None => {
                 st.stalled_pop[g] = true;
@@ -955,7 +1037,18 @@ fn progress(
 
     // 2. Start the head task before touching memory, so its inputs are
     //    pinned against the prefetches issued below.
-    try_start(ts, spec, st, g, config);
+    try_start(ts, spec, st, g);
+
+    // Flat-core fast path: when no queued task misses any input, the
+    // whole issue loop below is a provable no-op (every residency check
+    // takes the `continue`, nothing is evicted or loaded), so the prefix
+    // merges can be skipped on the strength of O(1) missing-count reads.
+    // The reference core executes the full pass unconditionally.
+    if !st.reference_core
+        && (0..st.pipeline.len(g)).all(|i| st.missing.cnt(g, st.pipeline.get(g, i).index()) == 0)
+    {
+        return Ok(());
+    }
 
     // 3. Issue prefetches in pipeline order. Stop at the first fetch that
     //    does not fit to preserve the intended load order. A fetch for the
@@ -963,11 +1056,23 @@ fn progress(
     //    pipeline task (`protect` accumulates the prefix of input sets):
     //    those tasks run first, so evicting their data would only create
     //    reload churn — the livelock-free guarantee of the engine.
-    let mut protect: Vec<u32> = Vec::new();
-    'issue: for idx in 0..st.pipeline[g].len() {
-        let t = st.pipeline[g][idx];
+    // Both buffers live on `State` so the steady-state loop reuses their
+    // capacity; they are taken out for the duration of the pass because
+    // `pick_victim` borrows all of `st`.
+    let mut protect = std::mem::take(&mut st.protect);
+    let mut scratch = std::mem::take(&mut st.merge_scratch);
+    protect.clear();
+    'issue: for idx in 0..st.pipeline.len(g) {
+        let t = st.pipeline.get(g, idx);
         let inputs = ts.inputs(t);
-        protect = merge_sorted(&protect, inputs);
+        if st.reference_core {
+            // The pre-refactor `merge_sorted` allocated a fresh vector
+            // per merge and dropped the previous prefix; reproduce that
+            // cost profile instead of borrowing the flat core's scratch.
+            scratch = Vec::with_capacity(protect.len() + inputs.len());
+        }
+        merge_sorted_into(&protect, inputs, &mut scratch);
+        std::mem::swap(&mut protect, &mut scratch);
         for &raw in inputs {
             let d = DataId(raw);
             if st.mem[g].is_resident_or_loading(d) {
@@ -981,7 +1086,7 @@ fn progress(
                     Some((v, by_scheduler)) => {
                         st.mem[g].evict(v, ts.data_size(v));
                         st.missing.evicted(ts, g, v);
-                        if config.collect_trace {
+                        if st.trace.enabled() {
                             st.trace.push(TraceEvent::Evicted {
                                 at: st.now,
                                 gpu: g,
@@ -1015,6 +1120,11 @@ fn progress(
                                 capacity: st.mem[g].capacity(),
                             });
                         }
+                        // Stay on the worklist: the reference core asks
+                        // for a victim again on every pass while blocked
+                        // (`choose_victim` may mutate policy state), so
+                        // the worklist core must repeat the pass too.
+                        st.dirty[g] = true;
                         break 'issue;
                     }
                 }
@@ -1053,7 +1163,7 @@ fn progress(
                     attempt: 1,
                 },
             );
-            if config.collect_trace {
+            if st.trace.enabled() {
                 st.trace.push(TraceEvent::LoadIssued {
                     at: st.now,
                     gpu: g,
@@ -1087,20 +1197,22 @@ fn progress(
             });
         }
     }
+    st.protect = protect;
+    st.merge_scratch = scratch;
 
     // 4. The prefetches above may have completed synchronously-needed
     //    state changes; give the head another chance to start.
-    try_start(ts, spec, st, g, config);
+    try_start(ts, spec, st, g);
     Ok(())
 }
 
 /// Start the head task of GPU `g` if it is not running and all its inputs
 /// are resident; pins its inputs for the duration of the execution.
-fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize, config: &RunConfig) {
+fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize) {
     if st.running[g] {
         return;
     }
-    let Some(&head) = st.pipeline[g].front() else {
+    let Some(head) = st.pipeline.front(g) else {
         return;
     };
     if !ts.input_ids(head).all(|d| st.mem[g].is_resident(d)) {
@@ -1140,7 +1252,7 @@ fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize, config
             task: head.0,
         },
     );
-    if config.collect_trace {
+    if st.trace.enabled() {
         st.trace.push(TraceEvent::TaskStarted {
             at: st.now,
             gpu: g,
@@ -1149,9 +1261,12 @@ fn try_start(ts: &TaskSet, spec: &PlatformSpec, st: &mut State, g: usize, config
     }
 }
 
-/// Merge two sorted-unique id slices into a sorted-unique vector.
-fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+/// Merge two sorted-unique id slices into `out` (cleared first). `out` is
+/// a scratch buffer owned by [`State`], so the steady-state prefetch loop
+/// reuses its capacity instead of allocating per call.
+fn merge_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -1172,7 +1287,6 @@ fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
-    out
 }
 
 /// Choose an eviction victim on GPU `g`: ask the scheduler first (LUF),
@@ -1227,9 +1341,9 @@ fn apply_shrink(
     sched_wall: &mut [Nanos],
     g: usize,
     target: u64,
-    config: &RunConfig,
 ) -> bool {
     let mut evicted_any = false;
+    st.dirty[g] = true;
     while st.mem[g].used_bytes() > target {
         let Some((v, by_scheduler)) = pick_victim(ts, spec, scheduler, st, sched_wall, g, &[])
         else {
@@ -1238,7 +1352,7 @@ fn apply_shrink(
         st.mem[g].evict(v, ts.data_size(v));
         st.missing.evicted(ts, g, v);
         evicted_any = true;
-        if config.collect_trace {
+        if st.trace.enabled() {
             st.trace.push(TraceEvent::Evicted {
                 at: st.now,
                 gpu: g,
@@ -1263,7 +1377,7 @@ fn apply_shrink(
     let effective = target.max(st.mem[g].used_bytes());
     if effective != st.mem[g].capacity() {
         st.mem[g].set_capacity(effective);
-        if config.collect_trace {
+        if st.trace.enabled() {
             st.trace.push(TraceEvent::CapacityShrunk {
                 at: st.now,
                 gpu: g,
@@ -1285,7 +1399,7 @@ fn apply_shrink(
     }
     if evicted_any {
         // Residency changed under the schedulers' feet: let them re-pop.
-        st.stalled_pop.iter_mut().for_each(|s| *s = false);
+        st.wake_all();
     }
     effective <= target
 }
@@ -1300,7 +1414,6 @@ fn retry_pending_shrinks(
     st: &mut State,
     sched_wall: &mut [Nanos],
     g: usize,
-    config: &RunConfig,
 ) {
     if st.pending_shrinks.is_empty() {
         return;
@@ -1313,7 +1426,7 @@ fn retry_pending_shrinks(
         .collect();
     let mut reached: Vec<u64> = Vec::new();
     for target in targets {
-        if apply_shrink(ts, spec, scheduler, st, sched_wall, g, target, config) {
+        if apply_shrink(ts, spec, scheduler, st, sched_wall, g, target) {
             reached.push(target);
         }
     }
@@ -1335,7 +1448,7 @@ fn arrive(
     config: &RunConfig,
     t: TaskId,
 ) {
-    if config.collect_trace {
+    if st.trace.enabled() {
         st.trace.push(TraceEvent::TaskArrived {
             at: st.now,
             task: t.index(),
@@ -1345,11 +1458,11 @@ fn arrive(
         st.emit(ObsEvent::TaskArrived { t: st.now, task: t.0 });
     }
     if st.deferred.is_empty() && admissible(ts, st, config, t) {
-        admit(ts, spec, scheduler, st, sched_wall, config, t);
+        admit(ts, spec, scheduler, st, sched_wall, t);
     } else {
         st.deferrals += 1;
         st.deferred.push_back(t.0);
-        if config.collect_trace {
+        if st.trace.enabled() {
             st.trace.push(TraceEvent::TaskDeferred {
                 at: st.now,
                 task: t.index(),
@@ -1384,13 +1497,12 @@ fn admit(
     scheduler: &mut dyn Scheduler,
     st: &mut State,
     sched_wall: &mut [Nanos],
-    config: &RunConfig,
     t: TaskId,
 ) {
     st.released[t.index()] = true;
     st.backlog += 1;
     st.admitted += 1;
-    if config.collect_trace {
+    if st.trace.enabled() {
         st.trace.push(TraceEvent::TaskAdmitted {
             at: st.now,
             task: t.index(),
@@ -1404,7 +1516,7 @@ fn admit(
         });
     }
     // A release can unblock pops on every worker.
-    st.stalled_pop.iter_mut().for_each(|s| *s = false);
+    st.wake_all();
     // Admission has no owning worker; charge the callback to worker 0 so
     // `sched_wall` still sums every scheduler invocation.
     let view = st.view(ts, spec);
@@ -1428,7 +1540,7 @@ fn retry_deferred(
             break;
         }
         st.deferred.pop_front();
-        admit(ts, spec, scheduler, st, sched_wall, config, t);
+        admit(ts, spec, scheduler, st, sched_wall, t);
     }
 }
 
@@ -1590,7 +1702,7 @@ mod tests {
             &tiny_spec(2, 10_000),
             &mut Split { popped: [false; 2] },
             &RunConfig {
-                collect_trace: true,
+                trace: TraceMode::Full,
                 ..Default::default()
             },
         )
@@ -1736,7 +1848,7 @@ mod tests {
 
     fn faulty_config(faults: FaultPlan) -> RunConfig {
         RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             faults,
             ..Default::default()
         }
@@ -1751,7 +1863,7 @@ mod tests {
             &spec,
             &mut Fifo::new(&ts),
             &RunConfig {
-                collect_trace: true,
+                trace: TraceMode::Full,
                 ..Default::default()
             },
         )
@@ -1964,7 +2076,7 @@ mod tests {
         let ts = two_task_set();
         let spec = tiny_spec(1, 10_000);
         let config = RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             ..Default::default()
         };
         let base = run_with_config(&ts, &spec, &mut Fifo::new(&ts), &config).unwrap();
@@ -2087,7 +2199,7 @@ mod tests {
 
     fn traced_online_config(max_backlog: Option<usize>) -> RunConfig {
         RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             admission: Some(AdmissionConfig { max_backlog }),
             ..RunConfig::default()
         }
@@ -2101,7 +2213,7 @@ mod tests {
         let ts = two_task_set();
         let stamped = ts.clone().with_arrivals(vec![0, 7_000]);
         let config = RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             ..RunConfig::default()
         };
         let (r1, t1) =

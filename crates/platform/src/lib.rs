@@ -35,14 +35,18 @@
 
 pub mod analysis;
 mod engine;
+mod equeue;
 mod fault;
 mod memory;
+mod pipeline;
 mod report;
 mod scheduler;
 mod spec;
+mod trace;
 
 pub use analysis::{analyze, analyze_checked, render_gantt, to_obs_events, TraceAnalysis};
 pub use engine::{run, run_observed, run_with_config, AdmissionConfig, RunConfig, RunError};
+pub use trace::{trace_checksum, TraceMode};
 /// The observability subsystem (re-exported so downstream crates can
 /// build probes and exporters without naming `memsched-obs` directly).
 pub use memsched_obs as obs;

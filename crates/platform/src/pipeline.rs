@@ -1,0 +1,135 @@
+//! Flat per-GPU pipeline rings.
+//!
+//! Each GPU's prefetch pipeline is a bounded FIFO of at most
+//! `pipeline_depth` task handles. Instead of one `VecDeque` per GPU, all
+//! rings live in a single `k × depth` arena indexed by GPU id — no
+//! per-GPU allocation, cache-friendly iteration, and a `Clone`-able
+//! cursor iterator for scheduler views.
+
+use memsched_model::TaskId;
+
+/// All GPUs' prefetch pipelines in one flat ring arena.
+pub(crate) struct Pipelines {
+    depth: usize,
+    buf: Vec<TaskId>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+}
+
+impl Pipelines {
+    pub(crate) fn new(num_gpus: usize, depth: usize) -> Self {
+        Self {
+            depth,
+            buf: vec![TaskId(0); num_gpus * depth],
+            head: vec![0; num_gpus],
+            len: vec![0; num_gpus],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self, g: usize) -> usize {
+        self.len[g] as usize
+    }
+
+    #[inline]
+    pub(crate) fn front(&self, g: usize) -> Option<TaskId> {
+        (self.len[g] > 0).then(|| self.buf[g * self.depth + self.head[g] as usize])
+    }
+
+    /// The `i`-th queued task of GPU `g` in FIFO order.
+    #[inline]
+    pub(crate) fn get(&self, g: usize, i: usize) -> TaskId {
+        debug_assert!(i < self.len(g));
+        self.buf[g * self.depth + (self.head[g] as usize + i) % self.depth]
+    }
+
+    pub(crate) fn push_back(&mut self, g: usize, t: TaskId) {
+        debug_assert!(self.len(g) < self.depth, "pipeline overflow on gpu {g}");
+        let pos = (self.head[g] as usize + self.len[g] as usize) % self.depth;
+        self.buf[g * self.depth + pos] = t;
+        self.len[g] += 1;
+    }
+
+    pub(crate) fn pop_front(&mut self, g: usize) -> Option<TaskId> {
+        if self.len[g] == 0 {
+            return None;
+        }
+        let t = self.buf[g * self.depth + self.head[g] as usize];
+        self.head[g] = ((self.head[g] as usize + 1) % self.depth) as u32;
+        self.len[g] -= 1;
+        Some(t)
+    }
+
+    /// Empty GPU `g`'s pipeline into `out` in FIFO order (fail-stop path).
+    pub(crate) fn drain_into(&mut self, g: usize, out: &mut Vec<TaskId>) {
+        while let Some(t) = self.pop_front(g) {
+            out.push(t);
+        }
+    }
+
+    /// FIFO-order cursor over GPU `g`'s queued tasks.
+    #[inline]
+    pub(crate) fn iter(&self, g: usize) -> PipelineIter<'_> {
+        PipelineIter {
+            ring: &self.buf[g * self.depth..(g + 1) * self.depth],
+            head: self.head[g] as usize,
+            len: self.len[g] as usize,
+        }
+    }
+}
+
+/// Borrowing FIFO iterator over one GPU's ring (see [`Pipelines::iter`]).
+#[derive(Clone)]
+pub struct PipelineIter<'a> {
+    ring: &'a [TaskId],
+    head: usize,
+    len: usize,
+}
+
+impl Iterator for PipelineIter<'_> {
+    type Item = TaskId;
+
+    #[inline]
+    fn next(&mut self) -> Option<TaskId> {
+        if self.len == 0 {
+            return None;
+        }
+        let t = self.ring[self.head];
+        self.head = (self.head + 1) % self.ring.len();
+        self.len -= 1;
+        Some(t)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len, Some(self.len))
+    }
+}
+
+impl ExactSizeIterator for PipelineIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_iterates_in_fifo_order() {
+        let mut p = Pipelines::new(2, 3);
+        for i in 0..3u32 {
+            p.push_back(1, TaskId(i));
+        }
+        assert_eq!(p.len(1), 3);
+        assert_eq!(p.len(0), 0);
+        assert_eq!(p.pop_front(1), Some(TaskId(0)));
+        p.push_back(1, TaskId(3)); // wraps around the ring
+        let got: Vec<TaskId> = p.iter(1).collect();
+        assert_eq!(got, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(p.iter(1).len(), 3);
+        assert_eq!(p.front(1), Some(TaskId(1)));
+        let mut lost = Vec::new();
+        p.drain_into(1, &mut lost);
+        assert_eq!(lost, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(p.front(1), None);
+        assert_eq!(p.pop_front(1), None);
+    }
+}

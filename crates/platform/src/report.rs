@@ -72,6 +72,11 @@ pub struct RunReport {
     /// batch reports serialize unchanged).
     #[serde(default)]
     pub online: Option<OnlineStats>,
+    /// Rolling FNV-1a checksum of the trace-event stream when the run
+    /// recorded with [`crate::TraceMode::Checksum`]; `None` under `Full`
+    /// and `Off`, keeping previously serialized reports stable.
+    #[serde(default)]
+    pub trace_checksum: Option<u64>,
 }
 
 /// Serving statistics of one online (admission-loop) run.
@@ -165,8 +170,8 @@ impl RunReport {
 }
 
 /// A timestamped record of everything the engine did; enabled through
-/// [`crate::RunConfig::collect_trace`] and used by tests and debugging.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// [`crate::RunConfig::trace`] and used by tests and debugging.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// A transfer of `data` to `gpu` was placed on the bus.
     LoadIssued {

@@ -11,9 +11,9 @@
 //! state instead of re-scanning the runtime view on every decision.
 
 use crate::memory::GpuMemory;
+use crate::pipeline::Pipelines;
 use crate::spec::{Nanos, PlatformSpec};
 use memsched_model::{DataId, GpuId, TaskId, TaskSet};
-use std::collections::VecDeque;
 
 /// Engine-maintained cache of the *missing inputs* of every task on every
 /// GPU: how many of a task's inputs are absent (neither resident nor in
@@ -25,56 +25,87 @@ use std::collections::VecDeque;
 /// them — so [`RuntimeView::missing_bytes`] is O(1) instead of re-walking
 /// the task's input list. The cost is O(consumers(d)) per residency event,
 /// amortized over the decisions that would otherwise each rescan.
+///
+/// Stored struct-of-arrays: one flat stride-`m` array per counter, indexed
+/// `gpu * m + task`, so a million-task cache is three allocations total
+/// and the per-consumer update loop walks contiguous memory.
 #[derive(Clone, Debug)]
 pub(crate) struct MissingCache {
-    /// Per GPU, per task: number of inputs absent on that GPU.
-    cnt: Vec<Vec<u32>>,
-    /// Per GPU, per task: bytes of absent inputs.
-    bytes: Vec<Vec<u64>>,
-    /// Per GPU, per task: sum of absent input ids (`u64` so sums of many
+    /// Row stride: number of tasks (one row per GPU).
+    m: usize,
+    /// Per (GPU, task): number of inputs absent on that GPU.
+    cnt: Vec<u32>,
+    /// Per (GPU, task): bytes of absent inputs.
+    bytes: Vec<u64>,
+    /// Per (GPU, task): sum of absent input ids (`u64` so sums of many
     /// `u32` ids cannot overflow).
-    id_sum: Vec<Vec<u64>>,
+    id_sum: Vec<u64>,
 }
 
 impl MissingCache {
     /// Initial state: everything absent everywhere.
     pub(crate) fn new(ts: &TaskSet, num_gpus: usize) -> Self {
         let m = ts.num_tasks();
-        let mut cnt = vec![0u32; m];
-        let mut bytes = vec![0u64; m];
-        let mut id_sum = vec![0u64; m];
-        for t in ts.tasks() {
-            cnt[t.index()] = ts.inputs(t).len() as u32;
-            bytes[t.index()] = ts.task_footprint(t);
-            id_sum[t.index()] = ts.inputs(t).iter().map(|&d| d as u64).sum();
+        let (offsets, ids) = ts.input_slab();
+        let mut cnt = Vec::with_capacity(m * num_gpus);
+        let mut bytes = Vec::with_capacity(m * num_gpus);
+        let mut id_sum = Vec::with_capacity(m * num_gpus);
+        for t in 0..m {
+            let row = &ids[offsets[t] as usize..offsets[t + 1] as usize];
+            cnt.push(row.len() as u32);
+            bytes.push(ts.task_footprint(TaskId(t as u32)));
+            id_sum.push(row.iter().map(|&d| d as u64).sum());
+        }
+        for _ in 1..num_gpus {
+            cnt.extend_from_within(0..m);
+            bytes.extend_from_within(0..m);
+            id_sum.extend_from_within(0..m);
         }
         Self {
-            cnt: vec![cnt; num_gpus],
-            bytes: vec![bytes; num_gpus],
-            id_sum: vec![id_sum; num_gpus],
+            m,
+            cnt,
+            bytes,
+            id_sum,
         }
+    }
+
+    #[inline]
+    pub(crate) fn cnt(&self, gpu: usize, task: usize) -> u32 {
+        self.cnt[gpu * self.m + task]
+    }
+
+    #[inline]
+    pub(crate) fn bytes(&self, gpu: usize, task: usize) -> u64 {
+        self.bytes[gpu * self.m + task]
+    }
+
+    #[inline]
+    pub(crate) fn id_sum(&self, gpu: usize, task: usize) -> u64 {
+        self.id_sum[gpu * self.m + task]
     }
 
     /// A transfer of `d` to `gpu` was issued (Absent → Loading).
     pub(crate) fn load_issued(&mut self, ts: &TaskSet, gpu: usize, d: DataId) {
         let size = ts.data_size(d);
-        for t in ts.consumer_ids(d) {
-            let i = t.index();
-            debug_assert!(self.cnt[gpu][i] > 0);
-            self.cnt[gpu][i] -= 1;
-            self.bytes[gpu][i] -= size;
-            self.id_sum[gpu][i] -= d.0 as u64;
+        let base = gpu * self.m;
+        for &t in ts.consumers(d) {
+            let i = base + t as usize;
+            debug_assert!(self.cnt[i] > 0);
+            self.cnt[i] -= 1;
+            self.bytes[i] -= size;
+            self.id_sum[i] -= d.0 as u64;
         }
     }
 
     /// `d` was evicted from `gpu` (Resident → Absent).
     pub(crate) fn evicted(&mut self, ts: &TaskSet, gpu: usize, d: DataId) {
         let size = ts.data_size(d);
-        for t in ts.consumer_ids(d) {
-            let i = t.index();
-            self.cnt[gpu][i] += 1;
-            self.bytes[gpu][i] += size;
-            self.id_sum[gpu][i] += d.0 as u64;
+        let base = gpu * self.m;
+        for &t in ts.consumers(d) {
+            let i = base + t as usize;
+            self.cnt[i] += 1;
+            self.bytes[i] += size;
+            self.id_sum[i] += d.0 as u64;
         }
     }
 }
@@ -89,9 +120,10 @@ pub struct RuntimeView<'a> {
     pub(crate) spec: &'a PlatformSpec,
     pub(crate) now: Nanos,
     pub(crate) memories: &'a [GpuMemory],
-    /// Per-GPU pipeline: tasks popped from the scheduler but not finished,
-    /// in execution order (index 0 runs first). Includes the running task.
-    pub(crate) buffers: &'a [VecDeque<TaskId>],
+    /// Per-GPU pipelines: tasks popped from the scheduler but not
+    /// finished, in execution order (index 0 runs first). Includes the
+    /// running task. One flat ring arena for all GPUs.
+    pub(crate) buffers: &'a Pipelines,
     /// Incrementally-maintained missing-input counters per (GPU, task).
     pub(crate) missing: &'a MissingCache,
     /// Simulated time at which the shared bus finishes its current queue.
@@ -156,27 +188,27 @@ impl<'a> RuntimeView<'a> {
     /// unfinished tasks in execution order. An iterator because the
     /// engine's pipeline is a ring buffer and need not be contiguous.
     pub fn task_buffer(&self, gpu: GpuId) -> impl ExactSizeIterator<Item = TaskId> + Clone + 'a {
-        self.buffers[gpu.index()].iter().copied()
+        self.buffers.iter(gpu.index())
     }
 
     /// Bytes of `task`'s inputs that are neither resident on `gpu` nor in
     /// flight to it — what the Ready heuristic minimizes. O(1): served
     /// from the engine's incrementally-maintained [`MissingCache`].
     pub fn missing_bytes(&self, gpu: GpuId, task: TaskId) -> u64 {
-        self.missing.bytes[gpu.index()][task.index()]
+        self.missing.bytes(gpu.index(), task.index())
     }
 
     /// Number of `task`'s inputs that are neither resident nor in flight.
     /// O(1): served from the engine's [`MissingCache`].
     pub fn missing_inputs(&self, gpu: GpuId, task: TaskId) -> usize {
-        self.missing.cnt[gpu.index()][task.index()] as usize
+        self.missing.cnt(gpu.index(), task.index()) as usize
     }
 
     /// When exactly one input of `task` is missing on `gpu`, its id.
     /// O(1): recovered from the cached missing-id sum.
     pub fn sole_missing_input(&self, gpu: GpuId, task: TaskId) -> Option<DataId> {
         let (g, i) = (gpu.index(), task.index());
-        (self.missing.cnt[g][i] == 1).then(|| DataId(self.missing.id_sum[g][i] as u32))
+        (self.missing.cnt(g, i) == 1).then(|| DataId(self.missing.id_sum(g, i) as u32))
     }
 
     /// When exactly two inputs of `task` are missing on `gpu` and `d` is
@@ -185,7 +217,7 @@ impl<'a> RuntimeView<'a> {
     /// "one more load frees this task" contribution when `d` is evicted.
     pub fn missing_pair_partner(&self, gpu: GpuId, task: TaskId, d: DataId) -> Option<DataId> {
         let (g, i) = (gpu.index(), task.index());
-        (self.missing.cnt[g][i] == 2).then(|| DataId((self.missing.id_sum[g][i] - d.0 as u64) as u32))
+        (self.missing.cnt(g, i) == 2).then(|| DataId((self.missing.id_sum(g, i) - d.0 as u64) as u32))
     }
 
     /// Reference implementation of [`missing_bytes`](Self::missing_bytes):

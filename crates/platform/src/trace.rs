@@ -1,0 +1,179 @@
+//! Trace capture modes and the streaming trace checksum.
+//!
+//! A million-task run emits a few million [`TraceEvent`]s; materializing
+//! them costs hundreds of megabytes. [`TraceMode::Checksum`] streams every
+//! event into a rolling 64-bit FNV-1a hash instead, so determinism stays
+//! checkable (`RunReport::trace_checksum` pins same-seed runs byte-for-byte)
+//! at O(1) memory. [`trace_checksum`] computes the identical value from a
+//! fully materialized trace, which is how the tests cross-check the two
+//! modes against each other.
+
+use crate::report::TraceEvent;
+
+/// How a run records its [`TraceEvent`] stream (`RunConfig::trace`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Record nothing (fastest; the default).
+    #[default]
+    Off,
+    /// Materialize the full `Vec<TraceEvent>` returned by
+    /// `run_with_config` — what tests and golden snapshots use.
+    Full,
+    /// Stream every event into a rolling FNV-1a checksum: the run returns
+    /// no events, but `RunReport::trace_checksum` is set. The checksum
+    /// equals [`trace_checksum`] over the `Full` trace of the same run.
+    Checksum,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Seed of the rolling checksum (the FNV-1a offset basis).
+pub(crate) const CHECKSUM_SEED: u64 = FNV_OFFSET;
+
+#[inline]
+fn word(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fold one event into the rolling checksum: a discriminant tag plus the
+/// canonical little-endian encoding of every field, floats via `to_bits`,
+/// so the fold is bit-exact and platform-independent.
+pub(crate) fn fold_event(h: u64, ev: &TraceEvent) -> u64 {
+    match *ev {
+        TraceEvent::LoadIssued {
+            at,
+            gpu,
+            data,
+            done_at,
+        } => word(word(word(word(word(h, 0), at), gpu as u64), data as u64), done_at),
+        TraceEvent::LoadDone { at, gpu, data } => {
+            word(word(word(word(h, 1), at), gpu as u64), data as u64)
+        }
+        TraceEvent::Evicted { at, gpu, data } => {
+            word(word(word(word(h, 2), at), gpu as u64), data as u64)
+        }
+        TraceEvent::TaskStarted { at, gpu, task } => {
+            word(word(word(word(h, 3), at), gpu as u64), task as u64)
+        }
+        TraceEvent::TaskFinished { at, gpu, task } => {
+            word(word(word(word(h, 4), at), gpu as u64), task as u64)
+        }
+        TraceEvent::GpuFailed { at, gpu } => word(word(word(h, 5), at), gpu as u64),
+        TraceEvent::TransferRetry {
+            at,
+            gpu,
+            data,
+            attempt,
+        } => word(
+            word(word(word(word(h, 6), at), gpu as u64), data as u64),
+            attempt as u64,
+        ),
+        TraceEvent::CapacityShrunk { at, gpu, capacity } => {
+            word(word(word(word(h, 7), at), gpu as u64), capacity)
+        }
+        TraceEvent::GpuSlowed { at, gpu, factor } => {
+            word(word(word(word(h, 8), at), gpu as u64), factor.to_bits())
+        }
+        TraceEvent::TaskArrived { at, task } => word(word(word(h, 9), at), task as u64),
+        TraceEvent::TaskAdmitted { at, task } => word(word(word(h, 10), at), task as u64),
+        TraceEvent::TaskDeferred { at, task } => word(word(word(h, 11), at), task as u64),
+    }
+}
+
+/// Checksum of a materialized trace; equals the rolling checksum a
+/// [`TraceMode::Checksum`] run of the same execution reports.
+pub fn trace_checksum(trace: &[TraceEvent]) -> u64 {
+    trace.iter().fold(CHECKSUM_SEED, fold_event)
+}
+
+/// Where the engine streams trace events during a run.
+pub(crate) enum TraceSink {
+    Off,
+    Full(Vec<TraceEvent>),
+    Checksum(u64),
+}
+
+impl TraceSink {
+    pub(crate) fn new(mode: TraceMode, expected_events: usize) -> Self {
+        match mode {
+            TraceMode::Off => Self::Off,
+            TraceMode::Full => Self::Full(Vec::with_capacity(expected_events)),
+            TraceMode::Checksum => Self::Checksum(CHECKSUM_SEED),
+        }
+    }
+
+    /// Whether `push` does anything — call sites guard on this so `Off`
+    /// runs never even construct the event.
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        !matches!(self, Self::Off)
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        match self {
+            Self::Off => {}
+            Self::Full(v) => v.push(ev),
+            Self::Checksum(h) => *h = fold_event(*h, &ev),
+        }
+    }
+
+    /// `(materialized trace, rolling checksum)` — at most one is non-empty.
+    pub(crate) fn finish(self) -> (Vec<TraceEvent>, Option<u64>) {
+        match self {
+            Self::Off => (Vec::new(), None),
+            Self::Full(v) => (v, None),
+            Self::Checksum(h) => (Vec::new(), Some(h)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_sink_equals_materialized_checksum() {
+        let evs = vec![
+            TraceEvent::LoadIssued {
+                at: 1,
+                gpu: 0,
+                data: 3,
+                done_at: 10,
+            },
+            TraceEvent::TaskStarted {
+                at: 10,
+                gpu: 0,
+                task: 7,
+            },
+            TraceEvent::GpuSlowed {
+                at: 12,
+                gpu: 1,
+                factor: 0.5,
+            },
+        ];
+        let mut sink = TraceSink::new(TraceMode::Checksum, 0);
+        for ev in &evs {
+            sink.push(*ev);
+        }
+        let (trace, sum) = sink.finish();
+        assert!(trace.is_empty());
+        assert_eq!(sum, Some(trace_checksum(&evs)));
+    }
+
+    #[test]
+    fn distinct_variants_hash_differently() {
+        // Same field values, different discriminants.
+        let a = trace_checksum(&[TraceEvent::TaskArrived { at: 5, task: 1 }]);
+        let b = trace_checksum(&[TraceEvent::TaskAdmitted { at: 5, task: 1 }]);
+        let c = trace_checksum(&[TraceEvent::TaskDeferred { at: 5, task: 1 }]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(trace_checksum(&[]), super::CHECKSUM_SEED);
+    }
+}

@@ -36,12 +36,47 @@ use memsched_platform::{PlatformSpec, Probe, RuntimeView, Scheduler};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// A package's sorted input-id union. Singleton packages — every package
+/// at the start of packing, i.e. O(n) of them — borrow their task's row
+/// of the [`TaskSet`] CSR input slab instead of cloning it; only merged
+/// packages own a materialized union.
+#[derive(Debug, Default)]
+enum InputList {
+    /// The input row of a single task, resolved through the slab.
+    Task(TaskId),
+    /// A materialized sorted union (post-merge).
+    Owned(Vec<u32>),
+    /// Placeholder while a union is being built (`mem::take`).
+    #[default]
+    Empty,
+}
+
+impl InputList {
+    #[inline]
+    fn as_slice<'a>(&'a self, ts: &'a TaskSet) -> &'a [u32] {
+        match self {
+            InputList::Task(t) => ts.inputs(*t),
+            InputList::Owned(v) => v,
+            InputList::Empty => &[],
+        }
+    }
+
+    /// Recover the owned buffer, if any, for recycling.
+    #[inline]
+    fn into_buffer(self) -> Option<Vec<u32>> {
+        match self {
+            InputList::Owned(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
 /// One package: an ordered task list plus its input footprint.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct Package {
     tasks: Vec<TaskId>,
-    /// Sorted union of input data ids.
-    inputs: Vec<u32>,
+    /// Sorted union of input data ids (slab-backed for singletons).
+    inputs: InputList,
     /// Total input bytes.
     input_bytes: u64,
     /// Total flops (the "load" of Algorithm 4).
@@ -54,7 +89,7 @@ impl Package {
     fn of_task(ts: &TaskSet, t: TaskId) -> Self {
         Self {
             tasks: vec![t],
-            inputs: ts.inputs(t).to_vec(),
+            inputs: InputList::Task(t),
             input_bytes: ts.task_footprint(t),
             load: ts.flops(t),
             frozen: false,
@@ -254,7 +289,7 @@ impl<'a> PackState<'a> {
             heap: BinaryHeap::with_capacity(4 * n + 4),
         };
         for (slot, p) in packages.iter().enumerate() {
-            for &d in &p.inputs {
+            for &d in p.inputs.as_slice(ts) {
                 owners[d as usize].push(slot as u32);
             }
             queue.push(p.tasks.len(), slot as u32);
@@ -308,9 +343,10 @@ impl<'a> PackState<'a> {
         // `p` are ever touched — the quadratic all-pairs scan is gone.
         // `p` itself accumulates too (cheaper than a branch per visit);
         // readers skip it by slot.
+        let ts = self.ts;
         let inputs = std::mem::take(&mut self.packages[p_slot].inputs);
-        for &d in &inputs {
-            let size = self.ts.data_size(DataId(d));
+        for &d in inputs.as_slice(ts) {
+            let size = ts.data_size(DataId(d));
             for &o in &self.owners[d as usize] {
                 let a = &mut self.acc[o as usize];
                 if *a == 0 {
@@ -411,9 +447,11 @@ impl<'a> PackState<'a> {
         // loses q's ownership entry. The union is built in the reusable
         // scratch buffer and swapped in, so steady-state merging
         // allocates nothing.
-        let ppkg = &mut self.packages[p_slot];
-        let a = std::mem::take(&mut ppkg.inputs);
-        let b = qpkg.inputs;
+        let ts = self.ts;
+        let a_list = std::mem::take(&mut self.packages[p_slot].inputs);
+        let b_list = qpkg.inputs;
+        let a = a_list.as_slice(ts);
+        let b = b_list.as_slice(ts);
         let mut union = std::mem::take(&mut self.scratch);
         union.clear();
         union.reserve(a.len() + b.len());
@@ -443,9 +481,13 @@ impl<'a> PackState<'a> {
             }
         }
 
+        // Recycle whichever side owned a buffer (slab-backed singletons
+        // own none); at most one survives as the next merge's scratch.
+        if let Some(buf) = a_list.into_buffer().or_else(|| b_list.into_buffer()) {
+            self.scratch = buf;
+        }
         let ppkg = &mut self.packages[p_slot];
-        ppkg.inputs = union;
-        self.scratch = a;
+        ppkg.inputs = InputList::Owned(union);
         ppkg.tasks.extend_from_slice(&qpkg.tasks);
         ppkg.load += qpkg.load;
         // The union's byte total, without re-summing `data_size` over it.
@@ -559,15 +601,12 @@ fn merge_naive(ts: &TaskSet, packages: &mut Vec<Package>, p: usize, q: usize) {
     let qpkg = packages.swap_remove(q);
     // swap_remove may have moved the former last package into slot q.
     let p = if p == packages.len() { q } else { p };
+    let union = union_inputs(packages[p].inputs.as_slice(ts), qpkg.inputs.as_slice(ts));
     let ppkg = &mut packages[p];
     ppkg.tasks.extend_from_slice(&qpkg.tasks);
     ppkg.load += qpkg.load;
-    ppkg.inputs = union_inputs(&ppkg.inputs, &qpkg.inputs);
-    ppkg.input_bytes = ppkg
-        .inputs
-        .iter()
-        .map(|&d| ts.data_size(DataId(d)))
-        .sum();
+    ppkg.input_bytes = union.iter().map(|&d| ts.data_size(DataId(d))).sum();
+    ppkg.inputs = InputList::Owned(union);
     ppkg.frozen = false;
 }
 
@@ -594,7 +633,7 @@ fn pack_naive(ts: &TaskSet, memory: u64, k: usize) -> Vec<Vec<TaskId>> {
             if q_idx == p_idx {
                 continue;
             }
-            let shared = shared_bytes(ts, &packages[p_idx].inputs, &q.inputs);
+            let shared = shared_bytes(ts, packages[p_idx].inputs.as_slice(ts), q.inputs.as_slice(ts));
             let union_bytes = packages[p_idx].input_bytes + q.input_bytes - shared;
             if union_bytes > memory {
                 continue;
@@ -622,7 +661,7 @@ fn pack_naive(ts: &TaskSet, memory: u64, k: usize) -> Vec<Vec<TaskId>> {
             if q_idx == p_idx {
                 continue;
             }
-            let shared = shared_bytes(ts, &packages[p_idx].inputs, &q.inputs);
+            let shared = shared_bytes(ts, packages[p_idx].inputs.as_slice(ts), q.inputs.as_slice(ts));
             if best.is_none_or(|(_, bs)| shared > bs) {
                 best = Some((q_idx, shared));
             }
@@ -896,13 +935,10 @@ mod tests {
                     p.tasks.len(),
                     p.input_bytes
                 );
-                let resummed: u64 = p
-                    .inputs
-                    .iter()
-                    .map(|&d| ts.data_size(DataId(d)))
-                    .sum();
+                let inputs = p.inputs.as_slice(&ts);
+                let resummed: u64 = inputs.iter().map(|&d| ts.data_size(DataId(d))).sum();
                 assert_eq!(p.input_bytes, resummed, "footprint bookkeeping drifted");
-                assert!(p.inputs.windows(2).all(|w| w[0] < w[1]), "unsorted union");
+                assert!(inputs.windows(2).all(|w| w[0] < w[1]), "unsorted union");
             }
             let total: usize = state.packages.iter().map(|p| p.tasks.len()).sum();
             assert_eq!(total, ts.num_tasks());
@@ -1009,6 +1045,7 @@ mod tests {
                 }
                 let resummed: u64 = p
                     .inputs
+                    .as_slice(&ts)
                     .iter()
                     .map(|&d| ts.data_size(DataId(d)))
                     .sum();

@@ -132,7 +132,7 @@ impl StealingQueues {
 mod tests {
     use super::*;
     use memsched_model::{TaskSet, TaskSetBuilder};
-    use memsched_platform::{run, PlatformSpec, Scheduler};
+    use memsched_platform::{run, PlatformSpec, Scheduler, TraceMode};
 
     struct StealSched(StealingQueues);
 
@@ -261,7 +261,7 @@ mod tests {
         let mut sched = Recover(StealingQueues::new(queues, 8, false));
         let spec = PlatformSpec::v100(2).with_memory(100);
         let config = memsched_platform::RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             faults: memsched_platform::FaultPlan::none().with_gpu_failure(0, 0),
             ..Default::default()
         };

@@ -3,7 +3,7 @@
 //! still completes exactly once, and a same-seed replay is byte-identical.
 
 use memsched_platform::{
-    run, run_with_config, FaultPlan, PlatformSpec, RunConfig, TraceEvent,
+    run, run_with_config, FaultPlan, PlatformSpec, RunConfig, TraceEvent, TraceMode,
 };
 use memsched_schedulers::NamedScheduler;
 use memsched_workloads::gemm_2d;
@@ -23,7 +23,7 @@ const FAIL_AT: u64 = 2_000_000;
 
 fn faulted(plan: FaultPlan) -> RunConfig {
     RunConfig {
-        collect_trace: true,
+        trace: TraceMode::Full,
         faults: plan,
         ..Default::default()
     }

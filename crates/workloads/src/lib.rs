@@ -110,6 +110,24 @@ pub fn scale_preset(quick: bool) -> Vec<Workload> {
     }
 }
 
+/// The `scale_xl` tier: engine-bound instances of 10⁵ and 10⁶ tasks
+/// (`gemm_3d(47)` ≈ 1.04 × 10⁵, `gemm_3d(100)` = 10⁶) used by the
+/// engine-scale bench (`cargo bench --bench engine_scale`) and the
+/// checksum-mode trace tests. Where [`scale_preset`] stresses the
+/// per-decision scheduler scans, this tier stresses the engine core
+/// itself — the event queue, the residency bookkeeping, and the trace
+/// sink. 3D GEMM keeps the per-datum consumer fan-out at `n` (≈ m^⅓)
+/// instead of 2D's m^½, so residency-cache maintenance stays subordinate
+/// to the event loop at a million tasks. Quick mode (10⁴ and 10⁵) keeps
+/// a full run in CI-friendly time.
+pub fn scale_xl_preset(quick: bool) -> Vec<Workload> {
+    if quick {
+        vec![Workload::Gemm3d { n: 22 }, Workload::Gemm3d { n: 47 }]
+    } else {
+        vec![Workload::Gemm3d { n: 47 }, Workload::Gemm3d { n: 100 }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +144,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scale_xl_preset_reaches_task_floors() {
+        // Quick: 10⁴ and 10⁵; full: 10⁵ and 10⁶ (the million-task member
+        // is checked by n³ arithmetic instead of generating it here).
+        let quick = scale_xl_preset(true);
+        let tasks: Vec<usize> = quick.iter().map(|w| w.generate().num_tasks()).collect();
+        assert!(tasks[0] >= 10_000 && tasks[0] < 100_000, "{tasks:?}");
+        assert!(tasks[1] >= 100_000, "{tasks:?}");
+        let full = scale_xl_preset(false);
+        assert_eq!(full[0], Workload::Gemm3d { n: 47 }); // 103,823 tasks
+        assert_eq!(full[1], Workload::Gemm3d { n: 100 }); // 10⁶ tasks
     }
 
     #[test]

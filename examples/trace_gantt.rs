@@ -15,7 +15,7 @@ fn main() {
     let ts = memsched::workloads::gemm_2d(14);
     let spec = PlatformSpec::v100(2).with_memory(6 * GEMM2D_DATA_BYTES);
     let cfg = RunConfig {
-        collect_trace: true,
+        trace: TraceMode::Full,
         ..Default::default()
     };
 

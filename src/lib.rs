@@ -52,8 +52,9 @@ pub mod prelude {
     };
     pub use memsched_obs::{ObsEvent, Probe};
     pub use memsched_platform::{
-        run, run_observed, run_with_config, AdmissionConfig, FaultPlan, OnlineStats, PlatformSpec,
-        RunConfig, RunError, RunReport, RuntimeView, Scheduler, TransferFaultSpec,
+        run, run_observed, run_with_config, trace_checksum, AdmissionConfig, FaultPlan,
+        OnlineStats, PlatformSpec, RunConfig, RunError, RunReport, RuntimeView, Scheduler,
+        TraceMode, TransferFaultSpec,
     };
     pub use memsched_schedulers::{
         DartsConfig, DartsEviction, DartsScheduler, DmdaScheduler, EagerScheduler, HfpScheduler,

@@ -75,7 +75,7 @@ fn assert_online_matches_batch(
     online: &mut dyn Scheduler,
 ) {
     let batch_config = RunConfig {
-        collect_trace: true,
+        trace: TraceMode::Full,
         ..RunConfig::default()
     };
     let online_config = RunConfig {

@@ -1,0 +1,99 @@
+//! Checksum-mode trace stability at the `scale_xl` tier.
+//!
+//! [`TraceMode::Checksum`] exists so million-task runs can prove trace
+//! equality without materializing a million-event log. That only works if
+//! the checksum is an *invariant* of the run: the same workload and
+//! platform must fold to the same 64-bit value no matter how many harness
+//! worker threads raced around the (single-threaded) engine. These tests
+//! pin that contract:
+//!
+//! * the quick `scale_xl` preset is checksummed through the experiment
+//!   pool at `--jobs` 1, 2 and 8 and all three sweeps must agree;
+//! * the values are snapshotted in `tests/golden/engine_scale_xl.checksums`
+//!   (regenerate with `MEMSCHED_UPDATE_GOLDEN=1 cargo test --test
+//!   engine_scale_checksums`) — the same stream the engine-scale bench
+//!   cross-checks against the naive core's materialized trace;
+//! * an `#[ignore]`d million-task run (`gemm_3d(100)`, the full-tier
+//!   member) pins its checksum as a source constant:
+//!   `cargo test --release --test engine_scale_checksums -- --ignored`.
+
+use memsched::experiments::pool::run_indexed;
+use memsched::prelude::*;
+use memsched::schedulers::EagerScheduler;
+use memsched::workloads::{scale_xl_preset, Workload};
+use std::path::PathBuf;
+
+/// Run one workload end to end in checksum mode and render a stable
+/// one-line summary: label, task count, checksum, makespan, loads.
+fn checksum_line(w: &Workload) -> String {
+    let ts = w.generate();
+    let spec = PlatformSpec::v100(16).with_memory(ts.working_set_bytes());
+    let config = RunConfig {
+        trace: TraceMode::Checksum,
+        ..RunConfig::default()
+    };
+    let mut sched = EagerScheduler::new();
+    let (report, trace) =
+        run_with_config(&ts, &spec, &mut sched, &config).expect("scale_xl run");
+    assert!(trace.is_empty(), "checksum mode must not materialize events");
+    format!(
+        "{} tasks={} checksum={:016x} makespan={} loads={}",
+        w.label(),
+        ts.num_tasks(),
+        report.trace_checksum.expect("checksum mode records a checksum"),
+        report.makespan,
+        report.total_loads,
+    )
+}
+
+/// The quick-tier checksums must not depend on the harness's `--jobs`
+/// level: the pool distributes whole runs, never splits one, so 1, 2 and
+/// 8 workers must produce byte-identical summaries. The jobs=1 sweep is
+/// then compared against the golden snapshot.
+#[test]
+fn scale_xl_checksums_stable_across_jobs() {
+    let workloads = scale_xl_preset(true);
+    let baseline = run_indexed(&workloads, 1, |_, w| checksum_line(w));
+    for jobs in [2usize, 8] {
+        let swept = run_indexed(&workloads, jobs, |_, w| checksum_line(w));
+        assert_eq!(
+            baseline, swept,
+            "checksum summaries changed between --jobs 1 and --jobs {jobs}"
+        );
+    }
+
+    let got = baseline.join("\n") + "\n";
+    let path: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "tests",
+        "golden",
+        "engine_scale_xl.checksums",
+    ]
+    .iter()
+    .collect();
+    if std::env::var("MEMSCHED_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing snapshot {path:?} ({e}); run with MEMSCHED_UPDATE_GOLDEN=1 to create")
+    });
+    assert_eq!(
+        got, want,
+        "scale_xl checksums drifted from the golden snapshot \
+         (rerun with MEMSCHED_UPDATE_GOLDEN=1 if the change is intentional)"
+    );
+}
+
+/// The full-tier million-task member. A bounded-memory checksum run must
+/// complete and fold to exactly this value; any engine-core change that
+/// reorders even one event at the million-task scale lands here.
+///
+/// Run with `cargo test --release --test engine_scale_checksums -- --ignored`.
+#[test]
+#[ignore = "million-task run; execute in release mode explicitly"]
+fn million_task_checksum_is_pinned() {
+    const PINNED: &str = "gemm3d(n=100) tasks=1000000 checksum=3749c1b16210bd45 makespan=102873084148 loads=319091";
+    let line = checksum_line(&Workload::Gemm3d { n: 100 });
+    assert_eq!(line, PINNED, "million-task trace stream changed");
+}

@@ -91,7 +91,7 @@ fn stream_workload() -> (TaskSet, PlatformSpec) {
 fn render_stream_trace(named: &NamedScheduler) -> String {
     let (ts, spec) = stream_workload();
     let config = RunConfig {
-        collect_trace: true,
+        trace: TraceMode::Full,
         admission: Some(AdmissionConfig::default()),
         ..RunConfig::default()
     };
@@ -178,7 +178,7 @@ fn online_t0_reproduces_batch_golden() {
     let ts = gemm_2d(3).with_arrivals(vec![0; 9]);
     let spec = PlatformSpec::v100(2).with_memory(4 * GEMM2D_DATA_BYTES);
     let config = RunConfig {
-        collect_trace: true,
+        trace: TraceMode::Full,
         admission: Some(AdmissionConfig::default()),
         ..RunConfig::default()
     };

@@ -68,7 +68,7 @@ fn render_trace(named: &NamedScheduler) -> String {
     let ts = memsched::workloads::gemm_2d(3);
     let spec = PlatformSpec::v100(2).with_memory(4 * GEMM2D_DATA_BYTES);
     let config = RunConfig {
-        collect_trace: true,
+        trace: TraceMode::Full,
         ..RunConfig::default()
     };
     let mut sched = named.build();

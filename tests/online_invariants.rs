@@ -60,7 +60,7 @@ fn small_spec(gpus: usize, mem: u64) -> PlatformSpec {
 
 fn online_config() -> RunConfig {
     RunConfig {
-        collect_trace: true,
+        trace: TraceMode::Full,
         admission: Some(AdmissionConfig::default()),
         ..RunConfig::default()
     }

@@ -214,7 +214,7 @@ proptest! {
             nvlink_bandwidth: None,
         };
         let config = RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             ..RunConfig::default()
         };
         for named in [
@@ -312,7 +312,7 @@ proptest! {
             nvlink_bandwidth: None,
         };
         let config = RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             ..RunConfig::default()
         };
         let mut sched = RecordingScheduler::default();
@@ -395,7 +395,7 @@ proptest! {
                 backoff_base: 100,
             });
         let config = RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             faults: plan,
             ..RunConfig::default()
         };

@@ -17,7 +17,7 @@ fn traced(
         spec,
         sched.as_mut(),
         &RunConfig {
-            collect_trace: true,
+            trace: TraceMode::Full,
             ..Default::default()
         },
     )
