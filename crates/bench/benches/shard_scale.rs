@@ -1,0 +1,198 @@
+//! Sharded-tier scale bench: the conservative time-window parallel DES
+//! (`run_sharded`) against the serial flat core on a multi-bus platform
+//! with a decomposable scheduler (static DMDA), plus the cost of the
+//! serial fallback path (EAGER routed through the sharded entry point).
+//!
+//! Records to `results/BENCH_shard_scale.json`:
+//!
+//! * serial wall time and event throughput (events counted once from a
+//!   materialized trace, wall measured trace-off);
+//! * per worker count (`--shards 1/2/4`): wall time, per-shard event
+//!   throughput, window-barrier count, and speedup over serial — the
+//!   makespan is asserted identical to the serial run every time;
+//! * the serial-fallback overhead: `run_sharded` with a globally-coupled
+//!   scheduler must cost at most **1.15×** the direct serial run
+//!   (asserted — the entry point may build throwaway scheduler
+//!   instances and run eligibility gates, nothing more).
+//!
+//! Quick mode (`--quick` or `MEMSCHED_BENCH_QUICK=1`) shrinks the grid
+//! for CI.
+
+use memsched_platform::{
+    run_sharded, run_with_config, PlatformSpec, RunConfig, Scheduler, ShardOptions, TraceMode,
+};
+use memsched_schedulers::{DmdaScheduler, EagerScheduler};
+use memsched_workloads::gemm_2d;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ShardedRun {
+    shards: usize,
+    wall_ns: u64,
+    /// Events per second per shard (the tier's scaling unit).
+    events_per_sec_per_shard: f64,
+    windows: u64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    quick: bool,
+    reps: usize,
+    /// Host cores available to the bench — with fewer cores than
+    /// shards, multi-worker rows measure barrier overhead, not scaling.
+    cores: usize,
+    workload: String,
+    tasks: usize,
+    gpus: usize,
+    buses: usize,
+    /// Trace events of one run (identical serial and sharded).
+    events: usize,
+    serial_wall_ns: u64,
+    serial_events_per_sec: f64,
+    sharded: Vec<ShardedRun>,
+    /// EAGER through the sharded entry point vs the direct serial run.
+    fallback_overhead: f64,
+    fallback_overhead_max: f64,
+}
+
+fn timed<R>(reps: usize, f: impl Fn() -> R) -> (R, u64) {
+    let mut best: Option<(R, u64)> = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let r = f();
+        let wall = started.elapsed().as_nanos() as u64;
+        if best.as_ref().is_none_or(|&(_, w)| wall < w) {
+            best = Some((r, wall));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("MEMSCHED_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 2 } else { 3 };
+    let n = if quick { 24 } else { 48 };
+    let (gpus, buses) = (8, 4);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let ts = gemm_2d(n);
+    let tile = ts.data_size(memsched_model::DataId(0));
+    // Memory pressure: a third of each GPU's slice of the working set
+    // keeps eviction and transfer events hot.
+    let spec = PlatformSpec::v100_multibus(gpus, buses)
+        .with_memory((ts.working_set_bytes() / gpus as u64 / 3).max(4 * tile));
+    let off = RunConfig::default();
+
+    // Event count (serial == sharded, pinned by tests/sharded_differential.rs).
+    let full = RunConfig {
+        trace: TraceMode::Full,
+        ..RunConfig::default()
+    };
+    let (_, events) = {
+        let mut sched = DmdaScheduler::dmda();
+        let (_, trace) = run_with_config(&ts, &spec, &mut sched, &full).expect("trace run");
+        ((), trace.len())
+    };
+
+    let ((serial_makespan,), serial_wall) = timed(reps, || {
+        let mut sched = DmdaScheduler::dmda();
+        let (report, _) = run_with_config(&ts, &spec, &mut sched, &off).expect("serial run");
+        (report.makespan,)
+    });
+    let serial_eps = events as f64 / (serial_wall as f64 / 1e9);
+    println!(
+        "serial: {} tasks, {events} events, {serial_wall} ns ({serial_eps:.0} events/s)",
+        ts.num_tasks()
+    );
+
+    let factory = || -> Box<dyn Scheduler + Send> { Box::new(DmdaScheduler::dmda()) };
+    let mut sharded = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let ((makespan, windows, shards_used), wall) = timed(reps, || {
+            let (report, _) =
+                run_sharded(&ts, &spec, &factory, &off, &ShardOptions { shards })
+                    .expect("sharded run");
+            let stats = report.sharding.expect("sharding stats");
+            assert_eq!(
+                stats.fallback_reason, None,
+                "decomposable run unexpectedly fell back"
+            );
+            (report.makespan, stats.windows, stats.shards_used)
+        });
+        assert_eq!(makespan, serial_makespan, "sharded makespan diverged");
+        let eps_per_shard = events as f64 / (wall as f64 / 1e9) / shards_used as f64;
+        let speedup = serial_wall as f64 / wall.max(1) as f64;
+        let note = if shards > cores {
+            " (oversubscribed: shards > host cores)"
+        } else {
+            ""
+        };
+        println!(
+            "sharded --shards {shards}: {wall} ns, {windows} windows, \
+             {eps_per_shard:.0} events/s/shard, speedup {speedup:.2}x{note}"
+        );
+        sharded.push(ShardedRun {
+            shards,
+            wall_ns: wall,
+            events_per_sec_per_shard: eps_per_shard,
+            windows,
+            speedup_vs_serial: speedup,
+        });
+    }
+
+    // Fallback overhead: a globally-coupled scheduler through the sharded
+    // entry must cost (almost) exactly the serial run.
+    let ((eager_serial_makespan,), eager_serial_wall) = timed(reps, || {
+        let mut sched = EagerScheduler::new();
+        let (report, _) = run_with_config(&ts, &spec, &mut sched, &off).expect("eager serial");
+        (report.makespan,)
+    });
+    let eager_factory = || -> Box<dyn Scheduler + Send> { Box::new(EagerScheduler::new()) };
+    let ((entry_makespan, reason), entry_wall) = timed(reps, || {
+        let (report, _) = run_sharded(
+            &ts,
+            &spec,
+            &eager_factory,
+            &off,
+            &ShardOptions::default(),
+        )
+        .expect("eager through sharded entry");
+        let stats = report.sharding.expect("sharding stats");
+        (report.makespan, stats.fallback_reason)
+    });
+    assert_eq!(entry_makespan, eager_serial_makespan, "fallback diverged");
+    assert_eq!(reason.as_deref(), Some("scheduler is globally coupled"));
+    let overhead = entry_wall as f64 / eager_serial_wall.max(1) as f64;
+    const OVERHEAD_MAX: f64 = 1.15;
+    println!("fallback overhead: {overhead:.3}x (max {OVERHEAD_MAX}x)");
+    assert!(
+        overhead <= OVERHEAD_MAX,
+        "serial-fallback overhead {overhead:.3}x exceeds {OVERHEAD_MAX}x"
+    );
+
+    let output = Output {
+        quick,
+        reps,
+        cores,
+        workload: format!("gemm_2d({n})"),
+        tasks: ts.num_tasks(),
+        gpus,
+        buses,
+        events,
+        serial_wall_ns: serial_wall,
+        serial_events_per_sec: serial_eps,
+        sharded,
+        fallback_overhead: overhead,
+        fallback_overhead_max: OVERHEAD_MAX,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_shard_scale.json"
+    );
+    let json = serde_json::to_string_pretty(&output).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write bench json");
+    println!("wrote {path}");
+}

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! serve [--arrival-rate R1,R2,…] [--pattern poisson|bursty]
-//!       [--duration SECS] [--tasks N]
+//!       [--closed-loop CLIENTS] [--duration SECS] [--tasks N]
 //!       [--sched eager|dmda|dmdar|hmetis|mhfp|darts|all]
 //!       [--seed N] [--jobs N] [--faults SPEC] [--out CSV] [--quick]
 //!       [--trace-out PATH] [--trace-format chrome|paje] [--metrics-out PATH]
@@ -26,6 +26,15 @@
 //! arrival/admit/defer admission track — and the metrics registry
 //! including the latency histograms (`trace_lint --metrics` checks
 //! them).
+//!
+//! `--closed-loop N` switches the traffic class: `N` clients each keep
+//! one request in flight, thinking for an exponential time between the
+//! estimated completion of one request and the issue of the next. The
+//! sweep still iterates `--arrival-rate`, which in closed-loop mode is
+//! the *aggregate target* rate — the mean think time is sized as
+//! `clients / rate` minus the per-task service estimate, so a saturated
+//! system sees back-to-back requests while an unloaded one idles
+//! between them. The CSV gains a `clients` column (0 = open loop).
 
 use memsched_experiments::obs::{self, TraceFormat};
 use memsched_experiments::pool;
@@ -35,7 +44,7 @@ use memsched_platform::{
     run_observed, run_with_config, AdmissionConfig, FaultPlan, PlatformSpec, RunConfig, RunReport,
 };
 use memsched_schedulers::NamedScheduler;
-use memsched_workloads::{gemm_2d, open_loop_arrivals, ArrivalPattern};
+use memsched_workloads::{closed_loop_arrivals, gemm_2d, open_loop_arrivals, ArrivalPattern};
 use serde::{Number, Value};
 
 #[derive(Clone, Debug, PartialEq)]
@@ -85,6 +94,9 @@ struct ServeArgs {
     duration_s: f64,
     /// Pinned per-cell task count; `None` sizes cells as rate × duration.
     tasks: Option<usize>,
+    /// Closed-loop traffic: this many clients, each with one request in
+    /// flight. `None` keeps the open-loop arrival process.
+    closed_loop: Option<usize>,
     scheds: Vec<NamedScheduler>,
     seed: u64,
     jobs: usize,
@@ -98,6 +110,7 @@ struct ServeArgs {
 const KNOWN_VALUE_FLAGS: &[&str] = &[
     "--arrival-rate",
     "--pattern",
+    "--closed-loop",
     "--duration",
     "--tasks",
     "--sched",
@@ -225,6 +238,18 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
         }
         None => None,
     };
+    let closed_loop = match value_of("--closed-loop") {
+        Some(c) => {
+            let n = c
+                .parse::<usize>()
+                .map_err(|_| format!("--closed-loop {c:?}: not a number"))?;
+            if n == 0 {
+                return Err("--closed-loop 0: need at least one client".to_string());
+            }
+            Some(n)
+        }
+        None => None,
+    };
     let scheds = parse_scheds(&value_of("--sched").unwrap_or_else(|| "all".to_string()))?;
     let seed = match value_of("--seed") {
         Some(s) => s
@@ -268,6 +293,7 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
         pattern,
         duration_s,
         tasks,
+        closed_loop,
         scheds,
         seed,
         jobs: pool::resolve_jobs(jobs_arg),
@@ -281,14 +307,26 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
 
 /// The stream workload for one cell: a 2D-GEMM grid sized to carry
 /// `rate × duration` tasks — or exactly `--tasks` when pinned — stamped
-/// with open-loop arrivals.
+/// with open-loop arrivals, or closed-loop ones under `--closed-loop`.
 fn stream_taskset(args: &ServeArgs, rate: f64) -> TaskSet {
     let target = args
         .tasks
         .unwrap_or_else(|| (rate * args.duration_s).ceil().max(1.0) as usize);
     let n = (target as f64).sqrt().ceil().max(2.0) as usize;
     let ts = gemm_2d(n);
-    let arrivals = open_loop_arrivals(&args.pattern.at_rate(rate), args.seed, ts.num_tasks());
+    let arrivals = match args.closed_loop {
+        Some(clients) => {
+            // Aggregate target rate → per-client cycle time `clients/rate`;
+            // the think time is what remains after the service estimate
+            // (one tile task at the V100 roofline).
+            let service_ns =
+                (ts.flops(memsched_model::TaskId(0)) / memsched_platform::V100_GFLOPS) as u64;
+            let cycle_ns = (clients as f64 / rate * 1e9) as u64;
+            let think_ns = cycle_ns.saturating_sub(service_ns).max(1);
+            closed_loop_arrivals(ts.num_tasks(), clients, think_ns, service_ns, args.seed)
+        }
+        None => open_loop_arrivals(&args.pattern.at_rate(rate), args.seed, ts.num_tasks()),
+    };
     ts.with_arrivals(arrivals)
 }
 
@@ -330,16 +368,22 @@ fn run_cell(args: &ServeArgs, named: &NamedScheduler, rate: f64) -> Result<CellR
     })
 }
 
-const CSV_HEADER: &str = "scheduler,pattern,rate_per_sec,tasks,makespan_ns,p50_latency_ns,\
+const CSV_HEADER: &str = "scheduler,pattern,clients,rate_per_sec,tasks,makespan_ns,p50_latency_ns,\
                           p99_latency_ns,mean_latency_ns,p50_queueing_ns,p99_queueing_ns,\
                           throughput_tps,admitted,deferred";
 
 fn csv_row(args: &ServeArgs, c: &CellResult) -> String {
     let o = c.report.online.clone().unwrap_or_default();
+    let pattern = if args.closed_loop.is_some() {
+        "closed-loop"
+    } else {
+        args.pattern.label()
+    };
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{:.3},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{}",
         c.scheduler,
-        args.pattern.label(),
+        pattern,
+        args.closed_loop.unwrap_or(0),
         c.rate,
         c.tasks,
         c.report.makespan,
@@ -392,7 +436,18 @@ fn export_obs(args: &ServeArgs) -> Result<(), String> {
         let root = obj(vec![
             ("bin", Value::Str("serve".to_string())),
             ("scheduler", Value::Str(report.scheduler.clone())),
-            ("pattern", Value::Str(args.pattern.label().to_string())),
+            (
+                "pattern",
+                Value::Str(if args.closed_loop.is_some() {
+                    "closed-loop".to_string()
+                } else {
+                    args.pattern.label().to_string()
+                }),
+            ),
+            (
+                "clients",
+                Value::Num(Number::U(args.closed_loop.unwrap_or(0) as u64)),
+            ),
             ("rate_per_sec", Value::Num(Number::F(rate))),
             ("makespan_ns", Value::Num(Number::U(report.makespan))),
             (

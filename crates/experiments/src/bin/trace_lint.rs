@@ -5,7 +5,11 @@
 //! checks cover the structural schema (a `traceEvents` array whose
 //! entries carry `name`/`ph`/`pid`/`tid`, spans with numeric
 //! non-negative `ts`/`dur`), the simulator's guarantee that spans on one
-//! track never overlap, and the admission-track invariants of online
+//! track never overlap (each PCI bus of a multi-bus platform gets its
+//! own track, checked independently), the placement of transfers on
+//! interconnect tracks and compute on GPU tracks, the shard-merge
+//! invariant (per-track spans appear in canonical `(time, gpu)` order),
+//! and the admission-track invariants of online
 //! runs (time-ordered arrivals, no admit/defer before the arrival). The
 //! `--metrics` check validates histogram quantile ordering (p50 ≤ p99)
 //! and the latency-sample/completion-count agreement. Exit status: 0
@@ -69,8 +73,9 @@ fn main() {
     match obs::lint_chrome(&doc) {
         Ok(l) => println!(
             "{path}: OK — {} events ({} spans, {} instants, {} counters, {} metadata, \
-             {} admission) on {} tracks",
-            l.events, l.spans, l.instants, l.counters, l.metadata, l.admission, l.tracks
+             {} admission) on {} tracks ({} bus)",
+            l.events, l.spans, l.instants, l.counters, l.metadata, l.admission, l.tracks,
+            l.bus_tracks
         ),
         Err(e) => {
             eprintln!("{path}: invalid Chrome trace: {e}");

@@ -244,8 +244,22 @@ pub struct ChromeLint {
     pub metadata: usize,
     /// Distinct `tid`s seen.
     pub tracks: usize,
+    /// Distinct PCI-bus `tid`s seen (1 on single-bus platforms; one per
+    /// bus group on multi-bus platforms).
+    pub bus_tracks: usize,
     /// Admission-track instants (arrive/admit/defer), zero on batch runs.
     pub admission: usize,
+}
+
+/// Chrome `tid` ranges of the simulator's fixed track layout
+/// (`Track::tid` in the obs crate): GPUs are `0..1000`, the PCI buses
+/// `1000` (bus 0) and `1100 + n` (bus `n ≥ 1`), NVLink `1001`.
+fn is_bus_tid(tid: u64) -> bool {
+    tid == 1000 || (1100..2000).contains(&tid)
+}
+
+fn is_interconnect_tid(tid: u64) -> bool {
+    is_bus_tid(tid) || tid == 1001
 }
 
 fn num_of(v: &Value) -> Option<f64> {
@@ -267,8 +281,18 @@ fn require_num(ev: &Value, key: &str, i: usize) -> Result<f64, String> {
 /// Validate a parsed Chrome Trace Event JSON document: the structural
 /// schema (`traceEvents` array; every event carries `ph`/`pid`/`tid`;
 /// spans carry numeric non-negative `ts`/`dur`) plus the simulator's
-/// own guarantee that spans on one track never overlap (per-GPU compute
-/// is sequential and the buses are FIFO).
+/// own guarantees:
+///
+/// * spans on one track never overlap (per-GPU compute is sequential
+///   and each PCI bus is FIFO — on multi-bus platforms every bus group
+///   gets its own track, checked independently);
+/// * transfer spans live on interconnect tracks (a PCI bus or NVLink)
+///   and compute spans on GPU tracks — a transfer rendered onto a GPU
+///   track would hide a bus-serialization bug;
+/// * within each track, spans appear in the file in non-decreasing
+///   `ts` order — the canonical `(time, gpu)` trace order that the
+///   sharded tier's merge must reproduce byte-identically, surviving
+///   export (the shard-merge invariant).
 pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
     let events = doc
         .field("traceEvents", "trace")
@@ -283,6 +307,8 @@ pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
     // (tid, ts, ts+dur) of every span, for the per-track overlap check.
     let mut spans: Vec<(u64, f64, f64)> = Vec::new();
     let mut tids: Vec<u64> = Vec::new();
+    // Last span begin per track, for the canonical-order check.
+    let mut last_begin: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
     // Admission-track state: arrivals must be time-ordered, and a task
     // can only be admitted at or after its recorded arrival.
     let mut last_arrival = f64::NEG_INFINITY;
@@ -307,6 +333,28 @@ pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
                 if ts < 0.0 || dur < 0.0 {
                     return Err(format!("event {i}: negative ts/dur"));
                 }
+                match ev.field("cat", "event").ok().and_then(Value::as_str) {
+                    Some("transfer") if !is_interconnect_tid(tid) => {
+                        return Err(format!(
+                            "event {i}: transfer span on non-interconnect track {tid}"
+                        ));
+                    }
+                    Some("compute") if tid >= 1000 => {
+                        return Err(format!(
+                            "event {i}: compute span on non-GPU track {tid}"
+                        ));
+                    }
+                    _ => {}
+                }
+                if let Some(&prev) = last_begin.get(&tid) {
+                    if ts + EPS_US < prev {
+                        return Err(format!(
+                            "event {i}: track {tid} spans out of canonical order \
+                             ({ts} after {prev})"
+                        ));
+                    }
+                }
+                last_begin.insert(tid, last_begin.get(&tid).copied().unwrap_or(ts).max(ts));
                 spans.push((tid, ts, ts + dur));
             }
             "i" => {
@@ -365,6 +413,7 @@ pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
     tids.sort_unstable();
     tids.dedup();
     lint.tracks = tids.len();
+    lint.bus_tracks = tids.iter().filter(|&&t| is_bus_tid(t)).count();
 
     spans.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
     // ts/dur are microsecond doubles converted from exact nanosecond
@@ -498,6 +547,80 @@ mod tests {
         assert_eq!(suffix_path("results/t.json", "fig06"), "results/t.fig06.json");
         assert_eq!(suffix_path("trace", "fig03"), "trace.fig03");
         assert_eq!(suffix_path("a.b/trace", "fig03"), "a.b/trace.fig03");
+    }
+
+    fn lint_str(json: &str) -> Result<ChromeLint, String> {
+        lint_chrome(&serde_json::parse_value(json).expect("valid JSON"))
+    }
+
+    #[test]
+    fn multi_bus_trace_counts_bus_tracks() {
+        let lint = lint_str(
+            r#"{"traceEvents": [
+                {"name": "T0", "cat": "compute", "ph": "X", "pid": 0, "tid": 0,
+                 "ts": 0.0, "dur": 1.0},
+                {"name": "D0", "cat": "transfer", "ph": "X", "pid": 0, "tid": 1000,
+                 "ts": 0.0, "dur": 1.0},
+                {"name": "D1", "cat": "transfer", "ph": "X", "pid": 0, "tid": 1101,
+                 "ts": 0.0, "dur": 1.0}
+            ]}"#,
+        )
+        .expect("lintable");
+        assert_eq!(lint.spans, 3);
+        assert_eq!(lint.tracks, 3);
+        assert_eq!(lint.bus_tracks, 2, "bus 0 (tid 1000) + bus 1 (tid 1101)");
+    }
+
+    #[test]
+    fn transfer_span_on_gpu_track_is_rejected() {
+        let err = lint_str(
+            r#"{"traceEvents": [
+                {"name": "D0", "cat": "transfer", "ph": "X", "pid": 0, "tid": 3,
+                 "ts": 0.0, "dur": 1.0}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("non-interconnect"), "{err}");
+        let err = lint_str(
+            r#"{"traceEvents": [
+                {"name": "T0", "cat": "compute", "ph": "X", "pid": 0, "tid": 1000,
+                 "ts": 0.0, "dur": 1.0}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("non-GPU"), "{err}");
+    }
+
+    #[test]
+    fn spans_out_of_canonical_order_are_rejected() {
+        // Disjoint spans, so the overlap check alone would pass; only the
+        // shard-merge (canonical order) invariant catches the swap.
+        let err = lint_str(
+            r#"{"traceEvents": [
+                {"name": "D1", "cat": "transfer", "ph": "X", "pid": 0, "tid": 1000,
+                 "ts": 5.0, "dur": 1.0},
+                {"name": "D0", "cat": "transfer", "ph": "X", "pid": 0, "tid": 1000,
+                 "ts": 0.0, "dur": 1.0}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("canonical order"), "{err}");
+    }
+
+    #[test]
+    fn multi_bus_observed_run_lints_with_per_bus_tracks() {
+        use memsched_platform::{run_observed, PlatformSpec};
+        let ts = memsched_workloads::gemm_2d(6);
+        let tile = ts.data_size(memsched_model::DataId(0));
+        let spec = PlatformSpec::v100_multibus(4, 2).with_memory(16 * tile);
+        let mut sched = memsched_schedulers::DmdaScheduler::dmda();
+        let probe = Probe::unbounded();
+        run_observed(&ts, &spec, &mut sched, &RunConfig::default(), &probe).expect("run");
+        let text = chrome_trace_json(&probe.events()).expect("chrome export");
+        let doc = serde_json::parse_value(&text).expect("valid JSON");
+        let lint = lint_chrome(&doc).expect("multi-bus trace must lint clean");
+        assert_eq!(lint.bus_tracks, 2, "one track per bus group");
+        assert!(lint.spans > 0);
     }
 
     #[test]

@@ -112,13 +112,25 @@ pub fn bus_utilization(
     buckets: usize,
     makespan: Nanos,
 ) -> Result<Vec<f64>, WellFormedError> {
+    bus_utilization_on(events, 0, buckets, makespan)
+}
+
+/// [`bus_utilization`] for one specific PCI bus of a multi-bus platform
+/// (`bus` 0 is [`Track::Bus`], higher indices [`Track::BusN`]).
+pub fn bus_utilization_on(
+    events: &[ObsEvent],
+    bus: u32,
+    buckets: usize,
+    makespan: Nanos,
+) -> Result<Vec<f64>, WellFormedError> {
     let timeline = check_well_formed(events)?;
     let n = buckets.max(1);
     if makespan == 0 {
         return Ok(vec![0.0; n]);
     }
+    let track = if bus == 0 { Track::Bus } else { Track::BusN(bus) };
     let busy: Vec<(Nanos, Nanos)> = timeline
-        .spans_on(Track::Bus)
+        .spans_on(track)
         .map(|s| (s.begin.min(makespan), s.end.min(makespan)))
         .collect();
     let (merged, _) = merge(busy);
@@ -149,6 +161,7 @@ mod tests {
                 data,
                 bytes: 8,
                 bus_wait: grant - issue,
+                bus: 0,
                 peer: None,
                 attempt: 1,
             },
@@ -157,6 +170,7 @@ mod tests {
                 gpu,
                 data,
                 bytes: 8,
+                bus: 0,
                 peer: None,
                 attempt: 1,
                 delivered: true,
@@ -204,5 +218,21 @@ mod tests {
         assert_eq!(u, vec![1.0, 0.0]);
         let u4 = bus_utilization(&evs, 4, 200).unwrap();
         assert_eq!(u4, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn per_bus_utilization_separates_traffic() {
+        // Bus 1 busy 100..200; bus 0 idle throughout.
+        let mut evs: Vec<ObsEvent> = transfer(4, 0, 100, 100, 200).into();
+        for ev in &mut evs {
+            match ev {
+                ObsEvent::TransferBegin { bus, .. } | ObsEvent::TransferEnd { bus, .. } => {
+                    *bus = 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(bus_utilization_on(&evs, 0, 2, 200).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(bus_utilization_on(&evs, 1, 2, 200).unwrap(), vec![0.0, 1.0]);
     }
 }

@@ -40,6 +40,7 @@ fn sort_index(track: Track) -> u64 {
         Track::Gpu(g) => u64::from(g),
         Track::Bus => 100,
         Track::NvLink => 101,
+        Track::BusN(n) => 110 + u64::from(n),
         Track::Sched(g) => 200 + u64::from(g),
         Track::Global => 300,
         Track::Admission => 400,
@@ -279,6 +280,7 @@ mod tests {
                 data: 1,
                 bytes: 64,
                 bus_wait: 0,
+                bus: 0,
                 peer: None,
                 attempt: 1,
             },
@@ -287,6 +289,7 @@ mod tests {
                 gpu: 0,
                 data: 1,
                 bytes: 64,
+                bus: 0,
                 peer: None,
                 attempt: 1,
                 delivered: true,

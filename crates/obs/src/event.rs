@@ -18,8 +18,12 @@ pub type Nanos = u64;
 pub enum Track {
     /// Compute, evictions and fault instants of one GPU.
     Gpu(u32),
-    /// The shared FIFO PCI bus (host-to-device transfers).
+    /// The shared FIFO PCI bus (host-to-device transfers). On multi-bus
+    /// platforms this is bus 0; higher buses get [`Track::BusN`] tracks.
     Bus,
+    /// PCI bus `n ≥ 1` of a multi-bus platform (`PlatformSpec::bus_groups`).
+    /// Bus 0 stays [`Track::Bus`], so single-bus traces are unchanged.
+    BusN(u32),
     /// The peer-to-peer NVLink interconnect.
     NvLink,
     /// Scheduler activity (decisions, steals, queue gauges) for one GPU.
@@ -37,6 +41,7 @@ impl Track {
         match self {
             Track::Gpu(g) => format!("GPU {g}"),
             Track::Bus => "PCI bus".to_string(),
+            Track::BusN(n) => format!("PCI bus {n}"),
             Track::NvLink => "NVLink".to_string(),
             Track::Sched(g) => format!("sched GPU {g}"),
             Track::Global => "scheduler (global)".to_string(),
@@ -50,6 +55,8 @@ impl Track {
             Track::Gpu(g) => u64::from(*g),
             Track::Bus => 1000,
             Track::NvLink => 1001,
+            // 1100+n keeps clear of NvLink's 1001 for any realistic n.
+            Track::BusN(n) => 1100 + u64::from(*n),
             Track::Sched(g) => 2000 + u64::from(*g),
             Track::Global => 3000,
             Track::Admission => 4000,
@@ -61,6 +68,7 @@ impl Track {
         match self {
             Track::Gpu(g) => format!("g{g}"),
             Track::Bus => "bus".to_string(),
+            Track::BusN(n) => format!("bus{n}"),
             Track::NvLink => "nvlink".to_string(),
             Track::Sched(g) => format!("s{g}"),
             Track::Global => "sched".to_string(),
@@ -112,6 +120,9 @@ pub enum ObsEvent {
         bytes: u64,
         /// Time spent queued behind earlier transfers before the grant.
         bus_wait: Nanos,
+        /// PCI bus the destination GPU hangs off (0 on single-bus
+        /// platforms; ignored for NVLink transfers).
+        bus: u32,
         /// Source GPU for peer-to-peer transfers.
         peer: Option<u32>,
         /// 1-based attempt number (>1 after fault retries).
@@ -129,6 +140,8 @@ pub enum ObsEvent {
         data: u32,
         /// Payload size.
         bytes: u64,
+        /// PCI bus of the begin (0 on single-bus platforms).
+        bus: u32,
         /// Source GPU for peer-to-peer transfers.
         peer: Option<u32>,
         /// Attempt number matching the begin.
@@ -296,11 +309,14 @@ impl ObsEvent {
     /// The track the event lives on.
     pub fn track(&self) -> Track {
         match *self {
-            ObsEvent::TransferBegin { peer, .. } | ObsEvent::TransferEnd { peer, .. } => {
+            ObsEvent::TransferBegin { peer, bus, .. }
+            | ObsEvent::TransferEnd { peer, bus, .. } => {
                 if peer.is_some() {
                     Track::NvLink
-                } else {
+                } else if bus == 0 {
                     Track::Bus
+                } else {
+                    Track::BusN(bus)
                 }
             }
             ObsEvent::ComputeBegin { gpu, .. }
@@ -353,6 +369,7 @@ mod tests {
             data: 2,
             bytes: 8,
             bus_wait: 0,
+            bus: 0,
             peer: None,
             attempt: 1,
         };
@@ -362,11 +379,26 @@ mod tests {
             gpu: 1,
             data: 2,
             bytes: 8,
+            bus: 0,
             peer: Some(0),
             attempt: 1,
             delivered: true,
         };
         assert_eq!(p2p.track(), Track::NvLink);
+        let second_bus = ObsEvent::TransferBegin {
+            t: 0,
+            gpu: 4,
+            data: 2,
+            bytes: 8,
+            bus_wait: 0,
+            bus: 1,
+            peer: None,
+            attempt: 1,
+        };
+        assert_eq!(second_bus.track(), Track::BusN(1));
+        assert_eq!(Track::BusN(1).tid(), 1101);
+        assert_eq!(Track::BusN(2).label(), "PCI bus 2");
+        assert_eq!(Track::BusN(3).paje_alias(), "bus3");
         let dec = ObsEvent::Decision {
             t: 9,
             gpu: 3,

@@ -32,7 +32,7 @@ pub mod paje;
 pub mod sink;
 pub mod wellformed;
 
-pub use breakdown::{bus_utilization, gpu_breakdowns, GpuBreakdown};
+pub use breakdown::{bus_utilization, bus_utilization_on, gpu_breakdowns, GpuBreakdown};
 pub use chrome::{chrome_trace, chrome_trace_json};
 pub use event::{GaugeKind, Nanos, ObsEvent, Track};
 pub use metrics::{Counter, Histogram, Metrics, Snapshot};

@@ -456,6 +456,7 @@ mod tests {
                 data: 7,
                 bytes: 64,
                 bus_wait: 0,
+                bus: 0,
                 peer: None,
                 attempt: 1,
             },
@@ -464,6 +465,7 @@ mod tests {
                 gpu: 0,
                 data: 7,
                 bytes: 64,
+                bus: 0,
                 peer: None,
                 attempt: 1,
                 delivered: false,
@@ -475,6 +477,7 @@ mod tests {
                 data: 7,
                 bytes: 64,
                 bus_wait: 100,
+                bus: 0,
                 peer: None,
                 attempt: 2,
             },
@@ -483,6 +486,7 @@ mod tests {
                 gpu: 0,
                 data: 7,
                 bytes: 64,
+                bus: 0,
                 peer: None,
                 attempt: 2,
                 delivered: true,

@@ -102,7 +102,7 @@ struct Line {
 fn state_type(track: Track) -> &'static str {
     match track {
         Track::Gpu(_) => "ST",
-        Track::Bus | Track::NvLink => "LT",
+        Track::Bus | Track::BusN(_) | Track::NvLink => "LT",
         // The admission track only carries instants; the arm exists for
         // exhaustiveness.
         Track::Sched(_) | Track::Global | Track::Admission => "ST",
@@ -180,7 +180,7 @@ pub fn paje_trace(events: &[ObsEvent]) -> Result<String, WellFormedError> {
     for track in &tracks {
         let ctype = match track {
             Track::Gpu(_) => "CG",
-            Track::Bus | Track::NvLink => "CB",
+            Track::Bus | Track::BusN(_) | Track::NvLink => "CB",
             Track::Sched(_) | Track::Global => "CS",
             Track::Admission => "CA",
         };
@@ -248,7 +248,7 @@ pub fn paje_trace(events: &[ObsEvent]) -> Result<String, WellFormedError> {
     for track in &tracks {
         let ctype = match track {
             Track::Gpu(_) => "CG",
-            Track::Bus | Track::NvLink => "CB",
+            Track::Bus | Track::BusN(_) | Track::NvLink => "CB",
             Track::Sched(_) | Track::Global => "CS",
             Track::Admission => "CA",
         };
@@ -271,6 +271,7 @@ mod tests {
                 data: 0,
                 bytes: 8,
                 bus_wait: 0,
+                bus: 0,
                 peer: None,
                 attempt: 1,
             },
@@ -280,6 +281,7 @@ mod tests {
                 data: 1,
                 bytes: 8,
                 bus_wait: 100,
+                bus: 0,
                 peer: None,
                 attempt: 1,
             },
@@ -288,6 +290,7 @@ mod tests {
                 gpu: 0,
                 data: 0,
                 bytes: 8,
+                bus: 0,
                 peer: None,
                 attempt: 1,
                 delivered: true,
@@ -297,6 +300,7 @@ mod tests {
                 gpu: 1,
                 data: 1,
                 bytes: 8,
+                bus: 0,
                 peer: None,
                 attempt: 1,
                 delivered: true,

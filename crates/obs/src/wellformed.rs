@@ -177,6 +177,7 @@ fn make_span(begin: &ObsEvent, end: &ObsEvent) -> Span {
                 data,
                 bytes,
                 bus_wait,
+                bus: _,
                 peer,
                 attempt,
             },
@@ -258,6 +259,7 @@ mod tests {
             data,
             bytes: 10,
             bus_wait: 0,
+            bus: 0,
             peer: None,
             attempt: 1,
         }
@@ -269,10 +271,42 @@ mod tests {
             gpu: 0,
             data,
             bytes: 10,
+            bus: 0,
             peer: None,
             attempt: 1,
             delivered: true,
         }
+    }
+
+    #[test]
+    fn bus_tracks_pair_and_check_independently() {
+        // Overlapping-in-time transfers on two different buses are fine:
+        // pairing and the overlap check are per track.
+        let on_bus = |mut ev: ObsEvent, b: u32| {
+            match &mut ev {
+                ObsEvent::TransferBegin { bus, gpu, .. }
+                | ObsEvent::TransferEnd { bus, gpu, .. } => {
+                    *bus = b;
+                    *gpu = b;
+                }
+                _ => unreachable!(),
+            }
+            ev
+        };
+        let evs = vec![
+            on_bus(tb(0, 0), 0),
+            on_bus(tb(2, 1), 1),
+            on_bus(te(8, 0), 0),
+            on_bus(te(9, 1), 1),
+        ];
+        let tl = check_well_formed(&evs).unwrap();
+        assert_eq!(tl.spans_on(Track::Bus).count(), 1);
+        assert_eq!(tl.spans_on(Track::BusN(1)).count(), 1);
+        // The same two spans on one bus DO overlap and must be rejected.
+        let evs = vec![tb(0, 0), tb(2, 1), te(8, 0), te(9, 1)];
+        // FIFO pairing yields spans (0,8) and (2,9) on Track::Bus.
+        let err = check_well_formed(&evs).unwrap_err();
+        assert!(err.message.contains("overlapping"), "{err}");
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct TraceAnalysis {
     pub transfer_retries: usize,
     /// Capacity-change steps from injected shrinks observed in the trace.
     pub capacity_shrinks: usize,
+    /// Covered transfer time per PCI bus (index = bus id). One entry —
+    /// equal to `bus_busy` — when the analysis ran without a platform
+    /// spec or on a single-bus platform. Transfers are attributed to the
+    /// destination GPU's bus.
+    pub per_bus_busy: Vec<Nanos>,
 }
 
 impl TraceAnalysis {
@@ -143,6 +148,7 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
                 data: data as u32,
                 bytes: 0,
                 bus_wait: 0,
+                bus: 0,
                 peer: None,
                 attempt: 1,
             }),
@@ -151,6 +157,7 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
                 gpu: gpu as u32,
                 data: data as u32,
                 bytes: 0,
+                bus: 0,
                 peer: None,
                 attempt: 1,
                 delivered: true,
@@ -241,6 +248,20 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
 /// disagree. The interval math (overlap, busy time) stays local: it
 /// needs the paired starts the registry does not retain.
 pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
+    analyze_multibus(trace, num_gpus, None)
+}
+
+/// As [`analyze`], additionally splitting transfer time per PCI bus
+/// when the run's [`crate::PlatformSpec`] is available (`spec` carries
+/// the bus grouping; `None` folds everything onto one bus).
+pub fn analyze_multibus(
+    trace: &[TraceEvent],
+    num_gpus: usize,
+    spec: Option<&crate::PlatformSpec>,
+) -> TraceAnalysis {
+    let num_buses = spec.map_or(1, |s| s.num_buses());
+    let bus_of = |g: usize| spec.map_or(0, |s| s.bus_of(g));
+    let mut per_bus: Vec<Vec<(Nanos, Nanos)>> = vec![Vec::new(); num_buses];
     let mut transfers: Vec<(Nanos, Nanos)> = Vec::new();
     let mut compute: Vec<(Nanos, Nanos)> = Vec::new();
     let mut gpu_busy = vec![0; num_gpus];
@@ -250,8 +271,9 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
 
     for ev in trace {
         match *ev {
-            TraceEvent::LoadIssued { at, done_at, .. } => {
+            TraceEvent::LoadIssued { at, gpu, done_at, .. } => {
                 transfers.push((at, done_at));
+                per_bus[bus_of(gpu)].push((at, done_at));
                 makespan = makespan.max(done_at);
             }
             TraceEvent::LoadDone { at, .. } => {
@@ -315,6 +337,7 @@ pub fn analyze(trace: &[TraceEvent], num_gpus: usize) -> TraceAnalysis {
         // The registry deliberately does not count shrink steps (they
         // are capacity states, not events a policy can influence).
         capacity_shrinks,
+        per_bus_busy: per_bus.into_iter().map(covered).collect(),
     }
 }
 
@@ -517,6 +540,7 @@ mod tests {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         };
         let (report, trace) = run_with_config(
             &ts,
@@ -573,6 +597,7 @@ mod tests {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         };
         // Heavy transient fault rate so retries actually fire.
         let faults = FaultPlan::none().with_transfer_faults(TransferFaultSpec {

@@ -93,7 +93,7 @@ impl Default for RunConfig {
 impl RunConfig {
     /// Whether the reference (pre-refactor) engine core drives this run.
     #[inline]
-    fn use_naive_core(&self) -> bool {
+    pub(crate) fn use_naive_core(&self) -> bool {
         #[cfg(feature = "naive")]
         {
             self.naive_core
@@ -301,54 +301,7 @@ fn run_inner(
     }
     let prepare_wall = prepare_started.elapsed().as_nanos() as Nanos;
 
-    let mut st = State {
-        now: 0,
-        seq: 0,
-        events: EventQueue::new(config.use_naive_core()),
-        mem: (0..k)
-            .map(|_| GpuMemory::new(spec.memory_bytes, ts.num_data()))
-            .collect(),
-        missing: MissingCache::new(ts, k),
-        pipeline: Pipelines::new(k, spec.pipeline_depth),
-        running: vec![false; k],
-        stalled_pop: vec![false; k],
-        dirty: vec![true; k],
-        reference_core: config.use_naive_core(),
-        gpu_free_at: vec![0; k],
-        bus_free_at: 0,
-        nvlink_free_at: 0,
-        busy: vec![0; k],
-        tasks_done: vec![0; k],
-        nvlink_loads: vec![0; k],
-        nvlink_bytes: vec![0; k],
-        completed: 0,
-        flops_done: 0.0,
-        // A batch run emits one LoadIssued+LoadDone pair per load plus a
-        // TaskStarted/TaskFinished pair per task; 4·m is a generous head
-        // start that kills reallocation churn in `Full` mode.
-        trace: TraceSink::new(config.trace, 4 * m + 64),
-        dead: vec![false; k],
-        speed: vec![1.0; k],
-        pending_shrinks: Vec::new(),
-        transfer_checks: 0,
-        retries: 0,
-        redispatched: 0,
-        failures: 0,
-        lane_last: vec![0; k],
-        inflight: vec![0; k],
-        stall: vec![0; k],
-        online,
-        released: if online { vec![false; m] } else { Vec::new() },
-        backlog: 0,
-        deferred: VecDeque::new(),
-        latencies: Vec::with_capacity(if online { m } else { 0 }),
-        queueing: Vec::with_capacity(if online { m } else { 0 }),
-        admitted: 0,
-        deferrals: 0,
-        protect: Vec::new(),
-        merge_scratch: Vec::new(),
-        obs,
-    };
+    let mut st = new_state(ts, spec, config, online, config.trace, obs);
 
     // Seed the fault timeline. With the default empty plan this pushes
     // nothing, so event sequence numbering — and therefore every
@@ -359,15 +312,7 @@ fn run_inner(
             .faults
             .validate(k)
             .map_err(RunError::InvalidFaultPlan)?;
-        for (i, f) in config.faults.gpu_failures.iter().enumerate() {
-            st.push_event(f.at, Event::GpuFail { idx: i as u32 });
-        }
-        for (i, s) in config.faults.capacity_shrinks.iter().enumerate() {
-            st.push_event(s.at, Event::Shrink { idx: i as u32 });
-        }
-        for (i, s) in config.faults.stragglers.iter().enumerate() {
-            st.push_event(s.at, Event::Straggle { idx: i as u32 });
-        }
+        seed_faults(&mut st, config, |_| true);
     }
 
     let mut sched_wall: Vec<Nanos> = vec![0; k];
@@ -393,22 +338,10 @@ fn run_inner(
         }
     }
     let naive_core = config.use_naive_core();
+    let gpu_ids: Vec<usize> = (0..k).collect();
     let mut processed: u64 = 0;
     loop {
-        // Worklist: only GPUs whose local state changed since their last
-        // pass can act (an event touched them, a wake cleared their stall
-        // latch, or a memory-blocked prefetch must re-ask for a victim).
-        // A clean GPU's pipeline is full-or-stalled and its last pass
-        // already issued every issuable prefetch, so skipping it takes
-        // the exact same decisions as the reference core's full scan —
-        // the differential proptests pin this. The naive core scans all.
-        for g in 0..k {
-            if st.dead[g] || !(naive_core || st.dirty[g]) {
-                continue;
-            }
-            st.dirty[g] = false;
-            progress(ts, spec, scheduler, &mut st, &mut sched_wall, g)?;
-        }
+        sweep(ts, spec, scheduler, &mut st, &mut sched_wall, naive_core, &gpu_ids)?;
         if st.completed == m {
             break;
         }
@@ -425,7 +358,27 @@ fn run_inner(
         if processed > config.max_events {
             return Err(RunError::EventBudgetExceeded);
         }
-        match ev {
+        handle_event(ts, spec, scheduler, &mut st, &mut sched_wall, config, m, ev)?;
+    }
+    Ok(finish_run(ts, spec, scheduler, st, sched_wall, prepare_wall, online, m))
+}
+
+/// Dispatch one popped event at `st.now`: the body of the serial event
+/// loop, factored out so the sharded tier ([`ShardSim`]) drives the
+/// byte-identical code path. `total` is the run's task count, consulted
+/// by the all-GPUs-failed early exit.
+#[allow(clippy::too_many_arguments)]
+fn handle_event(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    config: &RunConfig,
+    total: usize,
+    ev: Event,
+) -> Result<(), RunError> {
+    match ev {
             Event::TransferDone {
                 gpu,
                 data,
@@ -454,9 +407,11 @@ fn run_inner(
                         }
                         st.retries += 1;
                         let size = ts.data_size(d);
-                        let start = st.bus_free_at.max(st.now + tf.backoff(attempt));
+                        let bus = spec.bus_of(g);
+                        let start = st.buses[bus].max(st.now + tf.backoff(attempt));
                         let done = start + spec.transfer_time(size);
-                        st.bus_free_at = done;
+                        st.buses[bus] = done;
+                        st.bus_busy[bus] += done - start;
                         st.push_event(
                             done,
                             Event::TransferDone {
@@ -485,6 +440,7 @@ fn run_inner(
                                 gpu,
                                 data,
                                 bytes: size,
+                                bus: bus as u32,
                                 peer: (src != FROM_HOST).then_some(src),
                                 attempt,
                                 delivered: false,
@@ -501,15 +457,16 @@ fn run_inner(
                                 data,
                                 bytes: size,
                                 bus_wait: start - st.now,
+                                bus: bus as u32,
                                 peer: None,
                                 attempt: attempt + 1,
                             });
                         }
                         let view = st.view(ts, spec);
-                        timed(&mut sched_wall, g, || {
+                        timed(sched_wall, g, || {
                             scheduler.on_transfer_retry(GpuId(gpu), d, attempt + 1, &view)
                         });
-                        continue;
+                        return Ok(());
                     }
                 }
                 st.lane_advance(g);
@@ -536,6 +493,7 @@ fn run_inner(
                         gpu,
                         data,
                         bytes: ts.data_size(d),
+                        bus: spec.bus_of(g) as u32,
                         peer: (src != FROM_HOST).then_some(src),
                         attempt,
                         delivered: true,
@@ -546,12 +504,12 @@ fn run_inner(
                 // counts change when a load lands).
                 st.wake_all();
                 let view = st.view(ts, spec);
-                timed(&mut sched_wall, g, || {
+                timed(sched_wall, g, || {
                     scheduler.on_data_loaded(GpuId(gpu), d, &view)
                 });
                 // The load turned Loading bytes into evictable Resident
                 // bytes: a deferred fault shrink may now complete.
-                retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g);
+                retry_pending_shrinks(ts, spec, scheduler, st, sched_wall, g);
             }
             Event::TaskDone { gpu, task } => {
                 let g = gpu as usize;
@@ -559,7 +517,7 @@ fn run_inner(
                     // Stale completion of a task lost to a fail-stop
                     // fault: the task was returned to the scheduler when
                     // the GPU died and will run elsewhere.
-                    continue;
+                    return Ok(());
                 }
                 let t = TaskId(task);
                 debug_assert!(st.running[g] && st.pipeline.front(g) == Some(t));
@@ -597,23 +555,23 @@ fn run_inner(
                 // (stealing, shared queues).
                 st.wake_all();
                 let view = st.view(ts, spec);
-                timed(&mut sched_wall, g, || {
+                timed(sched_wall, g, || {
                     scheduler.on_task_complete(GpuId(gpu), t, &view)
                 });
                 // The completion released pins: a deferred fault shrink
                 // may now complete.
-                retry_pending_shrinks(ts, spec, scheduler, &mut st, &mut sched_wall, g);
+                retry_pending_shrinks(ts, spec, scheduler, st, sched_wall, g);
                 // The completion freed backlog (and possibly memory): the
                 // deferred-arrival queue may admit again. Completions are
                 // the only event that can improve admissibility —
                 // capacities only ever shrink — so this is the sole retry
                 // point.
-                retry_deferred(ts, spec, scheduler, &mut st, &mut sched_wall, config);
+                retry_deferred(ts, spec, scheduler, st, sched_wall, config);
             }
             Event::GpuFail { idx } => {
                 let g = config.faults.gpu_failures[idx as usize].gpu;
                 if st.dead[g] {
-                    continue;
+                    return Ok(());
                 }
                 st.lane_advance(g);
                 st.dead[g] = true;
@@ -654,27 +612,27 @@ fn run_inner(
                 // policy's routing state.
                 st.wake_all();
                 let view = st.view(ts, spec);
-                timed(&mut sched_wall, g, || {
+                timed(sched_wall, g, || {
                     scheduler.on_gpu_failed(GpuId(g as u32), &lost, &view)
                 });
-                if st.dead.iter().all(|&x| x) && st.completed < m {
+                if st.dead.iter().all(|&x| x) && st.completed < total {
                     return Err(RunError::AllGpusFailed {
                         completed: st.completed,
-                        total: m,
+                        total,
                     });
                 }
             }
             Event::Shrink { idx } => {
                 let s = config.faults.capacity_shrinks[idx as usize];
                 if st.dead[s.gpu] {
-                    continue;
+                    return Ok(());
                 }
                 let fully = apply_shrink(
                     ts,
                     spec,
                     scheduler,
-                    &mut st,
-                    &mut sched_wall,
+                    st,
+                    sched_wall,
                     s.gpu,
                     s.new_capacity,
                 );
@@ -687,7 +645,7 @@ fn run_inner(
             Event::Straggle { idx } => {
                 let s = config.faults.stragglers[idx as usize];
                 if st.dead[s.gpu] {
-                    continue;
+                    return Ok(());
                 }
                 st.speed[s.gpu] = s.factor;
                 st.dirty[s.gpu] = true;
@@ -707,11 +665,54 @@ fn run_inner(
                 }
             }
             Event::Arrive { task } => {
-                arrive(ts, spec, scheduler, &mut st, &mut sched_wall, config, TaskId(task));
+                arrive(ts, spec, scheduler, st, sched_wall, config, TaskId(task));
             }
-        }
     }
+    Ok(())
+}
 
+/// Per-round worklist sweep over `gpus`: only GPUs whose local state
+/// changed since their last pass can act (an event touched them, a wake
+/// cleared their stall latch, or a memory-blocked prefetch must re-ask
+/// for a victim). A clean GPU's pipeline is full-or-stalled and its last
+/// pass already issued every issuable prefetch, so skipping it takes the
+/// exact same decisions as the reference core's full scan — the
+/// differential proptests pin this. The naive core scans all. The serial
+/// loop sweeps every GPU; a [`ShardSim`] sweeps its bus group only.
+fn sweep(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    st: &mut State,
+    sched_wall: &mut [Nanos],
+    naive_core: bool,
+    gpus: &[usize],
+) -> Result<(), RunError> {
+    for &g in gpus {
+        if st.dead[g] || !(naive_core || st.dirty[g]) {
+            continue;
+        }
+        st.dirty[g] = false;
+        progress(ts, spec, scheduler, st, sched_wall, g)?;
+    }
+    Ok(())
+}
+
+/// Close the run's accounting and assemble the report: the serial core's
+/// epilogue, shared verbatim between [`run_inner`] and the sharded
+/// tier's per-shard finalization.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    scheduler: &mut dyn Scheduler,
+    mut st: State,
+    sched_wall: Vec<Nanos>,
+    prepare_wall: Nanos,
+    online: bool,
+    m: usize,
+) -> (RunReport, Vec<TraceEvent>) {
+    let k = spec.num_gpus;
     // Close the stall accounting at the makespan, then close transfer
     // spans still in flight (prefetches issued for tasks that were no
     // longer needed once the last task finished). The event heap pops in
@@ -734,6 +735,7 @@ fn run_inner(
                     gpu,
                     data,
                     bytes: ts.data_size(DataId(data)),
+                    bus: spec.bus_of(gpu as usize) as u32,
                     peer: (src != FROM_HOST).then_some(src),
                     attempt,
                     delivered: false,
@@ -743,18 +745,7 @@ fn run_inner(
     }
 
     let per_gpu: Vec<GpuRunStats> = (0..k)
-        .map(|g| GpuRunStats {
-            tasks: st.tasks_done[g],
-            loads: st.mem[g].loads,
-            load_bytes: st.mem[g].load_bytes,
-            evictions: st.mem[g].evictions,
-            busy: st.busy[g],
-            stall: st.stall[g],
-            idle: st.now.saturating_sub(st.busy[g] + st.stall[g]),
-            sched_wall: sched_wall[g],
-            nvlink_loads: st.nvlink_loads[g],
-            nvlink_bytes: st.nvlink_bytes[g],
-        })
+        .map(|g| gpu_stats(&st, &sched_wall, st.now, g))
         .collect();
     let sink = std::mem::replace(&mut st.trace, TraceSink::Off);
     let (trace, trace_checksum) = sink.finish();
@@ -771,6 +762,8 @@ fn run_inner(
         transfer_retries: st.retries,
         gpu_failures: st.failures,
         tasks_redispatched: st.redispatched,
+        bus_busy_ns: st.bus_busy.clone(),
+        sharding: None,
         online: online.then(|| {
             st.latencies.sort_unstable();
             st.queueing.sort_unstable();
@@ -795,7 +788,112 @@ fn run_inner(
         }),
         trace_checksum,
     };
-    Ok((report, trace))
+    (report, trace)
+}
+
+/// One GPU's [`GpuRunStats`] snapshot; `makespan` is the run's global
+/// makespan (a shard's local clock stops early, so the sharded merge
+/// recomputes idle time against the coordinator's global makespan).
+fn gpu_stats(st: &State, sched_wall: &[Nanos], makespan: Nanos, g: usize) -> GpuRunStats {
+    GpuRunStats {
+        tasks: st.tasks_done[g],
+        loads: st.mem[g].loads,
+        load_bytes: st.mem[g].load_bytes,
+        evictions: st.mem[g].evictions,
+        busy: st.busy[g],
+        stall: st.stall[g],
+        idle: makespan.saturating_sub(st.busy[g] + st.stall[g]),
+        sched_wall: sched_wall[g],
+        nvlink_loads: st.nvlink_loads[g],
+        nvlink_bytes: st.nvlink_bytes[g],
+    }
+}
+
+/// Fresh engine state for `ts` on `spec`. `trace` is passed separately
+/// from `config.trace` because sharded runs record `Full` internally
+/// even in `Checksum` mode (the checksum folds over the canonically
+/// merged stream, see `crate::shard`).
+fn new_state(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    config: &RunConfig,
+    online: bool,
+    trace: TraceMode,
+    obs: Option<Probe>,
+) -> State {
+    let k = spec.num_gpus;
+    let m = ts.num_tasks();
+    State {
+        now: 0,
+        seq: 0,
+        events: EventQueue::new(config.use_naive_core()),
+        mem: (0..k)
+            .map(|_| GpuMemory::new(spec.memory_bytes, ts.num_data()))
+            .collect(),
+        missing: MissingCache::new(ts, k),
+        pipeline: Pipelines::new(k, spec.pipeline_depth),
+        running: vec![false; k],
+        stalled_pop: vec![false; k],
+        dirty: vec![true; k],
+        reference_core: config.use_naive_core(),
+        gpu_free_at: vec![0; k],
+        buses: vec![0; spec.num_buses()],
+        bus_busy: vec![0; spec.num_buses()],
+        nvlink_free_at: 0,
+        busy: vec![0; k],
+        tasks_done: vec![0; k],
+        nvlink_loads: vec![0; k],
+        nvlink_bytes: vec![0; k],
+        completed: 0,
+        flops_done: 0.0,
+        // A batch run emits one LoadIssued+LoadDone pair per load plus a
+        // TaskStarted/TaskFinished pair per task; 4·m is a generous head
+        // start that kills reallocation churn in `Full` mode.
+        trace: TraceSink::new(trace, 4 * m + 64),
+        dead: vec![false; k],
+        speed: vec![1.0; k],
+        pending_shrinks: Vec::new(),
+        transfer_checks: 0,
+        retries: 0,
+        redispatched: 0,
+        failures: 0,
+        lane_last: vec![0; k],
+        inflight: vec![0; k],
+        stall: vec![0; k],
+        online,
+        released: if online { vec![false; m] } else { Vec::new() },
+        backlog: 0,
+        deferred: VecDeque::new(),
+        latencies: Vec::with_capacity(if online { m } else { 0 }),
+        queueing: Vec::with_capacity(if online { m } else { 0 }),
+        admitted: 0,
+        deferrals: 0,
+        protect: Vec::new(),
+        merge_scratch: Vec::new(),
+        obs,
+    }
+}
+
+/// Seed the fault timeline for every fault whose GPU satisfies `keep`,
+/// preserving plan indices (events reference the plan by index) and the
+/// plan-order seeding sequence — so a shard's same-time fault tie-breaks
+/// match the serial run's restriction to that shard's GPUs.
+fn seed_faults(st: &mut State, config: &RunConfig, keep: impl Fn(usize) -> bool) {
+    for (i, f) in config.faults.gpu_failures.iter().enumerate() {
+        if keep(f.gpu) {
+            st.push_event(f.at, Event::GpuFail { idx: i as u32 });
+        }
+    }
+    for (i, s) in config.faults.capacity_shrinks.iter().enumerate() {
+        if keep(s.gpu) {
+            st.push_event(s.at, Event::Shrink { idx: i as u32 });
+        }
+    }
+    for (i, s) in config.faults.stragglers.iter().enumerate() {
+        if keep(s.gpu) {
+            st.push_event(s.at, Event::Straggle { idx: i as u32 });
+        }
+    }
 }
 
 /// Nearest-rank quantile of an ascending-sorted sample (0 when empty).
@@ -833,7 +931,14 @@ struct State {
     /// all-resident fast path). `false` selects the flat core.
     reference_core: bool,
     gpu_free_at: Vec<Nanos>,
-    bus_free_at: Nanos,
+    /// Per-bus drain time: when PCI bus `b` finishes its queued
+    /// transfers (index [`PlatformSpec::bus_of`]). Single-bus platforms
+    /// use one slot, so the arithmetic is bit-identical to the
+    /// historical scalar field.
+    buses: Vec<Nanos>,
+    /// Per-bus occupied time (sum of granted transfer durations) —
+    /// the report's `bus_busy_ns`.
+    bus_busy: Vec<Nanos>,
     nvlink_free_at: Nanos,
     busy: Vec<Nanos>,
     tasks_done: Vec<usize>,
@@ -906,7 +1011,7 @@ impl State {
             memories: &self.mem,
             buffers: &self.pipeline,
             missing: &self.missing,
-            bus_free_at: self.bus_free_at,
+            buses: &self.buses,
             gpu_free_at: &self.gpu_free_at,
             dead: &self.dead,
         }
@@ -1148,9 +1253,11 @@ fn progress(
                     (done, start, h as u32)
                 }
                 None => {
-                    let start = st.bus_free_at.max(st.now);
+                    let bus = spec.bus_of(g);
+                    let start = st.buses[bus].max(st.now);
                     let done = start + spec.transfer_time(size);
-                    st.bus_free_at = done;
+                    st.buses[bus] = done;
+                    st.bus_busy[bus] += done - start;
                     (done, start, FROM_HOST)
                 }
             };
@@ -1181,6 +1288,7 @@ fn progress(
                     data: raw,
                     bytes: size,
                     bus_wait: start - st.now,
+                    bus: spec.bus_of(g) as u32,
                     peer: (src != FROM_HOST).then_some(src),
                     attempt: 1,
                 });
@@ -1544,6 +1652,176 @@ fn retry_deferred(
     }
 }
 
+/// Why a [`ShardSim::advance`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ShardStep {
+    /// The shard completed its share of tasks (and, exactly like the
+    /// serial core, ran one more worklist sweep after the final
+    /// completion before stopping).
+    Done,
+    /// The next event lies beyond the window horizon, or the event queue
+    /// drained without reaching the completion target (the coordinator
+    /// distinguishes the two via [`ShardSim::next_event_time`]).
+    Horizon,
+}
+
+/// One bus-group shard of the sharded simulation tier: the flat serial
+/// engine core restricted to a subset of GPUs, advanced incrementally
+/// under the coordinator's conservative time windows (`crate::shard`).
+///
+/// A shard owns a full-size [`State`] (GPU-indexed vectors cover the
+/// whole platform) but only its own GPUs ever receive events, sweeps or
+/// faults, so the state it evolves is exactly the serial run's state
+/// projected onto the shard — the invariant behind the byte-identical
+/// merge. Batch mode only; the coordinator falls back to the serial
+/// core for anything this struct does not model (admission loops,
+/// transfer faults, NVLink, probes, the naive reference core).
+pub(crate) struct ShardSim {
+    st: State,
+    sched_wall: Vec<Nanos>,
+    /// GPUs of this shard's bus group, in ascending index order (sweep
+    /// order must match the serial core's `0..k` scan restricted to the
+    /// group).
+    gpus: Vec<usize>,
+    /// Events processed by this shard (the coordinator sums shards
+    /// against `RunConfig::max_events`).
+    processed: u64,
+}
+
+impl ShardSim {
+    /// Build the shard over `gpus`, seeding only faults that target its
+    /// GPUs. The caller has already validated the fault plan and
+    /// guaranteed batch mode.
+    pub(crate) fn new(
+        ts: &TaskSet,
+        spec: &PlatformSpec,
+        config: &RunConfig,
+        trace: TraceMode,
+        gpus: Vec<usize>,
+    ) -> Self {
+        let k = spec.num_gpus;
+        let mut st = new_state(ts, spec, config, false, trace, None);
+        if !config.faults.is_empty() {
+            let mut mine = vec![false; k];
+            for &g in &gpus {
+                mine[g] = true;
+            }
+            seed_faults(&mut st, config, |g| mine[g]);
+        }
+        Self {
+            st,
+            sched_wall: vec![0; k],
+            gpus,
+            processed: 0,
+        }
+    }
+
+    /// Run the serial loop restricted to this shard until the shard has
+    /// completed `stop_at` tasks or its next event passes `horizon`
+    /// (inclusive). Mirrors `run_inner` exactly: sweep, check the
+    /// completion target, pop, dispatch.
+    pub(crate) fn advance(
+        &mut self,
+        ts: &TaskSet,
+        spec: &PlatformSpec,
+        scheduler: &mut dyn Scheduler,
+        config: &RunConfig,
+        horizon: Nanos,
+        stop_at: usize,
+    ) -> Result<ShardStep, RunError> {
+        let total = ts.num_tasks();
+        loop {
+            sweep(
+                ts,
+                spec,
+                scheduler,
+                &mut self.st,
+                &mut self.sched_wall,
+                false,
+                &self.gpus,
+            )?;
+            if self.st.completed >= stop_at {
+                return Ok(ShardStep::Done);
+            }
+            let Some(t) = self.st.events.peek_time() else {
+                return Ok(ShardStep::Horizon);
+            };
+            if t > horizon {
+                return Ok(ShardStep::Horizon);
+            }
+            let (time, _, ev) = self.st.events.pop().expect("peeked event present");
+            self.st.now = time;
+            self.processed += 1;
+            if self.processed > config.max_events {
+                return Err(RunError::EventBudgetExceeded);
+            }
+            handle_event(
+                ts,
+                spec,
+                scheduler,
+                &mut self.st,
+                &mut self.sched_wall,
+                config,
+                total,
+                ev,
+            )?;
+        }
+    }
+
+    /// Timestamp of the shard's next pending event, if any.
+    pub(crate) fn next_event_time(&mut self) -> Option<Nanos> {
+        self.st.events.peek_time()
+    }
+
+    /// The shard's local clock (time of its last processed event).
+    pub(crate) fn now(&self) -> Nanos {
+        self.st.now
+    }
+
+    /// Events processed by this shard so far.
+    pub(crate) fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Close the shard's stall accounting at the global `makespan`,
+    /// exactly as the serial epilogue does at its final clock.
+    pub(crate) fn finalize(&mut self, makespan: Nanos) {
+        self.st.now = makespan;
+        for &g in &self.gpus {
+            self.st.lane_advance(g);
+        }
+    }
+
+    /// Per-GPU stats against the global `makespan` (see [`gpu_stats`]).
+    pub(crate) fn gpu_stats(&self, makespan: Nanos, g: usize) -> GpuRunStats {
+        gpu_stats(&self.st, &self.sched_wall, makespan, g)
+    }
+
+    /// Take the shard's recorded trace (always recorded `Full` or `Off`;
+    /// the coordinator folds checksums after the canonical merge).
+    pub(crate) fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let sink = std::mem::replace(&mut self.st.trace, TraceSink::Off);
+        sink.finish().0
+    }
+
+    /// Aggregate counters the coordinator sums into the merged report:
+    /// `(flops_done, retries, failures, redispatched)`.
+    pub(crate) fn totals(&self) -> (f64, u64, u64, u64) {
+        (
+            self.st.flops_done,
+            self.st.retries,
+            self.st.failures,
+            self.st.redispatched,
+        )
+    }
+
+    /// Per-bus busy nanoseconds (only this shard's buses are nonzero;
+    /// the coordinator sums element-wise).
+    pub(crate) fn bus_busy(&self) -> &[Nanos] {
+        &self.st.bus_busy
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1588,6 +1866,7 @@ mod tests {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         }
     }
 
@@ -1717,6 +1996,81 @@ mod tests {
         if let TraceEvent::LoadIssued { done_at, .. } = issued[1] {
             assert_eq!(*done_at, 2000, "second transfer queues behind the first");
         }
+    }
+
+    #[test]
+    fn per_group_buses_carry_transfers_concurrently() {
+        // Same workload as the shared-bus test, but each GPU sits on its
+        // own PCI bus: the two loads proceed in parallel and both tasks
+        // finish at 1100 instead of the serialized 2100.
+        let mut b = TaskSetBuilder::new();
+        let d0 = b.add_data(1000);
+        let d1 = b.add_data(1000);
+        b.add_task(&[d0], 100.0);
+        b.add_task(&[d1], 100.0);
+        let ts = b.build();
+
+        struct Split {
+            popped: [bool; 2],
+        }
+        impl Scheduler for Split {
+            fn name(&self) -> String {
+                "split".into()
+            }
+            fn pop_task(&mut self, gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
+                if self.popped[gpu.index()] {
+                    None
+                } else {
+                    self.popped[gpu.index()] = true;
+                    Some(TaskId(gpu.0))
+                }
+            }
+        }
+        let spec = tiny_spec(2, 10_000).with_bus_groups(vec![0, 1]);
+        let (report, trace) = run_with_config(
+            &ts,
+            &spec,
+            &mut Split { popped: [false; 2] },
+            &RunConfig {
+                trace: TraceMode::Full,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.makespan, 1100, "independent buses do not queue");
+        for e in trace {
+            if let TraceEvent::LoadIssued { done_at, .. } = e {
+                assert_eq!(done_at, 1000, "both transfers start at t = 0");
+            }
+        }
+        assert_eq!(report.bus_busy_ns, vec![1000, 1000]);
+    }
+
+    #[test]
+    fn single_bus_grouping_matches_ungrouped_run_exactly() {
+        // `bus_groups: Some(all zeros)` must be indistinguishable from
+        // `None`: identical trace, report and per-bus accounting.
+        let ts = two_task_set();
+        let spec = tiny_spec(2, 10_000);
+        let grouped = spec.clone().with_bus_groups(vec![0, 0]);
+        let config = RunConfig {
+            trace: TraceMode::Full,
+            ..Default::default()
+        };
+        let a = run_with_config(&ts, &spec, &mut Fifo::new(&ts), &config).unwrap();
+        let b = run_with_config(&ts, &grouped, &mut Fifo::new(&ts), &config).unwrap();
+        assert_eq!(a.1, b.1, "one explicit bus must replay the None path");
+        // Wall-clock measurements differ between runs; everything
+        // simulated must match.
+        let strip = |mut r: RunReport| {
+            r.prepare_wall = 0;
+            r.sched_wall = 0;
+            for g in &mut r.per_gpu {
+                g.sched_wall = 0;
+            }
+            r
+        };
+        assert_eq!(strip(a.0), strip(b.0));
     }
 
     #[test]

@@ -126,8 +126,10 @@ pub struct RuntimeView<'a> {
     pub(crate) buffers: &'a Pipelines,
     /// Incrementally-maintained missing-input counters per (GPU, task).
     pub(crate) missing: &'a MissingCache,
-    /// Simulated time at which the shared bus finishes its current queue.
-    pub(crate) bus_free_at: Nanos,
+    /// Simulated time at which each PCI bus finishes its current queue,
+    /// indexed by [`PlatformSpec::bus_of`] (one slot on single-bus
+    /// platforms).
+    pub(crate) buses: &'a [Nanos],
     /// Simulated time at which each GPU finishes its queued work.
     pub(crate) gpu_free_at: &'a [Nanos],
     /// Per-GPU fail-stop flag: `true` once the GPU died. All-`false` in a
@@ -241,8 +243,24 @@ impl<'a> RuntimeView<'a> {
     }
 
     /// Simulated time at which the shared bus drains its current queue.
+    /// On a multi-bus platform this reads bus 0; use
+    /// [`bus_free_at_of`](Self::bus_free_at_of) for the bus serving a
+    /// specific GPU.
     pub fn bus_free_at(&self) -> Nanos {
-        self.bus_free_at
+        self.buses[0]
+    }
+
+    /// Simulated time at which the PCI bus serving `gpu` drains its
+    /// queue. Equals [`bus_free_at`](Self::bus_free_at) on single-bus
+    /// platforms.
+    pub fn bus_free_at_of(&self, gpu: GpuId) -> Nanos {
+        self.buses[self.spec.bus_of(gpu.index())]
+    }
+
+    /// Index of the PCI bus serving `gpu` (always 0 on single-bus
+    /// platforms).
+    pub fn bus_of(&self, gpu: GpuId) -> usize {
+        self.spec.bus_of(gpu.index())
     }
 
     /// Simulated time at which `gpu` finishes its queued work.
@@ -360,6 +378,33 @@ pub trait Scheduler {
     /// own [`on_data_evicted`](Self::on_data_evicted) notifications.
     fn on_capacity_changed(&mut self, gpu: GpuId, capacity: u64, view: &RuntimeView<'_>) {
         let _ = (gpu, capacity, view);
+    }
+
+    /// Whether this policy's dispatch decomposes per PCI-bus group in
+    /// **batch** mode: after [`prepare`](Self::prepare), every
+    /// [`pop_task`](Self::pop_task) answer for a GPU must depend only on
+    /// prepare-time state and on events of GPUs sharing that GPU's bus
+    /// group. Decomposable policies are eligible for the sharded
+    /// simulation tier (one independent sub-simulation per bus group);
+    /// globally-coupled ones — a shared central queue, cross-group
+    /// stealing or work counters — must keep the default `false` and run
+    /// on the serial core.
+    fn decomposes_per_group(&self) -> bool {
+        false
+    }
+
+    /// For a decomposable policy (see
+    /// [`decomposes_per_group`](Self::decomposes_per_group)), after a
+    /// batch [`prepare`](Self::prepare): how many tasks this policy will
+    /// dispatch to each bus group. `groups` maps GPU index → group id
+    /// (`0..num_groups`). Group shares must be prepare-static — fault
+    /// redispatch may move tasks between GPUs of a group but never
+    /// across groups. The sharded tier needs the counts to stop each
+    /// shard at exactly the event where the serial core would stop it;
+    /// `None` (the default) keeps the run on the serial core.
+    fn group_task_counts(&self, groups: &[usize], num_groups: usize) -> Option<Vec<usize>> {
+        let _ = (groups, num_groups);
+        None
     }
 
     /// An observability probe was attached for this run

@@ -1,0 +1,635 @@
+//! The sharded simulation tier: conservative time-window parallel DES
+//! over per-bus-group shards.
+//!
+//! On a multi-bus platform ([`PlatformSpec::with_bus_groups`]) running a
+//! scheduler whose dispatch decomposes per bus group
+//! ([`Scheduler::decomposes_per_group`]), the simulation itself
+//! decomposes: a GPU only ever interacts with its own bus (transfers
+//! serialize per group) and with GPUs of its own group (intra-group
+//! stealing, group-scoped fault redispatch). [`run_sharded`] exploits
+//! this by giving every bus group its own [`ShardSim`] — a full flat
+//! engine core restricted to the group's GPUs, with its own calendar
+//! event queue and scheduler instance — and advancing the shards in
+//! parallel on the deterministic worker pool ([`crate::pool`]) under
+//! **conservative time windows**: each barrier round computes the global
+//! minimum next-event time and lets every shard advance up to that
+//! minimum plus a lookahead equal to the minimum cross-shard interaction
+//! latency (the host-staging [`PlatformSpec::transfer_latency`] — any
+//! hypothetical cross-group effect is staged through host memory and
+//! cannot land earlier). Because a decomposable run has *zero*
+//! cross-shard events, the windowed advance provably reproduces each
+//! shard's free-running behavior, and each shard's behavior is the
+//! serial run's projection onto its group — see DESIGN.md §12 for the
+//! full argument.
+//!
+//! **Determinism contract.** A sharded run returns the serial run's
+//! trace in *canonical order* — stably sorted by `(time, gpu)` — and a
+//! report identical to the serial one modulo wall-clock fields. The
+//! output is byte-identical for any worker-thread count (`--shards
+//! 1/2/8`), because results merge by shard index, never by completion
+//! order. `tests/sharded_differential.rs` pins both properties.
+//!
+//! **Serial fallback.** Anything the shard model does not cover falls
+//! back to the flat serial core with an explicit
+//! [`ShardingStats::fallback_reason`] in the report: fewer than two bus
+//! groups, online admission, transfer faults (their fault pattern is a
+//! global serial counter), NVLink (cross-group coupling), the naive
+//! reference core, and globally-coupled schedulers (EAGER's shared
+//! queue, DARTS). Rare end-of-run races that the coordinator cannot
+//! attribute to a unique shard — and any shard error — are resolved by
+//! *serial replay*: the run is redone on the serial core, so error
+//! values and boundary semantics are exact by construction.
+
+use crate::engine::{RunConfig, RunError, ShardSim, ShardStep};
+use crate::pool;
+use crate::report::{GpuRunStats, RunReport, ShardingStats, TraceEvent};
+use crate::scheduler::Scheduler;
+use crate::spec::{Nanos, PlatformSpec};
+use crate::trace::{trace_checksum, TraceMode};
+use memsched_model::TaskSet;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Options of the sharded tier.
+#[derive(Clone, Debug, Default)]
+pub struct ShardOptions {
+    /// Worker threads advancing shards within a window. `0` (default)
+    /// uses one worker per bus group. The result is byte-identical for
+    /// every value — this only controls parallelism, never semantics.
+    pub shards: usize,
+}
+
+/// A scheduler factory: the sharded tier builds one independent
+/// scheduler instance per shard (plus one for serial fallbacks), so the
+/// policy type must be constructible repeatedly and deterministically.
+pub type SchedulerFactory<'a> = &'a (dyn Fn() -> Box<dyn Scheduler + Send> + Sync);
+
+/// One shard's mutable half, handed to pool workers behind a mutex.
+struct ShardCell {
+    sim: ShardSim,
+    sched: Box<dyn Scheduler + Send>,
+    /// The shard's share of the task set (from
+    /// [`Scheduler::group_task_counts`]); the shard stops at exactly
+    /// this completion count, like the serial core stops at `m`.
+    stop_at: usize,
+    done: bool,
+    err: Option<RunError>,
+}
+
+/// Run `ts` on the sharded tier when the platform and policy decompose
+/// per bus group, falling back to the serial flat core (with the reason
+/// recorded in [`ShardingStats`]) when they do not.
+///
+/// See the module docs for the execution model and determinism
+/// contract. In [`TraceMode::Full`] the returned trace is in canonical
+/// `(time, gpu)` order; in [`TraceMode::Checksum`] the checksum folds
+/// over that canonical stream.
+pub fn run_sharded(
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    factory: SchedulerFactory<'_>,
+    config: &RunConfig,
+    opts: &ShardOptions,
+) -> Result<(RunReport, Vec<TraceEvent>), RunError> {
+    let k = spec.num_gpus;
+    let n = spec.num_buses();
+    let fallback = |reason: &str, windows: u64| -> Result<(RunReport, Vec<TraceEvent>), RunError> {
+        let mut sched = factory();
+        let (mut report, trace) = crate::engine::run_with_config(ts, spec, sched.as_mut(), config)?;
+        report.sharding = Some(ShardingStats {
+            requested_shards: opts.shards,
+            shards_used: 1,
+            windows,
+            fallback_reason: Some(reason.to_string()),
+        });
+        Ok((report, trace))
+    };
+
+    if n < 2 {
+        return fallback("single bus group", 0);
+    }
+    if config.admission.is_some() {
+        return fallback("online admission loop is globally ordered", 0);
+    }
+    if config.faults.transfer_faults.is_some() {
+        return fallback("transfer-fault pattern is a global serial counter", 0);
+    }
+    if spec.nvlink_bandwidth.is_some() {
+        return fallback("nvlink fabric couples GPUs across bus groups", 0);
+    }
+    if config.use_naive_core() {
+        return fallback("naive reference core is serial by definition", 0);
+    }
+
+    // Serial-core error-order parity: reject oversized tasks before
+    // prepare, validate the fault plan after.
+    for t in ts.tasks() {
+        if ts.task_footprint(t) > spec.memory_bytes {
+            return Err(RunError::TaskTooLarge {
+                task: t,
+                footprint: ts.task_footprint(t),
+                capacity: spec.memory_bytes,
+            });
+        }
+    }
+
+    let groups: Vec<usize> = (0..k).map(|g| spec.bus_of(g)).collect();
+    let mut scheds: Vec<Box<dyn Scheduler + Send>> = (0..n).map(|_| factory()).collect();
+    if !scheds[0].decomposes_per_group() {
+        return fallback("scheduler is globally coupled", 0);
+    }
+
+    // One deterministic prepare per shard instance; identical inputs
+    // give every instance identical prepare-time state. The report
+    // charges the maximum (the prepares could run concurrently).
+    let mut prepare_wall: Nanos = 0;
+    for sched in &mut scheds {
+        let started = Instant::now();
+        sched.prepare(ts, spec);
+        prepare_wall = prepare_wall.max(started.elapsed().as_nanos() as Nanos);
+    }
+    let Some(shares) = scheds[0].group_task_counts(&groups, n) else {
+        return fallback("scheduler does not report per-group task shares", 0);
+    };
+    if shares.len() != n || shares.iter().sum::<usize>() != ts.num_tasks() {
+        return fallback("scheduler reported inconsistent group shares", 0);
+    }
+
+    if !config.faults.is_empty() {
+        config
+            .faults
+            .validate(k)
+            .map_err(RunError::InvalidFaultPlan)?;
+    }
+
+    // Shards record `Full` internally even in `Checksum` mode: the
+    // checksum is only meaningful over the canonically merged stream.
+    let shard_trace = match config.trace {
+        TraceMode::Off => TraceMode::Off,
+        TraceMode::Full | TraceMode::Checksum => TraceMode::Full,
+    };
+    let cells: Vec<Mutex<ShardCell>> = scheds
+        .into_iter()
+        .enumerate()
+        .map(|(b, sched)| {
+            let gpus: Vec<usize> = (0..k).filter(|&g| groups[g] == b).collect();
+            Mutex::new(ShardCell {
+                sim: ShardSim::new(ts, spec, config, shard_trace, gpus),
+                sched,
+                stop_at: shares[b],
+                done: false,
+                err: None,
+            })
+        })
+        .collect();
+    let jobs = if opts.shards == 0 { n } else { opts.shards };
+    // Lookahead: the earliest a hypothetical cross-shard interaction
+    // could take effect (host staging pays at least the bus latency).
+    let lookahead = spec.transfer_latency;
+
+    // Conservative window loop on a persistent worker pool
+    // ([`pool::run_rounds`] — one barrier round per window, no thread
+    // spawn per window): every round advances each unfinished shard to
+    // the global minimum next-event time plus the lookahead.
+    // Decomposable runs have no cross-shard events, so each shard's
+    // windowed trajectory equals its free-running one; the windows
+    // bound speculation for everything else (DESIGN.md §12).
+    //
+    // Once every shard hits its completion share, one final *epilogue*
+    // round drains stray events before the global makespan: the serial
+    // core processes events up to — but excluding — the makespan
+    // instant even after a shard's own tasks finished (e.g. prefetches
+    // landing between a shard's last completion and the global one).
+    enum Phase {
+        Windows,
+        Epilogue,
+        Done,
+    }
+    let horizon = AtomicU64::new(0);
+    let in_epilogue = AtomicBool::new(false);
+    let mut phase = Phase::Windows;
+    let mut windows: u64 = 0;
+    let mut fail: Option<&'static str> = None;
+    let mut t_done: Vec<Nanos> = Vec::new();
+    let mut makespan: Nanos = 0;
+    pool::run_rounds(
+        &cells,
+        jobs,
+        |_| {
+            // Post-round error check (vacuous before the first round).
+            // Exact error semantics (value, boundary counts) come from
+            // the serial core, so any shard error means replay.
+            let mut budget: u64 = 0;
+            for cell in &cells {
+                let c = cell.lock();
+                if c.err.is_some() {
+                    fail = Some(if matches!(phase, Phase::Epilogue) {
+                        "replay: shard error in epilogue drain"
+                    } else {
+                        "replay: shard error"
+                    });
+                    return false;
+                }
+                budget += c.sim.processed();
+            }
+            match phase {
+                // The epilogue is always the final round.
+                Phase::Epilogue | Phase::Done => false,
+                Phase::Windows => {
+                    if budget > config.max_events {
+                        fail = Some("replay: event budget exceeded");
+                        return false;
+                    }
+                    let mut next: Option<Nanos> = None;
+                    let mut all_done = true;
+                    for cell in &cells {
+                        let c = &mut *cell.lock();
+                        if c.done {
+                            continue;
+                        }
+                        all_done = false;
+                        if let Some(t) = c.sim.next_event_time() {
+                            next = Some(next.map_or(t, |m: Nanos| m.min(t)));
+                        }
+                    }
+                    if all_done {
+                        // Global makespan: the serial run stops at the
+                        // m-th completion — chronologically the latest
+                        // of the shards' final completions, where each
+                        // shard's clock stopped.
+                        t_done = cells.iter().map(|c| c.lock().sim.now()).collect();
+                        makespan = t_done.iter().copied().max().unwrap_or(0);
+                        if makespan == 0 {
+                            phase = Phase::Done;
+                            return false;
+                        }
+                        in_epilogue.store(true, Ordering::Relaxed);
+                        horizon.store(makespan - 1, Ordering::Relaxed);
+                        windows += 1;
+                        phase = Phase::Epilogue;
+                        return true;
+                    }
+                    // No pending events anywhere but shards unfinished:
+                    // either the first round (queues seed during the
+                    // sweep) or a genuine stall.
+                    let first_round = windows == 0;
+                    if next.is_none() && !first_round {
+                        fail = Some("replay: shard quiesced before its share completed");
+                        return false;
+                    }
+                    horizon.store(
+                        next.map_or(0, |t| t.saturating_add(lookahead)),
+                        Ordering::Relaxed,
+                    );
+                    windows += 1;
+                    true
+                }
+            }
+        },
+        |_, cell| {
+            let c = &mut *cell.lock();
+            let epilogue = in_epilogue.load(Ordering::Relaxed);
+            if c.done && !epilogue {
+                return;
+            }
+            let h = horizon.load(Ordering::Relaxed);
+            let stop_at = if epilogue { usize::MAX } else { c.stop_at };
+            match c.sim.advance(ts, spec, c.sched.as_mut(), config, h, stop_at) {
+                Ok(ShardStep::Done) => c.done = true,
+                Ok(ShardStep::Horizon) => {}
+                Err(e) => {
+                    c.err = Some(e);
+                    c.done = true;
+                }
+            }
+        },
+    );
+    if let Some(reason) = fail {
+        return fallback(reason, windows);
+    }
+
+    // Events at exactly the makespan instant: the serial core processes
+    // or drops them depending on their sequence number relative to the
+    // final completion, an ordering only the shard that *owns* the
+    // final completion reproduces locally. If any other shard (or a tie
+    // of final shards) holds such an event, replay serially rather than
+    // guess the tie-break.
+    let finals = t_done.iter().filter(|&&t| t == makespan).count();
+    for (b, cell) in cells.iter().enumerate() {
+        let c = &mut *cell.lock();
+        if c.sim.next_event_time() == Some(makespan) && (t_done[b] != makespan || finals > 1) {
+            return fallback("replay: ambiguous event tie at the makespan instant", windows);
+        }
+    }
+
+    // Merge. Stats come from each GPU's owning shard (idle recomputed
+    // against the global makespan); traces merge canonically.
+    let mut report = RunReport {
+        makespan,
+        prepare_wall,
+        bus_busy_ns: vec![0; n],
+        ..RunReport::default()
+    };
+    let mut per_gpu: Vec<GpuRunStats> = vec![GpuRunStats::default(); k];
+    let mut merged: Vec<TraceEvent> = Vec::new();
+    for (b, cell) in cells.iter().enumerate() {
+        let c = &mut *cell.lock();
+        c.sim.finalize(makespan);
+        for g in 0..k {
+            if groups[g] == b {
+                per_gpu[g] = c.sim.gpu_stats(makespan, g);
+            }
+        }
+        let (flops, retries, failures, redispatched) = c.sim.totals();
+        report.total_flops += flops;
+        report.transfer_retries += retries;
+        report.gpu_failures += failures;
+        report.tasks_redispatched += redispatched;
+        for (bus, &ns) in c.sim.bus_busy().iter().enumerate() {
+            report.bus_busy_ns[bus] += ns;
+        }
+        merged.extend(c.sim.take_trace());
+        if b == 0 {
+            report.scheduler = c.sched.name();
+        }
+    }
+    merged.sort_by_key(trace_key);
+    report.total_load_bytes = per_gpu.iter().map(|g| g.load_bytes).sum();
+    report.total_loads = per_gpu.iter().map(|g| g.loads).sum();
+    report.total_evictions = per_gpu.iter().map(|g| g.evictions).sum();
+    report.sched_wall = per_gpu.iter().map(|g| g.sched_wall).sum();
+    report.per_gpu = per_gpu;
+    report.sharding = Some(ShardingStats {
+        requested_shards: opts.shards,
+        shards_used: n,
+        windows,
+        fallback_reason: None,
+    });
+    let trace = match config.trace {
+        TraceMode::Off => Vec::new(),
+        TraceMode::Full => merged,
+        TraceMode::Checksum => {
+            report.trace_checksum = Some(trace_checksum(&merged));
+            Vec::new()
+        }
+    };
+    Ok((report, trace))
+}
+
+/// Canonical merge key: `(time, gpu)`. Every batch-mode trace event
+/// carries a GPU; the online-only variants (never produced by the
+/// sharded tier) sort by time alone.
+fn trace_key(ev: &TraceEvent) -> (Nanos, usize) {
+    match *ev {
+        TraceEvent::LoadIssued { at, gpu, .. }
+        | TraceEvent::LoadDone { at, gpu, .. }
+        | TraceEvent::Evicted { at, gpu, .. }
+        | TraceEvent::TaskStarted { at, gpu, .. }
+        | TraceEvent::TaskFinished { at, gpu, .. }
+        | TraceEvent::GpuFailed { at, gpu }
+        | TraceEvent::TransferRetry { at, gpu, .. }
+        | TraceEvent::CapacityShrunk { at, gpu, .. }
+        | TraceEvent::GpuSlowed { at, gpu, .. } => (at, gpu),
+        TraceEvent::TaskArrived { at, .. }
+        | TraceEvent::TaskAdmitted { at, .. }
+        | TraceEvent::TaskDeferred { at, .. } => (at, usize::MAX),
+    }
+}
+
+/// Canonicalize a serial trace for comparison against a sharded run:
+/// the stable `(time, gpu)` sort of [`run_sharded`]'s merge. Exposed
+/// for the differential tests and the trace linter.
+pub fn canonicalize_trace(trace: &[TraceEvent]) -> Vec<TraceEvent> {
+    let mut out = trace.to_vec();
+    out.sort_by_key(trace_key);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_with_config;
+    use crate::fault::{FaultPlan, GpuFailure};
+    use crate::scheduler::RuntimeView;
+    use memsched_model::{GpuId, TaskId, TaskSetBuilder};
+
+    /// A static split: task `i` is pinned to GPU `i mod k`, each GPU
+    /// serves its own FIFO, and fault re-homing stays inside the bus
+    /// group — the minimal fully-decomposable policy.
+    struct Split {
+        queues: Vec<Vec<TaskId>>,
+    }
+
+    impl Split {
+        fn boxed() -> Box<dyn Scheduler + Send> {
+            Box::new(Split { queues: Vec::new() })
+        }
+    }
+
+    impl Scheduler for Split {
+        fn name(&self) -> String {
+            "split".into()
+        }
+
+        fn prepare(&mut self, ts: &TaskSet, spec: &PlatformSpec) {
+            self.queues = vec![Vec::new(); spec.num_gpus];
+            for t in ts.tasks() {
+                self.queues[t.index() % spec.num_gpus].push(t);
+            }
+        }
+
+        fn pop_task(&mut self, gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
+            let q = &mut self.queues[gpu.index()];
+            if q.is_empty() {
+                None
+            } else {
+                Some(q.remove(0))
+            }
+        }
+
+        fn on_gpu_failed(&mut self, gpu: GpuId, lost: &[TaskId], view: &RuntimeView<'_>) {
+            let g = gpu.index();
+            let spec = view.spec();
+            let mut orphans: Vec<TaskId> = lost.to_vec();
+            orphans.append(&mut self.queues[g]);
+            if let Some(h) = (0..self.queues.len()).find(|&h| {
+                h != g && spec.bus_of(h) == spec.bus_of(g) && view.is_alive(GpuId(h as u32))
+            }) {
+                self.queues[h].extend(orphans);
+            } else {
+                self.queues[g] = orphans;
+            }
+        }
+
+        fn decomposes_per_group(&self) -> bool {
+            true
+        }
+
+        fn group_task_counts(&self, groups: &[usize], num_groups: usize) -> Option<Vec<usize>> {
+            let mut out = vec![0; num_groups];
+            for (g, q) in self.queues.iter().enumerate() {
+                out[groups[g]] += q.len();
+            }
+            Some(out)
+        }
+    }
+
+    /// Shared-data workload: `m` tasks over 6 items, task `i` reading
+    /// items `i mod 6` and `(i + 1) mod 6`.
+    fn ring_tasks(m: usize) -> TaskSet {
+        let mut b = TaskSetBuilder::new();
+        let items: Vec<_> = (0..6).map(|_| b.add_data(1_000_000)).collect();
+        for i in 0..m {
+            b.add_task(&[items[i % 6], items[(i + 1) % 6]], 1.0e9);
+        }
+        b.build()
+    }
+
+    /// Zero the wall-clock fields the two tiers measure differently.
+    fn strip_walls(mut r: RunReport) -> RunReport {
+        r.prepare_wall = 0;
+        r.sched_wall = 0;
+        for g in &mut r.per_gpu {
+            g.sched_wall = 0;
+        }
+        r.sharding = None;
+        r
+    }
+
+    fn serial_canonical(
+        ts: &TaskSet,
+        spec: &PlatformSpec,
+        config: &RunConfig,
+    ) -> (RunReport, Vec<TraceEvent>) {
+        let mut sched = Split::boxed();
+        let (report, trace) = run_with_config(ts, spec, sched.as_mut(), config).unwrap();
+        (report, canonicalize_trace(&trace))
+    }
+
+    #[test]
+    fn sharded_matches_canonicalized_serial() {
+        let ts = ring_tasks(24);
+        let spec = PlatformSpec::v100_multibus(4, 2).with_memory(2_500_000);
+        let config = RunConfig {
+            trace: TraceMode::Full,
+            ..RunConfig::default()
+        };
+        let (serial_report, serial_trace) = serial_canonical(&ts, &spec, &config);
+        for shards in [0, 1, 2, 8] {
+            let (report, trace) =
+                run_sharded(&ts, &spec, &Split::boxed, &config, &ShardOptions { shards })
+                    .unwrap();
+            let stats = report.sharding.clone().expect("sharding stats present");
+            assert_eq!(stats.shards_used, 2, "shards={shards}");
+            assert_eq!(stats.fallback_reason, None, "shards={shards}");
+            assert!(stats.windows >= 1, "shards={shards}");
+            assert_eq!(trace, serial_trace, "shards={shards}");
+            assert_eq!(
+                strip_walls(report),
+                strip_walls(serial_report.clone()),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_checksum_folds_over_canonical_stream() {
+        let ts = ring_tasks(18);
+        let spec = PlatformSpec::v100_multibus(4, 2).with_memory(3_000_000);
+        let full = RunConfig {
+            trace: TraceMode::Full,
+            ..RunConfig::default()
+        };
+        let (_, serial_trace) = serial_canonical(&ts, &spec, &full);
+        let config = RunConfig {
+            trace: TraceMode::Checksum,
+            ..RunConfig::default()
+        };
+        let (report, trace) =
+            run_sharded(&ts, &spec, &Split::boxed, &config, &ShardOptions::default()).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(report.trace_checksum, Some(trace_checksum(&serial_trace)));
+    }
+
+    #[test]
+    fn sharded_matches_serial_under_in_group_failure() {
+        let ts = ring_tasks(24);
+        let spec = PlatformSpec::v100_multibus(4, 2).with_memory(4_000_000);
+        let config = RunConfig {
+            trace: TraceMode::Full,
+            faults: FaultPlan {
+                gpu_failures: vec![GpuFailure { at: 2_000_000, gpu: 1 }],
+                ..FaultPlan::none()
+            },
+            ..RunConfig::default()
+        };
+        let (serial_report, serial_trace) = serial_canonical(&ts, &spec, &config);
+        let (report, trace) =
+            run_sharded(&ts, &spec, &Split::boxed, &config, &ShardOptions::default()).unwrap();
+        assert_eq!(trace, serial_trace);
+        assert_eq!(strip_walls(report), strip_walls(serial_report));
+    }
+
+    #[test]
+    fn single_bus_group_falls_back_with_reason() {
+        let ts = ring_tasks(8);
+        let spec = PlatformSpec::v100(2);
+        let config = RunConfig::default();
+        let (report, _) =
+            run_sharded(&ts, &spec, &Split::boxed, &config, &ShardOptions::default()).unwrap();
+        let stats = report.sharding.expect("sharding stats present");
+        assert_eq!(stats.shards_used, 1);
+        assert_eq!(stats.fallback_reason.as_deref(), Some("single bus group"));
+    }
+
+    #[test]
+    fn globally_coupled_scheduler_falls_back_with_reason() {
+        struct Global(Vec<TaskId>);
+        impl Scheduler for Global {
+            fn name(&self) -> String {
+                "global".into()
+            }
+            fn prepare(&mut self, ts: &TaskSet, _spec: &PlatformSpec) {
+                self.0 = ts.tasks().collect();
+            }
+            fn pop_task(&mut self, _gpu: GpuId, _view: &RuntimeView<'_>) -> Option<TaskId> {
+                if self.0.is_empty() {
+                    None
+                } else {
+                    Some(self.0.remove(0))
+                }
+            }
+        }
+        let ts = ring_tasks(8);
+        let spec = PlatformSpec::v100_multibus(4, 2);
+        let config = RunConfig::default();
+        let factory: SchedulerFactory<'_> = &|| Box::new(Global(Vec::new()));
+        let (report, _) = run_sharded(&ts, &spec, factory, &config, &ShardOptions::default())
+            .unwrap();
+        let stats = report.sharding.expect("sharding stats present");
+        assert_eq!(stats.shards_used, 1);
+        assert_eq!(
+            stats.fallback_reason.as_deref(),
+            Some("scheduler is globally coupled")
+        );
+    }
+
+    #[test]
+    fn oversized_task_errors_before_any_shard_runs() {
+        let mut b = TaskSetBuilder::new();
+        let d = b.add_data(10_000_000);
+        b.add_task(&[d], 1.0e9);
+        let ts = b.build();
+        let spec = PlatformSpec::v100_multibus(4, 2).with_memory(1_000_000);
+        let err = run_sharded(
+            &ts,
+            &spec,
+            &Split::boxed,
+            &RunConfig::default(),
+            &ShardOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::TaskTooLarge { .. }));
+    }
+}

@@ -40,6 +40,13 @@ pub struct PlatformSpec {
     /// the extension the paper lists as future work (§VI). `None` models
     /// the paper's PCI-only platform.
     pub nvlink_bandwidth: Option<f64>,
+    /// Optional PCI bus topology: `bus_groups[g]` is the bus index GPU `g`
+    /// hangs off, so GPUs sharing an index contend for one bus while GPUs
+    /// on different buses transfer concurrently (real nodes are
+    /// hierarchical — a DGX hangs 4 GPUs off each of 2 PCIe switches).
+    /// Bus indices must be contiguous starting at 0. `None` = every GPU
+    /// shares one bus, byte-identical to the pre-topology platform.
+    pub bus_groups: Option<Vec<usize>>,
 }
 
 /// 500 MB — the paper's clamped GPU memory.
@@ -71,6 +78,7 @@ impl PlatformSpec {
             pipeline_depth: 4,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         }
     }
 
@@ -89,6 +97,49 @@ impl PlatformSpec {
         Self {
             nvlink_bandwidth: Some(NVLINK_BANDWIDTH),
             ..Self::v100(k)
+        }
+    }
+
+    /// A multi-bus node: `k` V100s spread across `buses` PCI buses
+    /// round-robin by contiguous blocks (GPUs `0..k/buses` on bus 0, the
+    /// next block on bus 1, …), the DGX-style hierarchy of ROADMAP item 3.
+    pub fn v100_multibus(k: usize, buses: usize) -> Self {
+        assert!(buses > 0, "need at least one bus");
+        assert!(buses <= k, "more buses than GPUs");
+        // Balanced block partition: bus b owns GPUs [b*k/buses, (b+1)*k/buses).
+        Self::v100(k).with_bus_groups((0..k).map(|g| g * buses / k).collect())
+    }
+
+    /// Bus-topology builder: `groups[g]` is the PCI bus of GPU `g`. Bus
+    /// indices must be contiguous from 0 (every bus below the max index
+    /// must own at least one GPU).
+    pub fn with_bus_groups(mut self, groups: Vec<usize>) -> Self {
+        assert_eq!(groups.len(), self.num_gpus, "one bus index per GPU required");
+        let buses = groups.iter().max().map_or(0, |&m| m + 1);
+        for b in 0..buses {
+            assert!(
+                groups.contains(&b),
+                "bus indices must be contiguous from 0 (bus {b} owns no GPU)"
+            );
+        }
+        self.bus_groups = Some(groups);
+        self
+    }
+
+    /// The PCI bus GPU `g` hangs off (0 when the node has one shared bus).
+    #[inline]
+    pub fn bus_of(&self, gpu: usize) -> usize {
+        match &self.bus_groups {
+            Some(groups) => groups[gpu],
+            None => 0,
+        }
+    }
+
+    /// Number of distinct PCI buses (1 when `bus_groups` is unset).
+    pub fn num_buses(&self) -> usize {
+        match &self.bus_groups {
+            Some(groups) => groups.iter().max().map_or(1, |&m| m + 1),
+            None => 1,
         }
     }
 
@@ -138,11 +189,6 @@ impl PlatformSpec {
         self
     }
 
-    /// Time to execute `flops` floating-point operations on one GPU.
-    pub fn compute_time(&self, flops: f64) -> Nanos {
-        (flops / self.gpu_gflops).max(0.0) as Nanos // GFlop/s × ns = flops
-    }
-
     /// Time for one host→GPU transfer of `bytes` (latency + serialization).
     pub fn transfer_time(&self, bytes: u64) -> Nanos {
         self.transfer_latency + (bytes as f64 / self.bus_bandwidth * 1e9) as Nanos
@@ -171,8 +217,12 @@ mod tests {
     fn compute_time_is_flops_over_gflops() {
         let spec = PlatformSpec::v100(1);
         // 13 253 GFlop should take exactly one second = 1e9 ns.
-        let ns = spec.compute_time(13_253.0 * 1e9);
+        let ns = spec.compute_time_on(0, 13_253.0 * 1e9);
         assert!((ns as f64 - 1e9).abs() < 1e3, "ns = {ns}");
+        // The per-GPU path honors heterogeneous overrides — the homogeneous
+        // `compute_time` helper that silently ignored them is gone.
+        let het = PlatformSpec::v100(1).with_heterogeneous_gflops(vec![13_253.0 / 2.0]);
+        assert_eq!(het.compute_time_on(0, 13_253.0 * 1e9), 2 * ns);
     }
 
     #[test]
@@ -242,5 +292,44 @@ mod tests {
     #[should_panic(expected = "at least one GPU")]
     fn zero_gpus_rejected() {
         PlatformSpec::v100(0);
+    }
+
+    #[test]
+    fn multibus_preset_blocks_gpus_across_buses() {
+        let spec = PlatformSpec::v100_multibus(8, 2);
+        assert_eq!(spec.bus_groups, Some(vec![0, 0, 0, 0, 1, 1, 1, 1]));
+        assert_eq!(spec.num_buses(), 2);
+        assert_eq!(spec.bus_of(3), 0);
+        assert_eq!(spec.bus_of(4), 1);
+        // Uneven split: contiguous blocks, earlier buses take the remainder.
+        let spec = PlatformSpec::v100_multibus(5, 2);
+        assert_eq!(spec.bus_groups, Some(vec![0, 0, 0, 1, 1]));
+        // Single shared bus stays the default.
+        let flat = PlatformSpec::v100(4);
+        assert_eq!(flat.bus_groups, None);
+        assert_eq!(flat.num_buses(), 1);
+        assert_eq!(flat.bus_of(3), 0);
+        // One bus per GPU is the fully-disjoint extreme.
+        let per_gpu = PlatformSpec::v100_multibus(3, 3);
+        assert_eq!(per_gpu.bus_groups, Some(vec![0, 1, 2]));
+        assert_eq!(per_gpu.num_buses(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous from 0")]
+    fn bus_groups_must_be_contiguous() {
+        PlatformSpec::v100(2).with_bus_groups(vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bus index per GPU")]
+    fn bus_groups_wrong_arity_rejected() {
+        PlatformSpec::v100(3).with_bus_groups(vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more buses than GPUs")]
+    fn multibus_more_buses_than_gpus_rejected() {
+        PlatformSpec::v100_multibus(2, 3);
     }
 }

@@ -16,6 +16,12 @@ pub struct StealingQueues {
     window: usize,
     /// Whether stealing is enabled (for ablation benches).
     steal: bool,
+    /// GPU index → bus-group id. Empty (the default) means one group —
+    /// the single-bus platform — and changes nothing. With groups set,
+    /// steal victims and fault re-homing are restricted to the idle
+    /// GPU's own group, which is what makes the owning policies
+    /// decomposable per bus group (the sharded-tier contract).
+    groups: Vec<usize>,
     /// Number of successful steals (for reporting/tests).
     pub steals: u64,
     /// Observability probe (steal events, queue-depth gauges); absent on
@@ -30,9 +36,36 @@ impl StealingQueues {
             queues,
             window: window.max(1),
             steal,
+            groups: Vec::new(),
             steals: 0,
             probe: None,
         }
+    }
+
+    /// Scope stealing and fault re-homing to bus groups (`groups` maps
+    /// GPU index → group id). With every GPU in one group — or with the
+    /// default empty map — behavior is unchanged.
+    pub fn with_groups(mut self, groups: Vec<usize>) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Whether GPUs `a` and `b` share a bus group (always true without
+    /// a group map).
+    fn same_group(&self, a: usize, b: usize) -> bool {
+        self.groups.is_empty() || self.groups[a] == self.groups[b]
+    }
+
+    /// Tasks currently queued per bus group (`groups` maps GPU → group).
+    /// Valid before the first pop: the initial assignment, which is
+    /// exactly what [`memsched_platform::Scheduler::group_task_counts`]
+    /// must report.
+    pub fn group_task_counts(&self, groups: &[usize], num_groups: usize) -> Vec<usize> {
+        let mut out = vec![0; num_groups];
+        for (g, q) in self.queues.iter().enumerate() {
+            out[groups[g]] += q.len();
+        }
+        out
     }
 
     /// Attach an observability probe; subsequent steals emit
@@ -101,7 +134,7 @@ impl StealingQueues {
         if !self.steal {
             let orphans: Vec<TaskId> = std::mem::take(&mut self.queues[g]);
             let target = (0..self.queues.len())
-                .filter(|&h| h != g && view.is_alive(GpuId(h as u32)))
+                .filter(|&h| h != g && self.same_group(h, g) && view.is_alive(GpuId(h as u32)))
                 .min_by_key(|&h| (self.queues[h].len(), h));
             match target {
                 Some(h) => self.queues[h].extend(orphans),
@@ -115,7 +148,7 @@ impl StealingQueues {
     /// how many tasks moved, for the caller's steal event.
     fn try_steal(&mut self, g: usize) -> Option<(usize, u32)> {
         let victim = (0..self.queues.len())
-            .filter(|&v| v != g)
+            .filter(|&v| v != g && self.same_group(v, g))
             .max_by_key(|&v| self.queues[v].len())
             .filter(|&v| !self.queues[v].is_empty());
         let v = victim?;
@@ -320,6 +353,24 @@ mod tests {
         assert!(steal_events.iter().all(|&(from, to, tasks)| {
             from == 0 && to == 1 && tasks >= 1
         }));
+    }
+
+    #[test]
+    fn group_scoped_steal_ignores_other_groups() {
+        // GPU0/1 in group 0, GPU2/3 in group 1. GPU3 is idle; the only
+        // loaded queue is GPU0's, but it is across the bus boundary —
+        // the steal must not happen.
+        let mut q = StealingQueues::new(
+            vec![(0..8).map(TaskId).collect(), Vec::new(), vec![TaskId(8)], Vec::new()],
+            4,
+            true,
+        )
+        .with_groups(vec![0, 0, 1, 1]);
+        q.try_steal(3);
+        assert_eq!(q.len(GpuId(0)), 8, "cross-group queue untouched");
+        assert_eq!(q.len(GpuId(3)), 1, "stole from its own group instead");
+        assert_eq!(q.len(GpuId(2)), 0);
+        assert_eq!(q.group_task_counts(&[0, 0, 1, 1], 2), vec![8, 1]);
     }
 
     #[test]

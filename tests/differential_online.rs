@@ -46,6 +46,7 @@ fn small_spec(gpus: usize, mem: u64) -> PlatformSpec {
         pipeline_depth: 2,
         gpu_gflops_override: None,
         nvlink_bandwidth: None,
+        bus_groups: None,
     }
 }
 

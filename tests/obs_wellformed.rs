@@ -41,6 +41,7 @@ fn tiny_spec(gpus: usize, mem: u64) -> PlatformSpec {
         pipeline_depth: 2,
         gpu_gflops_override: None,
         nvlink_bandwidth: None,
+        bus_groups: None,
     }
 }
 

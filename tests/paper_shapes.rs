@@ -221,6 +221,7 @@ fn figure1_example_runs_on_the_engine() {
         pipeline_depth: 1,
         gpu_gflops_override: None,
         nvlink_bandwidth: None,
+        bus_groups: None,
     };
     for named in [NamedScheduler::Eager, NamedScheduler::DartsLuf] {
         let mut sched = named.build();

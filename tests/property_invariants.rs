@@ -147,6 +147,7 @@ proptest! {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         };
         for named in [NamedScheduler::Eager, NamedScheduler::DartsLuf, NamedScheduler::Dmdar] {
             let mut sched = named.build();
@@ -212,6 +213,7 @@ proptest! {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         };
         let config = RunConfig {
             trace: TraceMode::Full,
@@ -310,6 +312,7 @@ proptest! {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         };
         let config = RunConfig {
             trace: TraceMode::Full,
@@ -383,6 +386,7 @@ proptest! {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         };
         let plan = FaultPlan::none()
             .with_gpu_failure(dead_gpu, fail_at)
@@ -497,6 +501,7 @@ proptest! {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         };
         let config = RunConfig {
             faults: FaultPlan::none().with_transfer_faults(TransferFaultSpec {
@@ -534,6 +539,7 @@ proptest! {
             pipeline_depth: 2,
             gpu_gflops_override: None,
             nvlink_bandwidth: None,
+            bus_groups: None,
         };
         let mut s = memsched::schedulers::DmdaScheduler::dmdar();
         use memsched::platform::Scheduler as _;

@@ -1,0 +1,233 @@
+//! Differential tests of the sharded simulation tier (per-bus-group
+//! conservative time-window parallel DES) against the serial flat core.
+//!
+//! Two properties pin the tier (DESIGN.md §12):
+//!
+//! 1. **Topology is opt-in**: `bus_groups: None` and an explicit
+//!    single-bus grouping (`vec![0; k]`) are byte-identical for every
+//!    scheduler family — the multi-bus machinery must not perturb the
+//!    pre-topology platform.
+//! 2. **Sharding is transparent**: for decomposable families
+//!    (hMETIS+R, mHFP, static DMDA/DMDAR) on a two-bus platform, the
+//!    sharded run returns the serial run's trace in canonical
+//!    `(time, gpu)` order and an identical report (modulo wall-clock
+//!    fields), for every worker count — `--shards 1/2/8` — and under
+//!    fault plans. Serial errors reproduce exactly.
+
+use memsched::platform::{
+    canonicalize_trace, run_sharded, run_with_config, SchedulerFactory, ShardOptions,
+};
+use memsched::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random task set with up to `max_data` unit-size data items
+/// and up to `max_tasks` tasks with 1–3 inputs each (the same shape the
+/// engine differential tests use).
+fn arb_taskset(max_data: usize, max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    (2usize..=max_data, 1usize..=max_tasks)
+        .prop_flat_map(|(nd, mt)| {
+            let inputs = proptest::collection::vec(
+                proptest::collection::vec(0..nd as u32, 1..=3),
+                mt,
+            );
+            (Just(nd), inputs)
+        })
+        .prop_map(|(nd, task_inputs)| {
+            let mut b = TaskSetBuilder::new();
+            let data: Vec<DataId> = (0..nd).map(|_| b.add_data(1)).collect();
+            for ins in task_inputs {
+                let ids: Vec<DataId> = ins.iter().map(|&i| data[i as usize]).collect();
+                b.add_task(&ids, 1000.0);
+            }
+            b.build()
+        })
+}
+
+fn small_spec(gpus: usize, mem: u64) -> PlatformSpec {
+    PlatformSpec {
+        num_gpus: gpus,
+        memory_bytes: mem, // unit-size items: capacity in items
+        bus_bandwidth: 1e9,
+        transfer_latency: 10,
+        gpu_gflops: 1e-3,
+        pipeline_depth: 2,
+        gpu_gflops_override: None,
+        nvlink_bandwidth: None,
+        bus_groups: None,
+    }
+}
+
+/// Two contiguous bus groups over `gpus` GPUs (the `v100_multibus`
+/// block split, on the small differential platform).
+fn two_bus_spec(gpus: usize, mem: u64) -> PlatformSpec {
+    small_spec(gpus, mem).with_bus_groups((0..gpus).map(|g| g * 2 / gpus).collect())
+}
+
+/// Zero the wall-clock fields that legitimately differ between runs,
+/// plus the sharding stats (compared separately).
+fn strip_walls(mut r: RunReport) -> RunReport {
+    r.prepare_wall = 0;
+    r.sched_wall = 0;
+    for g in &mut r.per_gpu {
+        g.sched_wall = 0;
+    }
+    r.sharding = None;
+    r
+}
+
+fn full_trace_config(faults: &FaultPlan) -> RunConfig {
+    RunConfig {
+        trace: TraceMode::Full,
+        faults: faults.clone(),
+        ..RunConfig::default()
+    }
+}
+
+/// All five scheduler families of the paper's evaluation.
+const ALL_FAMILIES: &[NamedScheduler] = &[
+    NamedScheduler::Eager,
+    NamedScheduler::Dmdar,
+    NamedScheduler::HmetisR,
+    NamedScheduler::Mhfp,
+    NamedScheduler::DartsLuf,
+];
+
+/// The families whose batch dispatch decomposes per bus group.
+const DECOMPOSABLE_FAMILIES: &[NamedScheduler] = &[
+    NamedScheduler::Dmda,
+    NamedScheduler::Dmdar,
+    NamedScheduler::HmetisR,
+    NamedScheduler::Mhfp,
+];
+
+/// hMETIS+R's partitioner requires at least one task per part; the
+/// degenerate fewer-tasks-than-GPUs shape is not a differential case.
+fn skip_degenerate(named: &NamedScheduler, ts: &TaskSet, gpus: usize) -> bool {
+    *named == NamedScheduler::HmetisR && ts.num_tasks() < gpus
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `bus_groups: None` and the explicit one-bus grouping must be
+    /// byte-identical — same trace, same report — for every family: the
+    /// per-bus engine state and the group-scoped stealing collapse to
+    /// the historical single-bus behavior when every GPU shares bus 0.
+    #[test]
+    fn one_bus_grouping_is_byte_identical_to_ungrouped(
+        ts in arb_taskset(10, 20),
+        gpus in 1usize..4,
+        mem in 3u64..8,
+    ) {
+        let flat = small_spec(gpus, mem);
+        let grouped = small_spec(gpus, mem).with_bus_groups(vec![0; gpus]);
+        let config = full_trace_config(&FaultPlan::none());
+        for named in ALL_FAMILIES {
+            if skip_degenerate(named, &ts, gpus) {
+                continue;
+            }
+            let label = named.label();
+            let (flat_report, flat_trace) =
+                run_with_config(&ts, &flat, named.build().as_mut(), &config)
+                    .unwrap_or_else(|e| panic!("{label}: flat run failed: {e}"));
+            let (grp_report, grp_trace) =
+                run_with_config(&ts, &grouped, named.build().as_mut(), &config)
+                    .unwrap_or_else(|e| panic!("{label}: grouped run failed: {e}"));
+            prop_assert_eq!(&flat_trace, &grp_trace, "{}: traces diverge", label);
+            prop_assert_eq!(
+                strip_walls(flat_report),
+                strip_walls(grp_report),
+                "{}: reports diverge",
+                label
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On a two-bus platform, the sharded tier must reproduce the serial
+    /// run for every decomposable family, worker count, and fault plan:
+    /// canonical traces equal, reports equal modulo wall clocks, serial
+    /// errors replayed exactly. A non-fallback run's trace must already
+    /// be in canonical `(time, gpu)` order.
+    #[test]
+    fn sharded_matches_serial_on_two_buses(
+        ts in arb_taskset(10, 20),
+        gpus in 2usize..5,
+        mem in 3u64..8,
+        fault_kind in 0usize..3,
+    ) {
+        let spec = two_bus_spec(gpus, mem);
+        let faults = match fault_kind {
+            // Fail-stop of the last GPU mid-run (tasks run ~1e6 ns on
+            // the small spec); its bus group may lose its only GPU, in
+            // which case serial and sharded must abort identically.
+            1 => FaultPlan::none().with_gpu_failure(gpus - 1, 1_500_000),
+            2 => FaultPlan::none()
+                .with_straggler(0, 500_000, 0.5)
+                .with_capacity_shrink(0, 800_000, mem.saturating_sub(1).max(3)),
+            _ => FaultPlan::none(),
+        };
+        let config = full_trace_config(&faults);
+        for named in DECOMPOSABLE_FAMILIES {
+            if skip_degenerate(named, &ts, gpus) {
+                continue;
+            }
+            let label = named.label();
+            let serial = run_with_config(&ts, &spec, named.build().as_mut(), &config);
+            let factory: SchedulerFactory<'_> = &|| named.build();
+            for shards in [1usize, 2, 8] {
+                let sharded = run_sharded(&ts, &spec, factory, &config, &ShardOptions { shards });
+                match (&serial, &sharded) {
+                    (Ok((serial_report, serial_trace)), Ok((report, trace))) => {
+                        let canonical = canonicalize_trace(serial_trace);
+                        let stats = report.sharding.clone().expect("sharded stats");
+                        if stats.fallback_reason.is_none() {
+                            prop_assert_eq!(stats.shards_used, 2, "{}", label);
+                            // Non-fallback output is already canonical.
+                            prop_assert_eq!(
+                                trace,
+                                &canonical,
+                                "{} shards={}: trace not the canonical serial stream",
+                                label,
+                                shards
+                            );
+                        } else {
+                            prop_assert_eq!(
+                                &canonicalize_trace(trace),
+                                &canonical,
+                                "{} shards={} (fallback {:?}): traces diverge",
+                                label,
+                                shards,
+                                stats.fallback_reason
+                            );
+                        }
+                        prop_assert_eq!(
+                            strip_walls(report.clone()),
+                            strip_walls(serial_report.clone()),
+                            "{} shards={}: reports diverge",
+                            label,
+                            shards
+                        );
+                    }
+                    (Err(se), Err(he)) => {
+                        prop_assert_eq!(
+                            format!("{se:?}"),
+                            format!("{he:?}"),
+                            "{} shards={}: different errors",
+                            label,
+                            shards
+                        );
+                    }
+                    (serial, sharded) => panic!(
+                        "{label} shards={shards}: outcomes disagree:\n  serial:  {:?}\n  sharded: {:?}",
+                        serial.as_ref().map(|(r, _)| r.makespan),
+                        sharded.as_ref().map(|(r, _)| r.makespan),
+                    ),
+                }
+            }
+        }
+    }
+}
