@@ -1,0 +1,226 @@
+//! Overload-control bench for the serving tier: the same Poisson stream
+//! pushed at an underloaded and a 2×-overloaded rate through every shed
+//! policy, on the two-V100 serving platform.
+//!
+//! Records to `results/BENCH_serve_overload.json`:
+//!
+//! * the underloaded `DeferOnly` baseline (p50/p99 admitted-task
+//!   latency, throughput) — the reference point;
+//! * per policy at 2× overload: p99 latency, completions, sheds,
+//!   expiries, goodput, and engine wall time (best of reps, trace off);
+//! * the **bounded-latency assertion**: under overload, `PriorityShed`
+//!   must keep the p99 latency of admitted tasks within a fixed
+//!   multiple ([`P99_BOUND_MULTIPLE`]) of the underloaded baseline,
+//!   while `DeferOnly` — which queues every arrival — must blow past
+//!   that same bound (the divergence that motivates shedding). Both
+//!   sides are simulated quantities, so the assertion is deterministic.
+//!
+//! Quick mode (`--quick` or `MEMSCHED_BENCH_QUICK=1`) shrinks the
+//! stream for CI.
+
+use memsched_model::DataId;
+use memsched_platform::{
+    run_with_config, AdmissionConfig, OnlineStats, PlatformSpec, RunConfig, ShedPolicy,
+};
+use memsched_schedulers::NamedScheduler;
+use memsched_workloads::{deadline_stamps, gemm_2d, open_loop_arrivals, ArrivalPattern};
+use serde::Serialize;
+use std::time::Instant;
+
+/// p99 admitted-task latency under overload with `PriorityShed` must
+/// stay within this multiple of the underloaded `DeferOnly` baseline.
+const P99_BOUND_MULTIPLE: f64 = 10.0;
+
+#[derive(Serialize)]
+struct PolicyRun {
+    policy: &'static str,
+    rate_per_sec: f64,
+    completed: u64,
+    shed: u64,
+    deadline_expired: u64,
+    deadline_violations: u64,
+    p50_latency_ns: u64,
+    p99_latency_ns: u64,
+    throughput_tps: f64,
+    goodput_tps: f64,
+    wall_ns: u64,
+    /// p99 as a multiple of the underloaded baseline p99.
+    p99_vs_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    quick: bool,
+    reps: usize,
+    workload: String,
+    tasks: usize,
+    backlog: usize,
+    service_estimate_ns: u64,
+    baseline_rate_per_sec: f64,
+    overload_rate_per_sec: f64,
+    baseline_p50_latency_ns: u64,
+    baseline_p99_latency_ns: u64,
+    baseline_throughput_tps: f64,
+    baseline_wall_ns: u64,
+    p99_bound_multiple: f64,
+    overloaded: Vec<PolicyRun>,
+}
+
+fn timed<R>(reps: usize, f: impl Fn() -> R) -> (R, u64) {
+    let mut best: Option<(R, u64)> = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let r = f();
+        let wall = started.elapsed().as_nanos() as u64;
+        if best.as_ref().is_none_or(|&(_, w)| wall < w) {
+            best = Some((r, wall));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn run_stream(
+    ts: &memsched_model::TaskSet,
+    spec: &PlatformSpec,
+    policy: ShedPolicy,
+    backlog: usize,
+    reps: usize,
+) -> (OnlineStats, u64) {
+    let config = RunConfig {
+        admission: Some(AdmissionConfig {
+            max_backlog: Some(backlog),
+            policy,
+        }),
+        ..RunConfig::default()
+    };
+    let (stats, wall) = timed(reps, || {
+        let mut sched = NamedScheduler::Dmdar.build();
+        let (report, _) =
+            run_with_config(ts, spec, sched.as_mut(), &config).expect("serving run");
+        report.online.expect("online stats")
+    });
+    (stats, wall)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("MEMSCHED_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 2 } else { 3 };
+    let n = if quick { 16 } else { 32 }; // n^2 tasks
+    let backlog = 8;
+
+    let base = gemm_2d(n);
+    let m = base.num_tasks();
+    let tile = base.data_size(DataId(0));
+    let spec = PlatformSpec::v100(2).with_memory(4 * tile);
+    // Empirical service capacity: a batch run (every arrival at t = 0)
+    // saturates the platform, so tasks/makespan is the sustainable rate
+    // — transfers and memory pressure included, unlike the pure-flops
+    // roofline. The baseline streams at half of it, the overload at 2×.
+    let capacity_tps = {
+        let mut sched = NamedScheduler::Dmdar.build();
+        let (report, _) =
+            run_with_config(&base, &spec, sched.as_mut(), &RunConfig::default())
+                .expect("capacity probe");
+        m as f64 / (report.makespan as f64 / 1e9)
+    };
+    // Effective per-GPU service time backs the deadline stamps.
+    let service_ns = (2e9 / capacity_tps).max(1.0) as u64;
+    let baseline_rate = 0.5 * capacity_tps;
+    let overload_rate = 2.0 * capacity_tps;
+
+    let stamp = |rate: f64| {
+        let arrivals = open_loop_arrivals(
+            &ArrivalPattern::Poisson { rate_per_sec: rate },
+            42,
+            m,
+        );
+        // Deadline budget for the DeadlineShed row: ~20 queued services.
+        base.clone()
+            .with_arrivals(arrivals)
+            .with_deadlines(deadline_stamps(m, 20 * service_ns, 1.0, 42 ^ 0xD00D))
+    };
+
+    let under = stamp(baseline_rate);
+    let (baseline, baseline_wall) =
+        run_stream(&under, &spec, ShedPolicy::DeferOnly, backlog, reps);
+    assert_eq!(baseline.tasks_admitted, m as u64, "baseline must admit all");
+    println!(
+        "baseline (defer @ {baseline_rate:.0}/s): p99 {} ns, {:.0} tasks/s, wall {baseline_wall} ns",
+        baseline.p99_latency, baseline.throughput_tps
+    );
+
+    let over = stamp(overload_rate);
+    let mut overloaded = Vec::new();
+    for policy in [
+        ShedPolicy::DeferOnly,
+        ShedPolicy::DeadlineShed,
+        ShedPolicy::PriorityShed,
+    ] {
+        let (stats, wall) = run_stream(&over, &spec, policy, backlog, reps);
+        let ratio = stats.p99_latency as f64 / baseline.p99_latency.max(1) as f64;
+        println!(
+            "overload {} @ {overload_rate:.0}/s: p99 {} ns ({ratio:.2}x baseline), \
+             completed {}, shed {}, expired {}, goodput {:.0}/s, wall {wall} ns",
+            policy.as_str(),
+            stats.p99_latency,
+            stats.tasks_admitted,
+            stats.tasks_shed,
+            stats.deadline_expired,
+            stats.goodput_tps,
+        );
+        match policy {
+            // The point of the bench: shedding bounds tail latency,
+            // defer-only queueing does not.
+            ShedPolicy::PriorityShed => assert!(
+                ratio <= P99_BOUND_MULTIPLE,
+                "PriorityShed p99 {ratio:.2}x baseline exceeds the \
+                 {P99_BOUND_MULTIPLE}x bound"
+            ),
+            ShedPolicy::DeferOnly => assert!(
+                ratio > P99_BOUND_MULTIPLE,
+                "DeferOnly p99 {ratio:.2}x baseline unexpectedly bounded — \
+                 the overload rate is not overloading"
+            ),
+            ShedPolicy::DeadlineShed => {}
+        }
+        overloaded.push(PolicyRun {
+            policy: policy.as_str(),
+            rate_per_sec: overload_rate,
+            completed: stats.tasks_admitted,
+            shed: stats.tasks_shed,
+            deadline_expired: stats.deadline_expired,
+            deadline_violations: stats.deadline_violations,
+            p50_latency_ns: stats.p50_latency,
+            p99_latency_ns: stats.p99_latency,
+            throughput_tps: stats.throughput_tps,
+            goodput_tps: stats.goodput_tps,
+            wall_ns: wall,
+            p99_vs_baseline: ratio,
+        });
+    }
+
+    let output = Output {
+        quick,
+        reps,
+        workload: format!("gemm_2d({n})"),
+        tasks: m,
+        backlog,
+        service_estimate_ns: service_ns,
+        baseline_rate_per_sec: baseline_rate,
+        overload_rate_per_sec: overload_rate,
+        baseline_p50_latency_ns: baseline.p50_latency,
+        baseline_p99_latency_ns: baseline.p99_latency,
+        baseline_throughput_tps: baseline.throughput_tps,
+        baseline_wall_ns: baseline_wall,
+        p99_bound_multiple: P99_BOUND_MULTIPLE,
+        overloaded,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_serve_overload.json"
+    );
+    let json = serde_json::to_string_pretty(&output).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write bench json");
+    println!("wrote {path}");
+}

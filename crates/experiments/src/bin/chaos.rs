@@ -1,0 +1,226 @@
+//! Standalone chaos driver: the soak harness's randomized
+//! faults × overload matrix (`memsched_experiments::chaos`) as a CLI.
+//!
+//! ```text
+//! chaos [--seeds N] [--sched eager|dmda|dmdar|hmetis|mhfp|darts|all]
+//!       [--jobs N] [--out CSV] [--quick]
+//! ```
+//!
+//! For every seed the driver builds one composition (overloaded
+//! deadline/class-stamped Poisson stream, seeded fault plan, backlog
+//! bound), runs every requested scheduler family under all three shed
+//! policies, checks the hard serving invariants on each cell, and
+//! verifies the whole matrix digests byte-identically on 1, 2 and
+//! `--jobs` pool workers. One CSV row per cell summarizes the outcome
+//! ledger. Any invariant violation panics with a seed-reproducible
+//! message, so the process exit code is the pass/fail signal for CI.
+//!
+//! `--quick` caps the sweep at 2 seeds regardless of `--seeds` (the CI
+//! tier); malformed flags exit with status 2 before anything runs.
+
+use memsched_experiments::chaos::{
+    check_invariants, compose, digest, run_cell, Chaos, FAMILIES, POLICIES,
+};
+use memsched_experiments::pool;
+use memsched_platform::{RunError, ShedPolicy};
+use memsched_schedulers::NamedScheduler;
+
+#[derive(Clone, Debug)]
+struct ChaosArgs {
+    seeds: u64,
+    scheds: Vec<NamedScheduler>,
+    jobs: usize,
+    out: Option<String>,
+}
+
+const KNOWN_VALUE_FLAGS: &[&str] = &["--seeds", "--sched", "--jobs", "--out"];
+
+fn parse_scheds(spec: &str) -> Result<Vec<NamedScheduler>, String> {
+    let mut out = Vec::new();
+    for name in spec.split(',').filter(|s| !s.is_empty()) {
+        match name {
+            "eager" => out.push(NamedScheduler::Eager),
+            "dmda" => out.push(NamedScheduler::Dmda),
+            "dmdar" => out.push(NamedScheduler::Dmdar),
+            "hmetis" => out.push(NamedScheduler::HmetisR),
+            "mhfp" => out.push(NamedScheduler::Mhfp),
+            "darts" => out.push(NamedScheduler::DartsLuf),
+            "all" => out.extend(FAMILIES),
+            other => {
+                return Err(format!(
+                    "--sched {other:?}: expected eager|dmda|dmdar|hmetis|mhfp|darts|all"
+                ))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("--sched: empty scheduler list".to_string());
+    }
+    Ok(out)
+}
+
+fn parse_from(args: Vec<String>) -> Result<ChaosArgs, String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--quick" {
+            i += 1;
+        } else if let Some((flag, _)) = a.split_once('=') {
+            if !KNOWN_VALUE_FLAGS.contains(&flag) {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            i += 1;
+        } else if KNOWN_VALUE_FLAGS.contains(&a.as_str()) {
+            if args.get(i + 1).is_none() {
+                return Err(format!("{a}: missing value"));
+            }
+            i += 2;
+        } else {
+            return Err(format!("unknown argument {a:?}"));
+        }
+    }
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| {
+                let prefix = format!("{flag}=");
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&prefix))
+                    .map(str::to_string)
+            })
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut seeds = match value_of("--seeds") {
+        Some(s) => {
+            let n = s
+                .parse::<u64>()
+                .map_err(|_| format!("--seeds {s:?}: not a number"))?;
+            if n == 0 {
+                return Err("--seeds 0: need at least one seed".to_string());
+            }
+            n
+        }
+        None => 8,
+    };
+    if quick {
+        seeds = seeds.min(2);
+    }
+    let scheds = parse_scheds(&value_of("--sched").unwrap_or_else(|| "all".to_string()))?;
+    let jobs = match value_of("--jobs") {
+        Some(j) => {
+            let n = j
+                .parse::<usize>()
+                .map_err(|_| format!("--jobs {j:?}: not a number"))?;
+            if n == 0 {
+                return Err("--jobs 0: need at least one worker".to_string());
+            }
+            n
+        }
+        None => pool::resolve_jobs(None),
+    };
+    Ok(ChaosArgs {
+        seeds,
+        scheds,
+        jobs,
+        out: value_of("--out"),
+    })
+}
+
+const CSV_HEADER: &str = "seed,scheduler,shed_policy,tasks,completed,shed,deadline_expired,\
+                          deadline_violations,stuck,p99_latency_ns,goodput_tps";
+
+/// Run one cell, enforce its invariants, and render its CSV row.
+fn cell_row(seed: u64, chaos: &Chaos, named: &NamedScheduler, policy: ShedPolicy) -> String {
+    let n = chaos.ts.num_tasks();
+    match run_cell(chaos, named, policy) {
+        Ok((report, trace)) => {
+            check_invariants(chaos, named, policy, &trace, &report);
+            let s = report.online.as_ref().expect("online stats");
+            format!(
+                "{seed},{},{},{n},{},{},{},{},0,{},{:.3}",
+                report.scheduler,
+                policy.as_str(),
+                s.tasks_admitted,
+                s.tasks_shed,
+                s.deadline_expired,
+                s.deadline_violations,
+                s.p99_latency,
+                s.goodput_tps,
+            )
+        }
+        Err(e) => {
+            // Only the legacy defer-only policy may wedge on a
+            // fault-stranded deferral; a shedding policy failing is a
+            // harness bug.
+            assert_eq!(
+                policy,
+                ShedPolicy::DeferOnly,
+                "seed {seed}: {named:?}/{policy:?} failed: {e:?}"
+            );
+            assert!(
+                matches!(e, RunError::SchedulerStuck { .. }),
+                "seed {seed}: {named:?}: unexpected error {e:?}"
+            );
+            let completed = match e {
+                RunError::SchedulerStuck { completed, .. } => completed,
+                _ => unreachable!(),
+            };
+            format!(
+                "{seed},{named:?},{},{n},{completed},0,0,0,1,0,0.000",
+                policy.as_str()
+            )
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_from(std::env::args().skip(1).collect()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut rows = vec![CSV_HEADER.to_string()];
+    for seed in 1..=args.seeds {
+        let chaos = compose(seed);
+        let cells: Vec<(NamedScheduler, ShedPolicy)> = args
+            .scheds
+            .iter()
+            .flat_map(|f| POLICIES.iter().map(move |&p| (f.clone(), p)))
+            .collect();
+        // Determinism across worker counts: 1 vs 2 vs --jobs.
+        let run_all = |jobs: usize| -> Vec<String> {
+            pool::run_indexed(&cells, jobs, |_, (named, policy)| {
+                digest(&chaos, named, *policy)
+            })
+        };
+        let one = run_all(1);
+        assert_eq!(one, run_all(2), "seed {seed}: 1 vs 2 workers diverge");
+        assert_eq!(
+            one,
+            run_all(args.jobs),
+            "seed {seed}: 1 vs {} workers diverge",
+            args.jobs
+        );
+        for (named, policy) in &cells {
+            rows.push(cell_row(seed, &chaos, named, *policy));
+        }
+    }
+    for row in &rows {
+        println!("{row}");
+    }
+    if let Some(path) = &args.out {
+        let mut csv = rows.join("\n");
+        csv.push('\n');
+        std::fs::write(path, csv).expect("write chaos CSV");
+        eprintln!("chaos: wrote {path}");
+    }
+    eprintln!(
+        "chaos: {} seeds x {} cells passed all serving invariants",
+        args.seeds,
+        args.scheds.len() * POLICIES.len()
+    );
+}

@@ -7,6 +7,8 @@
 //! serve [--arrival-rate R1,R2,…] [--pattern poisson|bursty]
 //!       [--closed-loop CLIENTS] [--duration SECS] [--tasks N]
 //!       [--sched eager|dmda|dmdar|hmetis|mhfp|darts|all]
+//!       [--shed defer|deadline|priority] [--deadline-scale F]
+//!       [--classes N] [--backlog N]
 //!       [--seed N] [--jobs N] [--faults SPEC] [--out CSV] [--quick]
 //!       [--trace-out PATH] [--trace-format chrome|paje] [--metrics-out PATH]
 //! ```
@@ -35,6 +37,19 @@
 //! `clients / rate` minus the per-task service estimate, so a saturated
 //! system sees back-to-back requests while an unloaded one idles
 //! between them. The CSV gains a `clients` column (0 = open loop).
+//!
+//! Overload control: `--shed` selects the admission [`ShedPolicy`]
+//! (default `defer`, today's byte-identical defer-only loop).
+//! `--deadline-scale F` stamps every request with a seeded per-task
+//! completion budget of `F × 20 × service_estimate` (jittered ±50 %), so
+//! `F = 1` roughly tolerates a twenty-deep queue and smaller values bite
+//! sooner. `--classes N` splits the stream into `N` equally likely
+//! tenant classes (higher class = higher priority under `priority`
+//! shedding) and `--backlog N` bounds the admitted backlog — under
+//! `priority` it also caps the deferred queue, which is what makes
+//! bounded-backlog shedding actually bound memory. The CSV gains
+//! `shed`, `deadline_expired`, `deadline_violations`, `goodput_tps` and
+//! `;`-joined per-class drop/completion columns.
 
 use memsched_experiments::obs::{self, TraceFormat};
 use memsched_experiments::pool;
@@ -42,9 +57,13 @@ use memsched_model::{DataId, TaskSet};
 use memsched_platform::obs::{chrome_trace_json, paje_trace, Metrics, Probe};
 use memsched_platform::{
     run_observed, run_with_config, AdmissionConfig, FaultPlan, PlatformSpec, RunConfig, RunReport,
+    ShedPolicy,
 };
 use memsched_schedulers::NamedScheduler;
-use memsched_workloads::{closed_loop_arrivals, gemm_2d, open_loop_arrivals, ArrivalPattern};
+use memsched_workloads::{
+    assign_classes, closed_loop_arrivals, deadline_stamps, gemm_2d, open_loop_arrivals,
+    ArrivalPattern,
+};
 use serde::{Number, Value};
 
 #[derive(Clone, Debug, PartialEq)]
@@ -98,6 +117,14 @@ struct ServeArgs {
     /// flight. `None` keeps the open-loop arrival process.
     closed_loop: Option<usize>,
     scheds: Vec<NamedScheduler>,
+    /// Admission overload-control policy (default: defer-only).
+    shed: ShedPolicy,
+    /// Deadline stamp scale; `None` leaves tasks deadline-free.
+    deadline_scale: Option<f64>,
+    /// Number of equally likely tenant classes (1 = class-less).
+    classes: usize,
+    /// Admitted-backlog bound (and deferred-queue cap under `priority`).
+    backlog: Option<usize>,
     seed: u64,
     jobs: usize,
     faults: FaultPlan,
@@ -114,6 +141,10 @@ const KNOWN_VALUE_FLAGS: &[&str] = &[
     "--duration",
     "--tasks",
     "--sched",
+    "--shed",
+    "--deadline-scale",
+    "--classes",
+    "--backlog",
     "--seed",
     "--jobs",
     "--faults",
@@ -251,6 +282,51 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
         None => None,
     };
     let scheds = parse_scheds(&value_of("--sched").unwrap_or_else(|| "all".to_string()))?;
+    let shed = match value_of("--shed") {
+        Some(p) => ShedPolicy::parse(&p)?,
+        None => ShedPolicy::default(),
+    };
+    let deadline_scale = match value_of("--deadline-scale") {
+        Some(f) => {
+            let s = f
+                .parse::<f64>()
+                .map_err(|_| format!("--deadline-scale {f:?}: not a number"))?;
+            if !(s.is_finite() && s > 0.0) {
+                return Err(format!("--deadline-scale {s}: must be positive and finite"));
+            }
+            Some(s)
+        }
+        None => None,
+    };
+    let classes = match value_of("--classes") {
+        Some(c) => {
+            let n = c
+                .parse::<usize>()
+                .map_err(|_| format!("--classes {c:?}: not a number"))?;
+            if n == 0 {
+                return Err("--classes 0: need at least one class".to_string());
+            }
+            n
+        }
+        None => 1,
+    };
+    let backlog = match value_of("--backlog") {
+        Some(b) => {
+            let n = b
+                .parse::<usize>()
+                .map_err(|_| format!("--backlog {b:?}: not a number"))?;
+            if n == 0 {
+                return Err("--backlog 0: must be positive".to_string());
+            }
+            Some(n)
+        }
+        None => None,
+    };
+    if shed == ShedPolicy::PriorityShed && backlog.is_none() {
+        return Err(
+            "--shed priority needs --backlog N (the deferred-queue cap it enforces)".to_string(),
+        );
+    }
     let seed = match value_of("--seed") {
         Some(s) => s
             .parse::<u64>()
@@ -295,6 +371,10 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
         tasks,
         closed_loop,
         scheds,
+        shed,
+        deadline_scale,
+        classes,
+        backlog,
         seed,
         jobs: pool::resolve_jobs(jobs_arg),
         faults,
@@ -327,7 +407,31 @@ fn stream_taskset(args: &ServeArgs, rate: f64) -> TaskSet {
         }
         None => open_loop_arrivals(&args.pattern.at_rate(rate), args.seed, ts.num_tasks()),
     };
-    ts.with_arrivals(arrivals)
+    let mut ts = ts.with_arrivals(arrivals);
+    if let Some(scale) = args.deadline_scale {
+        // Budget anchor: 20× the single-tile service estimate, so
+        // `--deadline-scale 1` tolerates a twenty-deep queue before the
+        // budget bites. Derived seed keeps deadline jitter independent of
+        // the arrival stream.
+        let service_ns = (ts.flops(memsched_model::TaskId(0)) / memsched_platform::V100_GFLOPS)
+            .max(1.0) as u64;
+        let stamps = deadline_stamps(
+            ts.num_tasks(),
+            20 * service_ns,
+            scale,
+            args.seed ^ 0x9e37_79b9_7f4a_7c15,
+        );
+        ts = ts.with_deadlines(stamps);
+    }
+    if args.classes > 1 {
+        let cls = assign_classes(
+            ts.num_tasks(),
+            &vec![1.0; args.classes],
+            args.seed ^ 0xda94_2042_e4dd_58b5,
+        );
+        ts = ts.with_classes(cls.into_iter().map(|c| c as u32).collect());
+    }
+    ts
 }
 
 /// The serving platform for one cell: two V100s under mild memory
@@ -341,9 +445,21 @@ fn stream_spec(ts: &TaskSet) -> PlatformSpec {
 fn serve_config(args: &ServeArgs) -> RunConfig {
     RunConfig {
         faults: args.faults.clone(),
-        admission: Some(AdmissionConfig::default()),
+        admission: Some(AdmissionConfig {
+            max_backlog: args.backlog,
+            policy: args.shed,
+        }),
         ..RunConfig::default()
     }
+}
+
+/// `;`-joined per-class counter column (CSV-safe; empty when class-less
+/// and nothing was dropped).
+fn class_column(v: &[u64]) -> String {
+    v.iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(";")
 }
 
 struct CellResult {
@@ -370,7 +486,8 @@ fn run_cell(args: &ServeArgs, named: &NamedScheduler, rate: f64) -> Result<CellR
 
 const CSV_HEADER: &str = "scheduler,pattern,clients,rate_per_sec,tasks,makespan_ns,p50_latency_ns,\
                           p99_latency_ns,mean_latency_ns,p50_queueing_ns,p99_queueing_ns,\
-                          throughput_tps,admitted,deferred";
+                          throughput_tps,admitted,deferred,shed_policy,shed,deadline_expired,\
+                          deadline_violations,goodput_tps,shed_per_class,completed_per_class";
 
 fn csv_row(args: &ServeArgs, c: &CellResult) -> String {
     let o = c.report.online.clone().unwrap_or_default();
@@ -380,7 +497,7 @@ fn csv_row(args: &ServeArgs, c: &CellResult) -> String {
         args.pattern.label()
     };
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{:.3},{},{}",
         c.scheduler,
         pattern,
         args.closed_loop.unwrap_or(0),
@@ -394,7 +511,14 @@ fn csv_row(args: &ServeArgs, c: &CellResult) -> String {
         o.p99_queueing,
         o.throughput_tps,
         o.tasks_admitted,
-        o.tasks_deferred
+        o.tasks_deferred,
+        args.shed.as_str(),
+        o.tasks_shed,
+        o.deadline_expired,
+        o.deadline_violations,
+        o.goodput_tps,
+        class_column(&o.shed_per_class),
+        class_column(&o.completed_per_class),
     )
 }
 
@@ -449,6 +573,7 @@ fn export_obs(args: &ServeArgs) -> Result<(), String> {
                 Value::Num(Number::U(args.closed_loop.unwrap_or(0) as u64)),
             ),
             ("rate_per_sec", Value::Num(Number::F(rate))),
+            ("shed_policy", Value::Str(args.shed.as_str().to_string())),
             ("makespan_ns", Value::Num(Number::U(report.makespan))),
             (
                 "online",
@@ -461,6 +586,13 @@ fn export_obs(args: &ServeArgs) -> Result<(), String> {
                     ("p50_queueing_ns", Value::Num(Number::U(o.p50_queueing))),
                     ("p99_queueing_ns", Value::Num(Number::U(o.p99_queueing))),
                     ("throughput_tps", Value::Num(Number::F(o.throughput_tps))),
+                    ("tasks_shed", Value::Num(Number::U(o.tasks_shed))),
+                    ("deadline_expired", Value::Num(Number::U(o.deadline_expired))),
+                    (
+                        "deadline_violations",
+                        Value::Num(Number::U(o.deadline_violations)),
+                    ),
+                    ("goodput_tps", Value::Num(Number::F(o.goodput_tps))),
                 ]),
             ),
             ("metrics", metrics.to_value()),
@@ -492,9 +624,9 @@ fn main() {
     });
 
     println!(
-        "{:<14} {:>8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "{:<14} {:>8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8} {:>6} {:>10}",
         "scheduler", "rate/s", "tasks", "makespan_ms", "p50_lat_us", "p99_lat_us", "p50_queue_us",
-        "thru/s", "deferred"
+        "thru/s", "deferred", "shed", "goodput/s"
     );
     let mut rows = Vec::new();
     let mut failed = false;
@@ -503,7 +635,7 @@ fn main() {
             Ok(c) => {
                 let o = c.report.online.clone().unwrap_or_default();
                 println!(
-                    "{:<14} {:>8} {:>7} {:>12.3} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>8}",
+                    "{:<14} {:>8} {:>7} {:>12.3} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>8} {:>6} {:>10.1}",
                     c.scheduler,
                     c.rate,
                     c.tasks,
@@ -512,7 +644,9 @@ fn main() {
                     o.p99_latency as f64 / 1e3,
                     o.p50_queueing as f64 / 1e3,
                     o.throughput_tps,
-                    o.tasks_deferred
+                    o.tasks_deferred,
+                    o.tasks_shed + o.deadline_expired,
+                    o.goodput_tps
                 );
                 rows.push(csv_row(&args, &c));
             }

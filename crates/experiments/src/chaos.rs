@@ -1,0 +1,271 @@
+//! Chaos composition for the serving tier: seeded random fault plans ×
+//! overload traffic, with the hard serving invariants as checkers.
+//!
+//! One seed fully determines one *composition* — an overloaded,
+//! deadline- and class-stamped request stream, a two-GPU platform, a
+//! randomized fault plan and a backlog bound. The soak harness
+//! (`tests/chaos_soak.rs`) and the standalone `chaos` driver binary run
+//! the same matrix through this module, so a failure found by either
+//! reproduces from its seed alone.
+
+use memsched_model::{DataId, TaskId, TaskSet};
+use memsched_platform::{
+    run_with_config, AdmissionConfig, FaultPlan, PlatformSpec, RunConfig, RunError, RunReport,
+    ShedPolicy, TraceEvent, TraceMode, TransferFaultSpec, V100_GFLOPS,
+};
+use memsched_schedulers::NamedScheduler;
+use memsched_workloads::{assign_classes, deadline_stamps, gemm_2d, open_loop_arrivals, ArrivalPattern};
+
+/// The five online scheduler families the chaos matrix sweeps.
+pub const FAMILIES: [NamedScheduler; 5] = [
+    NamedScheduler::Eager,
+    NamedScheduler::Dmdar,
+    NamedScheduler::HmetisR,
+    NamedScheduler::Mhfp,
+    NamedScheduler::DartsLuf,
+];
+
+/// The three admission shed policies the chaos matrix sweeps.
+pub const POLICIES: [ShedPolicy; 3] = [
+    ShedPolicy::DeferOnly,
+    ShedPolicy::DeadlineShed,
+    ShedPolicy::PriorityShed,
+];
+
+/// SplitMix64 step: the harness's only randomness, all derived from the
+/// composition seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One randomized composition: an overloaded deadline/class-stamped
+/// stream, a platform, a fault plan and a backlog bound.
+pub struct Chaos {
+    /// The overloaded stream with deadline and class metadata attached.
+    pub ts: TaskSet,
+    /// The same stream *without* overload metadata (for the `DeferOnly`
+    /// conservative-extension check).
+    pub plain: TaskSet,
+    /// The two-GPU serving platform.
+    pub spec: PlatformSpec,
+    /// The seeded fault plan (each ingredient lands with probability ½).
+    pub faults: FaultPlan,
+    /// The admitted-backlog bound (also the `PriorityShed` queue cap).
+    pub backlog: usize,
+}
+
+/// Build the composition for `seed`.
+pub fn compose(seed: u64) -> Chaos {
+    let mut s = seed;
+    // Overload traffic: gemm_2d at 2–4× the rate the golden stream
+    // (2000/s on this platform) already queues at.
+    let n = 3 + (splitmix(&mut s) % 2) as usize; // 9 or 16 tasks
+    let rate = 4000.0 + 2000.0 * (splitmix(&mut s) % 3) as f64;
+    let base = gemm_2d(n);
+    let m = base.num_tasks();
+    let arrivals = open_loop_arrivals(
+        &ArrivalPattern::Poisson { rate_per_sec: rate },
+        seed ^ 0xA5A5,
+        m,
+    );
+    let plain = base.with_arrivals(arrivals);
+    let tile = plain.data_size(DataId(0));
+    let spec = PlatformSpec::v100(2).with_memory(4 * tile);
+    // Deadline budget anchored at ~20 single-task service times with the
+    // scale swept across under- and over-provisioned budgets.
+    let service_ns = (plain.flops(TaskId(0)) / V100_GFLOPS).max(1.0) as u64;
+    let scale = 0.25 + (splitmix(&mut s) % 8) as f64 * 0.5;
+    let ts = plain
+        .clone()
+        .with_deadlines(deadline_stamps(m, 20 * service_ns, scale, seed ^ 0xD00D))
+        .with_classes(
+            assign_classes(m, &[3.0, 2.0, 1.0], seed ^ 0xC1A5)
+                .into_iter()
+                .map(|c| c as u32)
+                .collect(),
+        );
+    // Randomized fault plan: each ingredient lands with probability 1/2,
+    // at most one fail-stop so a survivor always remains.
+    let horizon = (m as u64) * 1_000_000; // ~the stream's span in ns
+    let mut faults = FaultPlan::none();
+    if splitmix(&mut s) & 1 == 0 {
+        faults = faults.with_gpu_failure(
+            (splitmix(&mut s) % 2) as usize,
+            splitmix(&mut s) % horizon,
+        );
+    }
+    if splitmix(&mut s) & 1 == 0 {
+        faults = faults.with_capacity_shrink(
+            (splitmix(&mut s) % 2) as usize,
+            splitmix(&mut s) % horizon,
+            3 * tile,
+        );
+    }
+    if splitmix(&mut s) & 1 == 0 {
+        faults = faults.with_straggler(
+            (splitmix(&mut s) % 2) as usize,
+            splitmix(&mut s) % horizon,
+            0.25 + (splitmix(&mut s) % 3) as f64 * 0.25,
+        );
+    }
+    if splitmix(&mut s) & 1 == 0 {
+        faults = faults.with_transfer_faults(TransferFaultSpec {
+            seed: splitmix(&mut s),
+            fault_ppm: 100_000,
+            max_attempts: 16,
+            backoff_base: 100,
+        });
+    }
+    let backlog = 1 + (splitmix(&mut s) % 4) as usize;
+    Chaos {
+        ts,
+        plain,
+        spec,
+        faults,
+        backlog,
+    }
+}
+
+/// The run configuration for one cell of the matrix.
+pub fn config_for(chaos: &Chaos, policy: ShedPolicy) -> RunConfig {
+    RunConfig {
+        trace: TraceMode::Full,
+        faults: chaos.faults.clone(),
+        admission: Some(AdmissionConfig {
+            max_backlog: Some(chaos.backlog),
+            policy,
+        }),
+        ..RunConfig::default()
+    }
+}
+
+/// Run one cell of the matrix.
+pub fn run_cell(
+    chaos: &Chaos,
+    named: &NamedScheduler,
+    policy: ShedPolicy,
+) -> Result<(RunReport, Vec<TraceEvent>), RunError> {
+    let mut sched = named.build();
+    run_with_config(&chaos.ts, &chaos.spec, sched.as_mut(), &config_for(chaos, policy))
+}
+
+/// Digest one cell: the full trace (or the structured error) as a
+/// string, so worker counts and reruns compare byte-for-byte.
+pub fn digest(chaos: &Chaos, named: &NamedScheduler, policy: ShedPolicy) -> String {
+    match run_cell(chaos, named, policy) {
+        Ok((report, trace)) => format!("{}:{:?}", report.makespan, trace),
+        Err(e) => format!("ERR:{e:?}"),
+    }
+}
+
+/// Check the hard per-cell invariants on one completed run — panics
+/// with a seed-reproducible message on the first violation:
+///
+/// * exactly-once outcomes (admitted+finished xor shed/expired);
+/// * no shed or expired task ever starts;
+/// * the deferred queue respects `max_backlog` under `PriorityShed`;
+/// * `DeferOnly` never drops;
+/// * the `OnlineStats` ledger agrees with the trace.
+pub fn check_invariants(
+    chaos: &Chaos,
+    named: &NamedScheduler,
+    policy: ShedPolicy,
+    trace: &[TraceEvent],
+    report: &RunReport,
+) {
+    let n = chaos.ts.num_tasks();
+    let mut arrived = vec![0u32; n];
+    let mut admitted = vec![0u32; n];
+    let mut dropped = vec![0u32; n];
+    let mut started = vec![0u32; n];
+    let mut finished = vec![0u32; n];
+    let mut queued: Vec<bool> = vec![false; n]; // deferred, outcome pending
+    let mut outstanding = 0usize;
+    for ev in trace {
+        match *ev {
+            TraceEvent::TaskArrived { task, .. } => arrived[task] += 1,
+            TraceEvent::TaskDeferred { task, .. } => {
+                assert!(
+                    !queued[task],
+                    "{named:?}/{policy:?}: task {task} deferred twice"
+                );
+                queued[task] = true;
+                outstanding += 1;
+                // Bounded backlog: an overflow evicts before the push.
+                if policy == ShedPolicy::PriorityShed {
+                    assert!(
+                        outstanding <= chaos.backlog,
+                        "{named:?}/{policy:?}: deferred queue grew to {outstanding} \
+                         past the bound {}",
+                        chaos.backlog
+                    );
+                }
+            }
+            TraceEvent::TaskAdmitted { task, .. } => {
+                admitted[task] += 1;
+                assert_eq!(
+                    dropped[task], 0,
+                    "{named:?}/{policy:?}: task {task} admitted after drop"
+                );
+                if queued[task] {
+                    queued[task] = false;
+                    outstanding -= 1;
+                }
+            }
+            TraceEvent::TaskShed { task, .. } | TraceEvent::DeadlineExpired { task, .. } => {
+                dropped[task] += 1;
+                assert_eq!(
+                    admitted[task], 0,
+                    "{named:?}/{policy:?}: task {task} dropped after admit"
+                );
+                assert_ne!(
+                    policy,
+                    ShedPolicy::DeferOnly,
+                    "{named:?}: DeferOnly must never drop a task"
+                );
+                if queued[task] {
+                    queued[task] = false;
+                    outstanding -= 1;
+                }
+            }
+            TraceEvent::TaskStarted { task, .. } => {
+                started[task] += 1;
+                assert_eq!(
+                    dropped[task], 0,
+                    "{named:?}/{policy:?}: shed/expired task {task} started"
+                );
+            }
+            TraceEvent::TaskFinished { task, .. } => finished[task] += 1,
+            _ => {}
+        }
+    }
+    for t in 0..n {
+        assert_eq!(arrived[t], 1, "{named:?}/{policy:?}: task {t} arrivals");
+        assert_eq!(
+            admitted[t] + dropped[t],
+            1,
+            "{named:?}/{policy:?}: task {t}: admitted {} dropped {}",
+            admitted[t],
+            dropped[t]
+        );
+        if dropped[t] == 1 {
+            assert_eq!(started[t], 0, "{named:?}/{policy:?}: dropped task {t} ran");
+            assert_eq!(finished[t], 0);
+        } else {
+            assert_eq!(finished[t], 1, "{named:?}/{policy:?}: task {t} finishes");
+        }
+    }
+    let stats = report.online.as_ref().expect("online stats");
+    let total_dropped: u64 = dropped.iter().map(|&c| u64::from(c)).sum();
+    assert_eq!(
+        stats.tasks_admitted + stats.tasks_shed + stats.deadline_expired,
+        n as u64,
+        "{named:?}/{policy:?}: outcome ledger does not cover arrivals"
+    );
+    assert_eq!(stats.tasks_shed + stats.deadline_expired, total_dropped);
+    assert!(stats.goodput_tps <= stats.throughput_tps + 1e-9);
+}

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod checks;
 pub mod cli;
 pub mod figures;

@@ -313,6 +313,9 @@ pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
     // can only be admitted at or after its recorded arrival.
     let mut last_arrival = f64::NEG_INFINITY;
     let mut arrivals: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    // Tasks dropped by the overload-control policy: dropped at most once,
+    // and never admitted afterwards.
+    let mut dropped: std::collections::HashSet<u64> = std::collections::HashSet::new();
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .field("ph", "event")
@@ -395,6 +398,24 @@ pub fn lint_chrome(doc: &Value) -> Result<ChromeLint, String> {
                                  at {arrived}"
                             ));
                         }
+                        if name.starts_with("admit ") && dropped.contains(&task) {
+                            return Err(format!(
+                                "event {i}: task {task} admitted after being shed/expired"
+                            ));
+                        }
+                    } else if name.starts_with("shed ") || name.starts_with("expire ") {
+                        let arrived = arrivals.get(&task).copied().ok_or_else(|| {
+                            format!("event {i}: task {task} shed/expired before arriving")
+                        })?;
+                        if ts + EPS_US < arrived {
+                            return Err(format!(
+                                "event {i}: task {task} shed at {ts} before its arrival \
+                                 at {arrived}"
+                            ));
+                        }
+                        if !dropped.insert(task) {
+                            return Err(format!("event {i}: task {task} dropped twice"));
+                        }
                     } else {
                         return Err(format!(
                             "event {i}: unexpected admission instant {name:?}"
@@ -453,7 +474,8 @@ fn require_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
 /// when non-empty (quantiles are log2 bucket upper bounds, so they may
 /// overshoot the exact max by less than 2×), and on online runs the latency histogram must hold one
 /// sample per completed task while the admission counters stay
-/// consistent (`admitted ≤ arrived`, `deferred ≤ arrived`).
+/// consistent (`admitted ≤ arrived`, `deferred ≤ arrived`, and the
+/// exactly-once outcome `admitted + shed + expired = arrived`).
 pub fn lint_metrics(doc: &Value) -> Result<MetricsLint, String> {
     let m = doc
         .field("metrics", "root")
@@ -499,6 +521,8 @@ pub fn lint_metrics(doc: &Value) -> Result<MetricsLint, String> {
     let arrived = require_u64(counters, "tasks_arrived", "counters")?;
     let admitted = require_u64(counters, "tasks_admitted", "counters")?;
     let deferred = require_u64(counters, "tasks_deferred", "counters")?;
+    let shed = require_u64(counters, "tasks_shed", "counters")?;
+    let expired = require_u64(counters, "deadlines_expired", "counters")?;
     let tasks = require_u64(counters, "tasks", "counters")?;
     if arrived > 0 {
         lint.online = true;
@@ -508,11 +532,23 @@ pub fn lint_metrics(doc: &Value) -> Result<MetricsLint, String> {
                  deferred {deferred}"
             ));
         }
+        // Exactly-once admission outcome: a completed serving run admits
+        // or drops every arrival, with nothing left in the queue.
+        if admitted + shed + expired != arrived {
+            return Err(format!(
+                "admission outcomes don't cover arrivals: arrived {arrived}, \
+                 admitted {admitted}, shed {shed}, expired {expired}"
+            ));
+        }
         if latency_count != tasks {
             return Err(format!(
                 "task_latency_ns holds {latency_count} samples but {tasks} tasks completed"
             ));
         }
+    } else if shed + expired != 0 {
+        return Err(format!(
+            "batch run (no arrivals) sheds tasks (shed {shed}, expired {expired})"
+        ));
     } else if latency_count != 0 {
         return Err(format!(
             "batch run (no arrivals) carries {latency_count} latency samples"

@@ -47,6 +47,16 @@ pub struct TaskSet {
     /// keeps task sets serialized before this field existed loadable.
     #[serde(default)]
     arrivals: Vec<u64>,
+    /// relative completion deadline (ns from arrival) of each task for
+    /// the online overload-control policies; empty (or a 0 entry) means
+    /// "no deadline". Serialized only when attached, so older task sets
+    /// load unchanged.
+    #[serde(default)]
+    deadlines: Vec<u64>,
+    /// tenant class of each task (higher = more important); empty means
+    /// "all tasks in class 0". Used by priority-based load shedding.
+    #[serde(default)]
+    classes: Vec<u32>,
 }
 
 impl TaskSet {
@@ -211,6 +221,60 @@ impl TaskSet {
             "one arrival time per task required"
         );
         self.arrivals = arrivals;
+        self
+    }
+
+    /// Relative completion deadline of a task in nanoseconds from its
+    /// arrival (0 when none was attached — the task never expires).
+    #[inline]
+    pub fn deadline(&self, t: TaskId) -> u64 {
+        self.deadlines.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// True when any task carries a completion deadline.
+    pub fn has_deadlines(&self) -> bool {
+        self.deadlines.iter().any(|&d| d > 0)
+    }
+
+    /// Tenant class of a task (0 when no classes were attached). Higher
+    /// class indices are more important to the shedding policies.
+    #[inline]
+    pub fn class_of(&self, t: TaskId) -> u32 {
+        self.classes.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct tenant classes: `max class + 1` (1 when no
+    /// classes were attached).
+    pub fn num_classes(&self) -> usize {
+        self.classes.iter().max().map_or(1, |&c| c as usize + 1)
+    }
+
+    /// A copy of this task set with per-task relative deadlines attached
+    /// (nanoseconds from each task's arrival; 0 = no deadline for that
+    /// task). One entry per task, in id order.
+    ///
+    /// Panics when `deadlines.len()` differs from the task count.
+    pub fn with_deadlines(mut self, deadlines: Vec<u64>) -> TaskSet {
+        assert_eq!(
+            deadlines.len(),
+            self.num_tasks(),
+            "one deadline per task required"
+        );
+        self.deadlines = deadlines;
+        self
+    }
+
+    /// A copy of this task set with per-task tenant classes attached
+    /// (higher = more important). One entry per task, in id order.
+    ///
+    /// Panics when `classes.len()` differs from the task count.
+    pub fn with_classes(mut self, classes: Vec<u32>) -> TaskSet {
+        assert_eq!(
+            classes.len(),
+            self.num_tasks(),
+            "one class per task required"
+        );
+        self.classes = classes;
         self
     }
 
@@ -381,6 +445,8 @@ impl TaskSetBuilder {
             } else {
                 Vec::new()
             },
+            deadlines: Vec::new(),
+            classes: Vec::new(),
         }
     }
 }
@@ -516,6 +582,36 @@ mod tests {
     #[should_panic(expected = "one arrival time per task")]
     fn with_arrivals_rejects_wrong_length() {
         figure1_example().with_arrivals(vec![0; 3]);
+    }
+
+    #[test]
+    fn deadlines_and_classes_default_to_none() {
+        let ts = figure1_example();
+        assert!(!ts.has_deadlines());
+        assert_eq!(ts.deadline(TaskId(0)), 0);
+        assert_eq!(ts.class_of(TaskId(0)), 0);
+        assert_eq!(ts.num_classes(), 1);
+
+        let ts = ts
+            .with_deadlines((0..9).map(|i| i * 1000).collect())
+            .with_classes((0..9).map(|i| (i % 3) as u32).collect());
+        assert!(ts.has_deadlines());
+        assert_eq!(ts.deadline(TaskId(0)), 0, "0 means no deadline");
+        assert_eq!(ts.deadline(TaskId(8)), 8000);
+        assert_eq!(ts.class_of(TaskId(5)), 2);
+        assert_eq!(ts.num_classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one deadline per task")]
+    fn with_deadlines_rejects_wrong_length() {
+        figure1_example().with_deadlines(vec![0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one class per task")]
+    fn with_classes_rejects_wrong_length() {
+        figure1_example().with_classes(vec![0; 3]);
     }
 
     #[test]

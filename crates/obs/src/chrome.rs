@@ -197,6 +197,16 @@ fn instant_payload(ev: &ObsEvent) -> Option<(String, &'static str, Value)> {
             "admission",
             obj(vec![("task", u(u64::from(task)))]),
         )),
+        ObsEvent::TaskShed { task, .. } => Some((
+            format!("shed T{task}"),
+            "admission",
+            obj(vec![("task", u(u64::from(task)))]),
+        )),
+        ObsEvent::DeadlineExpired { task, .. } => Some((
+            format!("expire T{task}"),
+            "admission",
+            obj(vec![("task", u(u64::from(task)))]),
+        )),
         _ => None,
     }
 }

@@ -282,6 +282,22 @@ pub enum ObsEvent {
         /// Task id.
         task: u32,
     },
+    /// The admission loop shed a task under a shedding policy — it was
+    /// rejected outright and no scheduler ever sees it.
+    TaskShed {
+        /// Shed time.
+        t: Nanos,
+        /// Task id.
+        task: u32,
+    },
+    /// A deferred task's completion deadline lapsed while it waited and
+    /// it was dropped from the queue.
+    DeadlineExpired {
+        /// Expiry-detection time.
+        t: Nanos,
+        /// Task id.
+        task: u32,
+    },
 }
 
 impl ObsEvent {
@@ -302,7 +318,9 @@ impl ObsEvent {
             | ObsEvent::GpuSlowed { t, .. }
             | ObsEvent::TaskArrived { t, .. }
             | ObsEvent::TaskAdmitted { t, .. }
-            | ObsEvent::TaskDeferred { t, .. } => t,
+            | ObsEvent::TaskDeferred { t, .. }
+            | ObsEvent::TaskShed { t, .. }
+            | ObsEvent::DeadlineExpired { t, .. } => t,
         }
     }
 
@@ -334,7 +352,9 @@ impl ObsEvent {
             },
             ObsEvent::TaskArrived { .. }
             | ObsEvent::TaskAdmitted { .. }
-            | ObsEvent::TaskDeferred { .. } => Track::Admission,
+            | ObsEvent::TaskDeferred { .. }
+            | ObsEvent::TaskShed { .. }
+            | ObsEvent::DeadlineExpired { .. } => Track::Admission,
         }
     }
 

@@ -33,11 +33,15 @@ pub enum Counter {
     TasksAdmitted,
     /// Online arrivals deferred at least once.
     TasksDeferred,
+    /// Online arrivals rejected by the shedding policy.
+    TasksShed,
+    /// Deferred tasks dropped after their deadline lapsed.
+    DeadlinesExpired,
 }
 
 impl Counter {
     /// All counters, in stable serialization order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 13] = [
         Counter::Loads,
         Counter::Evictions,
         Counter::TransferRetries,
@@ -49,6 +53,8 @@ impl Counter {
         Counter::TasksArrived,
         Counter::TasksAdmitted,
         Counter::TasksDeferred,
+        Counter::TasksShed,
+        Counter::DeadlinesExpired,
     ];
 
     /// Stable metric name.
@@ -65,6 +71,8 @@ impl Counter {
             Counter::TasksArrived => "tasks_arrived",
             Counter::TasksAdmitted => "tasks_admitted",
             Counter::TasksDeferred => "tasks_deferred",
+            Counter::TasksShed => "tasks_shed",
+            Counter::DeadlinesExpired => "deadlines_expired",
         }
     }
 
@@ -423,6 +431,16 @@ impl TraceSink for Metrics {
             }
             ObsEvent::TaskAdmitted { .. } => self.bump(Counter::TasksAdmitted),
             ObsEvent::TaskDeferred { .. } => self.bump(Counter::TasksDeferred),
+            // Dropped tasks never complete: forget their arrival so the
+            // latency histogram keeps counting completions only.
+            ObsEvent::TaskShed { task, .. } => {
+                self.bump(Counter::TasksShed);
+                self.arrival_ns.remove(&task);
+            }
+            ObsEvent::DeadlineExpired { task, .. } => {
+                self.bump(Counter::DeadlinesExpired);
+                self.arrival_ns.remove(&task);
+            }
         }
     }
 }

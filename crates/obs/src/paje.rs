@@ -143,6 +143,8 @@ fn instant_value(ev: &ObsEvent) -> Option<(&'static str, String)> {
         ObsEvent::TaskArrived { task, .. } => Some(("AD", format!("arrive_t{task}"))),
         ObsEvent::TaskAdmitted { task, .. } => Some(("AD", format!("admit_t{task}"))),
         ObsEvent::TaskDeferred { task, .. } => Some(("AD", format!("defer_t{task}"))),
+        ObsEvent::TaskShed { task, .. } => Some(("AD", format!("shed_t{task}"))),
+        ObsEvent::DeadlineExpired { task, .. } => Some(("AD", format!("expire_t{task}"))),
         _ => None,
     }
 }

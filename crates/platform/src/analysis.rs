@@ -233,6 +233,14 @@ pub fn to_obs_events(trace: &[TraceEvent]) -> Vec<ObsEvent> {
                 t: at,
                 task: task as u32,
             }),
+            TraceEvent::TaskShed { at, task } => out.push(ObsEvent::TaskShed {
+                t: at,
+                task: task as u32,
+            }),
+            TraceEvent::DeadlineExpired { at, task } => out.push(ObsEvent::DeadlineExpired {
+                t: at,
+                task: task as u32,
+            }),
         }
     }
     out
@@ -314,7 +322,9 @@ pub fn analyze_multibus(
             }
             TraceEvent::TaskArrived { at, .. }
             | TraceEvent::TaskAdmitted { at, .. }
-            | TraceEvent::TaskDeferred { at, .. } => {
+            | TraceEvent::TaskDeferred { at, .. }
+            | TraceEvent::TaskShed { at, .. }
+            | TraceEvent::DeadlineExpired { at, .. } => {
                 makespan = makespan.max(at);
             }
         }

@@ -47,7 +47,9 @@ mod spec;
 mod trace;
 
 pub use analysis::{analyze, analyze_checked, render_gantt, to_obs_events, TraceAnalysis};
-pub use engine::{run, run_observed, run_with_config, AdmissionConfig, RunConfig, RunError};
+pub use engine::{
+    run, run_observed, run_with_config, AdmissionConfig, RunConfig, RunError, ShedPolicy,
+};
 pub use shard::{canonicalize_trace, run_sharded, SchedulerFactory, ShardOptions};
 pub use trace::{trace_checksum, TraceMode};
 /// The observability subsystem (re-exported so downstream crates can

@@ -128,6 +128,31 @@ pub struct OnlineStats {
     /// Sustained throughput in completed tasks per second of simulated
     /// time.
     pub throughput_tps: f64,
+    /// Arrivals rejected by the overload-control policy (never released
+    /// to a scheduler). 0 under [`crate::ShedPolicy::DeferOnly`].
+    #[serde(default)]
+    pub tasks_shed: u64,
+    /// Deferred tasks dropped after sitting in the admission queue past
+    /// their deadline. Disjoint from `tasks_shed`.
+    #[serde(default)]
+    pub deadline_expired: u64,
+    /// Tasks shed or expired, by tenant class (index = class). Empty
+    /// when nothing was dropped.
+    #[serde(default)]
+    pub shed_per_class: Vec<u64>,
+    /// Tasks completed, by tenant class (index = class). Empty on
+    /// class-less runs that dropped nothing.
+    #[serde(default)]
+    pub completed_per_class: Vec<u64>,
+    /// Completed tasks that finished after their deadline (tasks without
+    /// a deadline never violate).
+    #[serde(default)]
+    pub deadline_violations: u64,
+    /// Completed-within-deadline tasks per second of simulated time:
+    /// the useful share of `throughput_tps` (equal when nothing carried
+    /// a deadline or nothing violated).
+    #[serde(default)]
+    pub goodput_tps: f64,
 }
 
 impl RunReport {
@@ -303,6 +328,24 @@ pub enum TraceEvent {
     /// `task` was deferred by the admission check; emitted once per
     /// arrival, at the first defer decision (online runs only).
     TaskDeferred {
+        /// Simulation time.
+        at: Nanos,
+        /// Task index.
+        task: usize,
+    },
+    /// `task` was rejected by the overload-control policy — it is never
+    /// released to a scheduler and never executes (online runs under a
+    /// shedding [`crate::ShedPolicy`] only).
+    TaskShed {
+        /// Simulation time.
+        at: Nanos,
+        /// Task index.
+        task: usize,
+    },
+    /// A deferred `task` sat in the admission queue past its completion
+    /// deadline and was dropped (online runs under a shedding
+    /// [`crate::ShedPolicy`] only).
+    DeadlineExpired {
         /// Simulation time.
         at: Nanos,
         /// Task index.

@@ -393,7 +393,9 @@ fn trace_key(ev: &TraceEvent) -> (Nanos, usize) {
         | TraceEvent::GpuSlowed { at, gpu, .. } => (at, gpu),
         TraceEvent::TaskArrived { at, .. }
         | TraceEvent::TaskAdmitted { at, .. }
-        | TraceEvent::TaskDeferred { at, .. } => (at, usize::MAX),
+        | TraceEvent::TaskDeferred { at, .. }
+        | TraceEvent::TaskShed { at, .. }
+        | TraceEvent::DeadlineExpired { at, .. } => (at, usize::MAX),
     }
 }
 

@@ -82,6 +82,8 @@ pub(crate) fn fold_event(h: u64, ev: &TraceEvent) -> u64 {
         TraceEvent::TaskArrived { at, task } => word(word(word(h, 9), at), task as u64),
         TraceEvent::TaskAdmitted { at, task } => word(word(word(h, 10), at), task as u64),
         TraceEvent::TaskDeferred { at, task } => word(word(word(h, 11), at), task as u64),
+        TraceEvent::TaskShed { at, task } => word(word(word(h, 12), at), task as u64),
+        TraceEvent::DeadlineExpired { at, task } => word(word(word(h, 13), at), task as u64),
     }
 }
 
@@ -172,8 +174,12 @@ mod tests {
         let a = trace_checksum(&[TraceEvent::TaskArrived { at: 5, task: 1 }]);
         let b = trace_checksum(&[TraceEvent::TaskAdmitted { at: 5, task: 1 }]);
         let c = trace_checksum(&[TraceEvent::TaskDeferred { at: 5, task: 1 }]);
+        let d = trace_checksum(&[TraceEvent::TaskShed { at: 5, task: 1 }]);
+        let e = trace_checksum(&[TraceEvent::DeadlineExpired { at: 5, task: 1 }]);
         assert_ne!(a, b);
         assert_ne!(b, c);
+        assert_ne!(c, d);
+        assert_ne!(d, e);
         assert_eq!(trace_checksum(&[]), super::CHECKSUM_SEED);
     }
 }

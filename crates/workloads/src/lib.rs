@@ -29,7 +29,8 @@ pub use cholesky::{cholesky, cholesky_task_count, cholesky_with_kinds, CholeskyK
 pub use gemm::{gemm_2d, gemm_2d_random, gemm_3d, gemm_3d_with_c};
 pub use sparse::{sparse_2d, sparse_2d_paper};
 pub use traffic::{
-    assign_classes, closed_loop_arrivals, open_loop_arrivals, ArrivalPattern, TrafficGen,
+    assign_classes, closed_loop_arrivals, deadline_stamps, open_loop_arrivals, ArrivalPattern,
+    TrafficGen,
 };
 
 use memsched_model::TaskSet;

@@ -167,6 +167,28 @@ pub fn closed_loop_arrivals(
     out
 }
 
+/// Per-task relative completion deadlines for the overload-control
+/// policies: deadline `i` is drawn uniformly from
+/// `[0.5, 1.5) · base_ns · scale`, so the mean budget is
+/// `base_ns · scale`. `base_ns` is typically the workload's estimated
+/// service time; `scale` is the serve harness's `--deadline-scale` knob
+/// (tighter < 1 < looser). Every stamp is at least 1 ns — a 0 deadline
+/// means "none" to the engine and would silently disable shedding.
+pub fn deadline_stamps(n: usize, base_ns: u64, scale: f64, seed: u64) -> Vec<u64> {
+    assert!(base_ns > 0, "deadline base must be positive");
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "deadline scale must be a positive finite number"
+    );
+    let mut rng = TrafficGen::new(seed);
+    (0..n)
+        .map(|_| {
+            let jitter = 0.5 + rng.next_f64();
+            ((base_ns as f64 * scale * jitter) as u64).max(1)
+        })
+        .collect()
+}
+
 /// Multi-tenant class assignment: class `i` is drawn with probability
 /// `weights[i] / Σ weights`, independently per task. Returns one class
 /// index per task.
@@ -248,6 +270,19 @@ mod tests {
         };
         let r = p.mean_rate_per_sec();
         assert!((r - 325.0).abs() < 1e-9, "weighted mean, got {r}");
+    }
+
+    #[test]
+    fn deadline_stamps_are_seeded_and_scaled() {
+        let a = deadline_stamps(5000, 1_000_000, 1.0, 17);
+        assert_eq!(a, deadline_stamps(5000, 1_000_000, 1.0, 17));
+        assert_ne!(a, deadline_stamps(5000, 1_000_000, 1.0, 18));
+        assert!(a.iter().all(|&d| (500_000..1_500_000).contains(&d)));
+        let mean = a.iter().sum::<u64>() as f64 / a.len() as f64;
+        assert!((mean - 1e6).abs() / 1e6 < 0.05, "mean {mean} vs 1e6");
+        // The scale knob moves the whole distribution.
+        let tight = deadline_stamps(100, 1_000_000, 0.25, 17);
+        assert!(tight.iter().all(|&d| (1..500_000).contains(&d)));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod prelude {
     pub use memsched_platform::{
         run, run_observed, run_with_config, trace_checksum, AdmissionConfig, FaultPlan,
         OnlineStats, PlatformSpec, RunConfig, RunError, RunReport, RuntimeView, Scheduler,
-        TraceMode, TransferFaultSpec,
+        ShedPolicy, TraceMode, TransferFaultSpec,
     };
     pub use memsched_schedulers::{
         DartsConfig, DartsEviction, DartsScheduler, DmdaScheduler, EagerScheduler, HfpScheduler,

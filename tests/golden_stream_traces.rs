@@ -51,6 +51,14 @@ fn render_event(ev: &TraceEvent) -> String {
         TraceEvent::TaskDeferred { at, task } => {
             format!("{at:>12} adm  task-deferred task={task}")
         }
+        // Shedding events require a non-default ShedPolicy; these
+        // DeferOnly snapshots can never contain them.
+        TraceEvent::TaskShed { at, task } => {
+            format!("{at:>12} adm  task-shed     task={task}")
+        }
+        TraceEvent::DeadlineExpired { at, task } => {
+            format!("{at:>12} adm  deadline-expired task={task}")
+        }
         // Fault events never appear in these fault-free stream runs.
         TraceEvent::GpuFailed { at, gpu } => {
             format!("{at:>12} gpu{gpu} gpu-failed")

@@ -59,6 +59,14 @@ fn render_event(ev: &TraceEvent) -> String {
         TraceEvent::TaskDeferred { at, task } => {
             format!("{at:>12} adm  task-deferred task={task}")
         }
+        // Shedding events require a non-default ShedPolicy, so they can
+        // never appear in these DeferOnly-or-batch golden runs.
+        TraceEvent::TaskShed { at, task } => {
+            format!("{at:>12} adm  task-shed     task={task}")
+        }
+        TraceEvent::DeadlineExpired { at, task } => {
+            format!("{at:>12} adm  deadline-expired task={task}")
+        }
     }
 }
 

@@ -247,6 +247,129 @@ fn same_seed_streams_identical_across_worker_counts() {
     assert_eq!(one, eight, "streams diverge between 1 and 8 workers");
 }
 
+/// Regression for the `serve --faults` composition gap: a mid-stream
+/// fail-stop under the admission loop. Every task — including tasks
+/// admitted to (or already running on) the failed GPU — completes
+/// exactly once on the survivor, every post-failure start lands on an
+/// alive GPU, and nothing is shed under the default `DeferOnly` policy.
+#[test]
+fn midstream_failstop_with_admission_completes_exactly_once() {
+    let ts = {
+        let base = gemm_2d(4); // 16 tasks
+        let arrivals = open_loop_arrivals(
+            &ArrivalPattern::Poisson { rate_per_sec: 2000.0 },
+            7,
+            base.num_tasks(),
+        );
+        base.with_arrivals(arrivals)
+    };
+    let n = ts.num_tasks();
+    let tile = ts.data_size(DataId(0));
+    let spec = PlatformSpec::v100(2).with_memory(4 * tile);
+    let fail_at = 2_000_000; // mid-stream: ~4 of 16 mean inter-arrivals in
+    let config = RunConfig {
+        faults: FaultPlan::none().with_gpu_failure(1, fail_at),
+        ..online_config()
+    };
+    for named in FAMILIES {
+        let mut sched = named.build();
+        let (report, trace) =
+            memsched::platform::run_with_config(&ts, &spec, sched.as_mut(), &config)
+                .expect("fail-stop stream run");
+        let mut finished = vec![0u32; n];
+        for ev in &trace {
+            match *ev {
+                TraceEvent::TaskStarted { at, gpu, task } => {
+                    assert!(
+                        gpu != 1 || at < fail_at,
+                        "{named:?}: task {task} started on dead GPU 1 at t={at}"
+                    );
+                }
+                TraceEvent::TaskFinished { at, gpu, task } => {
+                    finished[task] += 1;
+                    assert!(
+                        gpu != 1 || at < fail_at,
+                        "{named:?}: task {task} finished on dead GPU 1 at t={at}"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            finished.iter().all(|&c| c == 1),
+            "{named:?}: completion counts {finished:?}"
+        );
+        let stats = report.online.expect("online stats");
+        assert_eq!(stats.tasks_admitted as usize, n, "{named:?}");
+        assert_eq!(stats.tasks_shed, 0, "{named:?}: DeferOnly must not shed");
+        assert_eq!(stats.deadline_expired, 0, "{named:?}");
+    }
+}
+
+/// Regression for `recheck_deferred_after_fault` + `shed_unfit_deferred`:
+/// a capacity shrink strands a deferred task whose footprint no longer
+/// fits any GPU. Under a shedding policy the task is shed and the run
+/// completes gracefully with an exactly-once outcome ledger; under the
+/// default `DeferOnly` the same run reports `SchedulerStuck` — the
+/// pre-overload-control behaviour, pinned here on purpose.
+#[test]
+fn fault_stranded_deferred_task_shed_under_policy_stuck_under_defer_only() {
+    let mut b = TaskSetBuilder::new();
+    let data: Vec<DataId> = (0..4).map(|_| b.add_data(1)).collect();
+    b.add_task(&data[..1], 1000.0); // task 0: 1 item, ~1 ms of compute
+    b.add_task(&data[1..4], 1000.0); // task 1: 3 items — unfit after shrink
+    let ts = b.build().with_arrivals(vec![0, 100]);
+    let spec = small_spec(2, 4);
+    // Backlog bound 1 keeps task 1 deferred behind task 0; at t = 0.2 ms
+    // both GPUs shrink to 2 items, stranding its 3-item footprint.
+    let config_for = |policy: ShedPolicy| RunConfig {
+        trace: TraceMode::Full,
+        admission: Some(AdmissionConfig {
+            max_backlog: Some(1),
+            policy,
+        }),
+        faults: FaultPlan::none()
+            .with_capacity_shrink(0, 200_000, 2)
+            .with_capacity_shrink(1, 200_000, 2),
+        ..RunConfig::default()
+    };
+
+    for policy in [ShedPolicy::DeadlineShed, ShedPolicy::PriorityShed] {
+        let mut sched = NamedScheduler::Eager.build();
+        let (report, trace) =
+            memsched::platform::run_with_config(&ts, &spec, sched.as_mut(), &config_for(policy))
+                .expect("shedding run completes despite the stranded deferral");
+        let stats = report.online.expect("online stats");
+        assert_eq!(stats.tasks_admitted, 1, "{policy:?}");
+        assert_eq!(stats.tasks_shed, 1, "{policy:?}");
+        assert!(
+            trace
+                .iter()
+                .any(|ev| matches!(ev, TraceEvent::TaskShed { task: 1, .. })),
+            "{policy:?}: stranded deferral must surface as TaskShed"
+        );
+        assert!(
+            !trace
+                .iter()
+                .any(|ev| matches!(ev, TraceEvent::TaskStarted { task: 1, .. })),
+            "{policy:?}: a shed task must never start"
+        );
+    }
+
+    let mut sched = NamedScheduler::Eager.build();
+    let err = memsched::platform::run_with_config(
+        &ts,
+        &spec,
+        sched.as_mut(),
+        &config_for(ShedPolicy::DeferOnly),
+    )
+    .expect_err("DeferOnly has no way out of a stranded deferral");
+    assert!(
+        matches!(err, RunError::SchedulerStuck { completed: 1, total: 2 }),
+        "unexpected error: {err:?}"
+    );
+}
+
 /// Acceptance sweep: every family digests a 1k-task Poisson stream and
 /// the serving histograms land in the metrics registry (one latency and
 /// one queueing-delay sample per completed task).

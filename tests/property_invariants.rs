@@ -274,7 +274,9 @@ proptest! {
                     | TraceEvent::GpuSlowed { .. }
                     | TraceEvent::TaskArrived { .. }
                     | TraceEvent::TaskAdmitted { .. }
-                    | TraceEvent::TaskDeferred { .. } => {
+                    | TraceEvent::TaskDeferred { .. }
+                    | TraceEvent::TaskShed { .. }
+                    | TraceEvent::DeadlineExpired { .. } => {
                         prop_assert!(false, "unexpected event in a batch run: {ev:?}");
                     }
                 }
@@ -343,7 +345,9 @@ proptest! {
                 | TraceEvent::GpuSlowed { .. }
                 | TraceEvent::TaskArrived { .. }
                 | TraceEvent::TaskAdmitted { .. }
-                | TraceEvent::TaskDeferred { .. } => None,
+                | TraceEvent::TaskDeferred { .. }
+                | TraceEvent::TaskShed { .. }
+                | TraceEvent::DeadlineExpired { .. } => None,
             })
             .collect();
         prop_assert!(!expected.is_empty(), "run produced no events");
