@@ -1,0 +1,153 @@
+//! Prefix-cache routing bench: the `prefix_route` cache-pressure sweep
+//! (seeded prefix-tree request stream, two V100s, pressures 0.5×–4×)
+//! with the transfer-byte margin asserted.
+//!
+//! Records to `results/BENCH_prefix_route.json`:
+//!
+//! * every (pressure × scheduler) cell of the sweep — p50/p99 admitted
+//!   latency, bytes transferred, prefix-cache hit rate, evictions —
+//!   plus the sweep wall time (best of reps, trace off);
+//! * the **routing-margin assertion**: at 2× cache pressure the
+//!   residency-aware Router must move at least
+//!   [`ROUTER_SAVINGS_MIN`]·100% fewer bytes than EAGER, and must not
+//!   lose on p99 latency. Both sides are simulated quantities, so the
+//!   assertion is deterministic.
+//!
+//! Quick mode (`--quick` or `MEMSCHED_BENCH_QUICK=1`) halves the stream
+//! for CI; the margin is established well before the quick length, so
+//! the same assertions hold.
+
+use memsched_experiments::prefix_route::{run_sweep, SweepConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// At 2× cache pressure the Router must move at least this fraction
+/// fewer bytes than EAGER.
+const ROUTER_SAVINGS_MIN: f64 = 0.30;
+
+/// The pressure point the assertion reads.
+const ASSERT_PRESSURE: f64 = 2.0;
+
+#[derive(Serialize)]
+struct Cell {
+    scheduler: String,
+    pressure_x: f64,
+    p50_latency_ns: u64,
+    p99_latency_ns: u64,
+    transferred_mb: f64,
+    cache_hit_rate: f64,
+    evictions: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    quick: bool,
+    reps: usize,
+    tasks: usize,
+    tree_mb: f64,
+    seed: u64,
+    router_savings_min: f64,
+    assert_pressure_x: f64,
+    /// Router transferred bytes over EAGER's at the assert pressure.
+    router_vs_eager_bytes: f64,
+    sweep_wall_ns: u64,
+    cells: Vec<Cell>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("MEMSCHED_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 2 } else { 3 };
+    let seed = 42;
+    let cfg = if quick {
+        SweepConfig::quick(seed)
+    } else {
+        SweepConfig::full(seed)
+    };
+
+    let mut best: Option<(Vec<_>, u64)> = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let rows = run_sweep(&cfg).expect("sweep runs");
+        let wall = started.elapsed().as_nanos() as u64;
+        if best.as_ref().is_none_or(|&(_, w)| wall < w) {
+            best = Some((rows, wall));
+        }
+    }
+    let (rows, wall) = best.expect("reps >= 1");
+
+    let tree_mb = rows.first().map_or(0.0, |r| r.tree_bytes as f64 / 1e6);
+    let cells: Vec<Cell> = rows
+        .iter()
+        .map(|r| {
+            let o = r.report.online.clone().unwrap_or_default();
+            Cell {
+                scheduler: r.scheduler.clone(),
+                pressure_x: r.pressure,
+                p50_latency_ns: o.p50_latency,
+                p99_latency_ns: o.p99_latency,
+                transferred_mb: r.report.transfers_mb(),
+                cache_hit_rate: r.report.cache_hit_rate(),
+                evictions: r.report.total_evictions,
+            }
+        })
+        .collect();
+
+    let at = |sched: &str| {
+        cells
+            .iter()
+            .find(|c| c.scheduler == sched && c.pressure_x == ASSERT_PRESSURE)
+            .unwrap_or_else(|| panic!("{sched} cell at {ASSERT_PRESSURE}x missing"))
+    };
+    let router = at("ROUTER");
+    let eager = at("EAGER");
+    let ratio = router.transferred_mb / eager.transferred_mb.max(f64::MIN_POSITIVE);
+    println!(
+        "router @ {ASSERT_PRESSURE}x: {:.1} MB moved vs EAGER {:.1} MB ({:.1}% fewer), \
+         p99 {} vs {} ns, hit rate {:.4} vs {:.4}",
+        router.transferred_mb,
+        eager.transferred_mb,
+        (1.0 - ratio) * 100.0,
+        router.p99_latency_ns,
+        eager.p99_latency_ns,
+        router.cache_hit_rate,
+        eager.cache_hit_rate,
+    );
+    // The point of the bench: residency-aware routing pays for itself in
+    // bytes not moved, without giving the tail back.
+    assert!(
+        ratio <= 1.0 - ROUTER_SAVINGS_MIN,
+        "router moved {:.1} MB vs EAGER {:.1} MB at {ASSERT_PRESSURE}x — only \
+         {:.1}% fewer, need >= {:.0}%",
+        router.transferred_mb,
+        eager.transferred_mb,
+        (1.0 - ratio) * 100.0,
+        ROUTER_SAVINGS_MIN * 100.0
+    );
+    assert!(
+        router.p99_latency_ns <= eager.p99_latency_ns,
+        "router p99 {} ns exceeds EAGER p99 {} ns at {ASSERT_PRESSURE}x",
+        router.p99_latency_ns,
+        eager.p99_latency_ns
+    );
+
+    let output = Output {
+        quick,
+        reps,
+        tasks: cfg.tasks,
+        tree_mb,
+        seed,
+        router_savings_min: ROUTER_SAVINGS_MIN,
+        assert_pressure_x: ASSERT_PRESSURE,
+        router_vs_eager_bytes: ratio,
+        sweep_wall_ns: wall,
+        cells,
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_prefix_route.json"
+    );
+    let json = serde_json::to_string_pretty(&output).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write bench json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,120 @@
+//! The prefix-cache routing figure: a seeded prefix-tree request
+//! stream (the multi-GPU KV/prefix-cache serving scenario) swept over
+//! cache pressure — tree bytes / aggregate GPU memory — at 0.5×, 1×,
+//! 2× and 4×, comparing the residency-aware Router against DMDAR,
+//! DARTS+LUF and EAGER on p99 latency, bytes transferred and
+//! prefix-cache hit rate.
+//!
+//! Usage: `prefix_route [--quick] [--seed N] [--csv PATH]`.
+//! Prints a human table plus CSV to stdout; `--csv` also writes the
+//! CSV rows to a file. Malformed flags exit with status 2 before any
+//! cell runs.
+
+use memsched_experiments::prefix_route::{run_sweep, PressureRow, SweepConfig};
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    csv: Option<String>,
+}
+
+fn parse_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
+    let args: Vec<String> = args.collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| {
+                let prefix = format!("{flag}=");
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&prefix))
+                    .map(str::to_string)
+            })
+    };
+    for a in &args {
+        let flag = a.split('=').next().unwrap_or(a);
+        match flag {
+            "--quick" | "--seed" | "--csv" => {}
+            _ if !a.starts_with("--") => {}
+            _ => return Err(format!("unknown flag {a:?}")),
+        }
+    }
+    let seed = match value_of("--seed") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("--seed {v:?}: not a u64"))?,
+        None => 42,
+    };
+    let csv = value_of("--csv");
+    if let Some(p) = &csv {
+        if p.is_empty() || p.starts_with("--") {
+            return Err(format!("--csv {p:?}: not a path"));
+        }
+    }
+    Ok(Args {
+        quick: args.iter().any(|a| a == "--quick"),
+        seed,
+        csv,
+    })
+}
+
+fn human_table(rows: &[PressureRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>9} {:>6} {:>12} {:>14} {:>9} {:>9}\n",
+        "scheduler", "pressure", "tasks", "moved (MB)", "p99 (us)", "hit rate", "evictions"
+    ));
+    for r in rows {
+        let o = r.report.online.clone().unwrap_or_default();
+        out.push_str(&format!(
+            "{:<10} {:>8}x {:>6} {:>12.1} {:>14.1} {:>9.4} {:>9}\n",
+            r.scheduler,
+            r.pressure,
+            r.tasks,
+            r.report.transfers_mb(),
+            o.p99_latency as f64 / 1e3,
+            r.report.cache_hit_rate(),
+            r.report.total_evictions,
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args = match parse_from(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = if args.quick {
+        SweepConfig::quick(args.seed)
+    } else {
+        SweepConfig::full(args.seed)
+    };
+    let rows = match run_sweep(&cfg) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("prefix_route failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", human_table(&rows));
+    println!();
+    let mut csv = String::from(PressureRow::CSV_HEADER);
+    csv.push('\n');
+    for r in &rows {
+        csv.push_str(&r.csv());
+        csv.push('\n');
+    }
+    print!("{csv}");
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, &csv) {
+            eprintln!("prefix_route failed: write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

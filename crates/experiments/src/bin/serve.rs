@@ -6,7 +6,8 @@
 //! ```text
 //! serve [--arrival-rate R1,R2,…] [--pattern poisson|bursty]
 //!       [--closed-loop CLIENTS] [--duration SECS] [--tasks N]
-//!       [--sched eager|dmda|dmdar|hmetis|mhfp|darts|all]
+//!       [--workload gemm|prefix]
+//!       [--sched eager|dmda|dmdar|hmetis|mhfp|darts|router|all]
 //!       [--shed defer|deadline|priority] [--deadline-scale F]
 //!       [--classes N] [--backlog N]
 //!       [--seed N] [--jobs N] [--faults SPEC] [--out CSV] [--quick]
@@ -14,8 +15,11 @@
 //! ```
 //!
 //! Each (scheduler × rate) cell generates `rate × duration` tasks on a
-//! 2D-GEMM grid, stamps them with open-loop arrivals, and runs the
-//! stream with admission control enabled. `--tasks N` pins the per-cell
+//! 2D-GEMM grid — or, under `--workload prefix`, as requests over a
+//! shared prefix tree (the multi-GPU KV/prefix-cache serving scenario;
+//! the per-GPU memory is sized to half the tree, 1× aggregate cache
+//! pressure on the two-GPU spec) — stamps them with open-loop arrivals,
+//! and runs the stream with admission control enabled. `--tasks N` pins the per-cell
 //! task count directly instead (the grid rounds up to the next square),
 //! which is how the million-task serving runs are driven: pair it with
 //! a high `--arrival-rate` so arrivals, not the horizon, bound the run. Results are printed as a
@@ -62,7 +66,8 @@ use memsched_platform::{
 use memsched_schedulers::NamedScheduler;
 use memsched_workloads::{
     assign_classes, closed_loop_arrivals, deadline_stamps, gemm_2d, open_loop_arrivals,
-    ArrivalPattern,
+    prefix::{self, PrefixConfig},
+    prefix_tree, ArrivalPattern,
 };
 use serde::{Number, Value};
 
@@ -106,10 +111,33 @@ impl PatternKind {
     }
 }
 
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum WorkloadKind {
+    /// The 2D-GEMM request grid (default; byte-identical to the
+    /// pre-`--workload` serve).
+    Gemm,
+    /// Shared-prefix-tree requests ([`prefix`]): tasks sharing an
+    /// ancestor share its data, so residency-aware routing pays off.
+    Prefix,
+}
+
+impl WorkloadKind {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "gemm" => Ok(Self::Gemm),
+            "prefix" => Ok(Self::Prefix),
+            other => Err(format!(
+                "--workload {other:?}: expected \"gemm\" or \"prefix\""
+            )),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct ServeArgs {
     rates: Vec<f64>,
     pattern: PatternKind,
+    workload: WorkloadKind,
     duration_s: f64,
     /// Pinned per-cell task count; `None` sizes cells as rate × duration.
     tasks: Option<usize>,
@@ -137,6 +165,7 @@ struct ServeArgs {
 const KNOWN_VALUE_FLAGS: &[&str] = &[
     "--arrival-rate",
     "--pattern",
+    "--workload",
     "--closed-loop",
     "--duration",
     "--tasks",
@@ -164,16 +193,18 @@ fn parse_scheds(spec: &str) -> Result<Vec<NamedScheduler>, String> {
             "hmetis" => out.push(NamedScheduler::HmetisR),
             "mhfp" => out.push(NamedScheduler::Mhfp),
             "darts" => out.push(NamedScheduler::DartsLuf),
+            "router" => out.push(NamedScheduler::Router),
             "all" => out.extend([
                 NamedScheduler::Eager,
                 NamedScheduler::Dmdar,
                 NamedScheduler::HmetisR,
                 NamedScheduler::Mhfp,
                 NamedScheduler::DartsLuf,
+                NamedScheduler::Router,
             ]),
             other => {
                 return Err(format!(
-                    "--sched {other:?}: expected eager|dmda|dmdar|hmetis|mhfp|darts|all"
+                    "--sched {other:?}: expected eager|dmda|dmdar|hmetis|mhfp|darts|router|all"
                 ))
             }
         }
@@ -244,6 +275,10 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
     let pattern = match value_of("--pattern") {
         Some(p) => PatternKind::parse(&p)?,
         None => PatternKind::Poisson,
+    };
+    let workload = match value_of("--workload") {
+        Some(w) => WorkloadKind::parse(&w)?,
+        None => WorkloadKind::Gemm,
     };
     let mut duration_s = match value_of("--duration") {
         Some(d) => {
@@ -367,6 +402,7 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
     Ok(ServeArgs {
         rates,
         pattern,
+        workload,
         duration_s,
         tasks,
         closed_loop,
@@ -385,15 +421,21 @@ fn parse_from(args: Vec<String>) -> Result<ServeArgs, String> {
     })
 }
 
-/// The stream workload for one cell: a 2D-GEMM grid sized to carry
+/// The stream workload for one cell: a 2D-GEMM grid (or a prefix-tree
+/// request stream under `--workload prefix`) sized to carry
 /// `rate × duration` tasks — or exactly `--tasks` when pinned — stamped
 /// with open-loop arrivals, or closed-loop ones under `--closed-loop`.
 fn stream_taskset(args: &ServeArgs, rate: f64) -> TaskSet {
     let target = args
         .tasks
         .unwrap_or_else(|| (rate * args.duration_s).ceil().max(1.0) as usize);
-    let n = (target as f64).sqrt().ceil().max(2.0) as usize;
-    let ts = gemm_2d(n);
+    let ts = match args.workload {
+        WorkloadKind::Gemm => {
+            let n = (target as f64).sqrt().ceil().max(2.0) as usize;
+            gemm_2d(n)
+        }
+        WorkloadKind::Prefix => prefix_tree(&PrefixConfig::serving_default(target, args.seed)),
+    };
     let arrivals = match args.closed_loop {
         Some(clients) => {
             // Aggregate target rate → per-client cycle time `clients/rate`;
@@ -435,11 +477,25 @@ fn stream_taskset(args: &ServeArgs, rate: f64) -> TaskSet {
 }
 
 /// The serving platform for one cell: two V100s under mild memory
-/// pressure (half the working set, at least four tiles per GPU).
-fn stream_spec(ts: &TaskSet) -> PlatformSpec {
-    let tile = ts.data_size(DataId(0));
-    let tiles = (ts.num_data() as u64 / 2).max(4);
-    PlatformSpec::v100(2).with_memory(tiles * tile)
+/// pressure — half the working set per GPU (at least four tiles for
+/// GEMM; for the prefix tree this is 1× aggregate cache pressure, with
+/// a floor of 2× the largest request footprint so every task fits).
+fn stream_spec(args: &ServeArgs, ts: &TaskSet) -> PlatformSpec {
+    let per_gpu = match args.workload {
+        WorkloadKind::Gemm => {
+            let tile = ts.data_size(DataId(0));
+            (ts.num_data() as u64 / 2).max(4) * tile
+        }
+        WorkloadKind::Prefix => {
+            let max_footprint = ts
+                .tasks()
+                .map(|t| ts.task_footprint(t))
+                .max()
+                .unwrap_or(0);
+            (prefix::tree_bytes(ts) / 2).max(2 * max_footprint)
+        }
+    };
+    PlatformSpec::v100(2).with_memory(per_gpu)
 }
 
 fn serve_config(args: &ServeArgs) -> RunConfig {
@@ -471,7 +527,7 @@ struct CellResult {
 
 fn run_cell(args: &ServeArgs, named: &NamedScheduler, rate: f64) -> Result<CellResult, String> {
     let ts = stream_taskset(args, rate);
-    let spec = stream_spec(&ts);
+    let spec = stream_spec(args, &ts);
     let mut sched = named.build();
     let config = serve_config(args);
     let (report, _trace) = run_with_config(&ts, &spec, sched.as_mut(), &config)
@@ -535,7 +591,7 @@ fn export_obs(args: &ServeArgs) -> Result<(), String> {
     let named = args.scheds.first().expect("non-empty scheduler list");
     let rate = args.rates.iter().cloned().fold(f64::MIN, f64::max);
     let ts = stream_taskset(args, rate);
-    let spec = stream_spec(&ts);
+    let spec = stream_spec(args, &ts);
     let mut sched = named.build();
     let config = serve_config(args);
     let probe = Probe::unbounded();
@@ -677,5 +733,72 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ServeArgs, String> {
+        parse_from(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn zero_backlog_is_rejected() {
+        let err = parse(&["--backlog", "0"]).unwrap_err();
+        assert!(err.contains("--backlog 0"), "got {err:?}");
+        // `--flag=VALUE` spelling goes through the same validation.
+        let err = parse(&["--backlog=0"]).unwrap_err();
+        assert!(err.contains("--backlog 0"), "got {err:?}");
+        assert_eq!(parse(&["--backlog", "4"]).unwrap().backlog, Some(4));
+    }
+
+    #[test]
+    fn priority_shed_requires_backlog() {
+        let err = parse(&["--shed", "priority"]).unwrap_err();
+        assert!(err.contains("--backlog"), "got {err:?}");
+        // The pair that the lone flag was missing parses fine…
+        let args = parse(&["--shed", "priority", "--backlog", "8"]).unwrap();
+        assert_eq!(args.shed, ShedPolicy::PriorityShed);
+        assert_eq!(args.backlog, Some(8));
+        // …and a zero backlog does not satisfy the requirement.
+        let err = parse(&["--shed", "priority", "--backlog", "0"]).unwrap_err();
+        assert!(err.contains("--backlog 0"), "got {err:?}");
+    }
+
+    #[test]
+    fn workload_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().workload, WorkloadKind::Gemm);
+        assert_eq!(
+            parse(&["--workload", "gemm"]).unwrap().workload,
+            WorkloadKind::Gemm
+        );
+        assert_eq!(
+            parse(&["--workload", "prefix"]).unwrap().workload,
+            WorkloadKind::Prefix
+        );
+        assert_eq!(
+            parse(&["--workload=prefix"]).unwrap().workload,
+            WorkloadKind::Prefix
+        );
+        let err = parse(&["--workload", "bogus"]).unwrap_err();
+        assert!(err.contains("--workload"), "got {err:?}");
+    }
+
+    #[test]
+    fn router_is_a_known_scheduler() {
+        let args = parse(&["--sched", "router"]).unwrap();
+        assert_eq!(args.scheds, vec![NamedScheduler::Router]);
+        let all = parse(&["--sched", "all"]).unwrap();
+        assert!(all.scheds.contains(&NamedScheduler::Router));
+        let err = parse(&["--sched", "nope"]).unwrap_err();
+        assert!(err.contains("router"), "the hint should list router: {err:?}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--workload"]).unwrap_err().contains("missing value"));
     }
 }

@@ -17,12 +17,13 @@ use memsched_schedulers::NamedScheduler;
 use memsched_workloads::{assign_classes, deadline_stamps, gemm_2d, open_loop_arrivals, ArrivalPattern};
 
 /// The five online scheduler families the chaos matrix sweeps.
-pub const FAMILIES: [NamedScheduler; 5] = [
+pub const FAMILIES: [NamedScheduler; 6] = [
     NamedScheduler::Eager,
     NamedScheduler::Dmdar,
     NamedScheduler::HmetisR,
     NamedScheduler::Mhfp,
     NamedScheduler::DartsLuf,
+    NamedScheduler::Router,
 ];
 
 /// The three admission shed policies the chaos matrix sweeps.

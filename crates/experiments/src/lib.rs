@@ -21,6 +21,7 @@ pub mod figures;
 pub mod harness;
 pub mod obs;
 pub mod pool;
+pub mod prefix_route;
 
 pub use checks::{shape_checks, CheckResult};
 pub use figures::all_figures;

@@ -200,6 +200,8 @@ fn render_metrics(
                 ("tasks", Value::Num(Number::U(st.tasks as u64))),
                 ("loads", Value::Num(Number::U(st.loads))),
                 ("evictions", Value::Num(Number::U(st.evictions))),
+                ("cache_hit_bytes", Value::Num(Number::U(st.cache_hit_bytes))),
+                ("cache_miss_bytes", Value::Num(Number::U(st.cache_miss_bytes))),
             ])
         })
         .collect();
@@ -553,6 +555,29 @@ pub fn lint_metrics(doc: &Value) -> Result<MetricsLint, String> {
         return Err(format!(
             "batch run (no arrivals) carries {latency_count} latency samples"
         ));
+    }
+
+    // Counter identity: the registry's cache byte counters are derived
+    // from the event stream, the per-GPU report fields from the engine's
+    // own accounting — two independent pipelines that must agree (unless
+    // the probe dropped events, in which case the registry undercounts).
+    let hit = require_u64(counters, "cache_hit_bytes", "counters")?;
+    let miss = require_u64(counters, "cache_miss_bytes", "counters")?;
+    let dropped = require_u64(doc, "dropped_events", "root").unwrap_or(0);
+    if let Ok(Value::Arr(gpus)) = doc.field("per_gpu", "root") {
+        let mut rep_hit = 0u64;
+        let mut rep_miss = 0u64;
+        for (g, entry) in gpus.iter().enumerate() {
+            let ctx = format!("per_gpu[{g}]");
+            rep_hit += require_u64(entry, "cache_hit_bytes", &ctx)?;
+            rep_miss += require_u64(entry, "cache_miss_bytes", &ctx)?;
+        }
+        if dropped == 0 && (rep_hit != hit || rep_miss != miss) {
+            return Err(format!(
+                "cache counters disagree with the per-GPU report: registry \
+                 hit {hit} / miss {miss}, report hit {rep_hit} / miss {rep_miss}"
+            ));
+        }
     }
     Ok(lint)
 }

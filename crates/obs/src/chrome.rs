@@ -207,6 +207,22 @@ fn instant_payload(ev: &ObsEvent) -> Option<(String, &'static str, Value)> {
             "admission",
             obj(vec![("task", u(u64::from(task)))]),
         )),
+        ObsEvent::CacheAccess {
+            gpu,
+            task,
+            hit_bytes,
+            miss_bytes,
+            ..
+        } => Some((
+            format!("cache T{task}"),
+            "cache",
+            obj(vec![
+                ("gpu", u(u64::from(gpu))),
+                ("task", u(u64::from(task))),
+                ("hit_bytes", u(hit_bytes)),
+                ("miss_bytes", u(miss_bytes)),
+            ]),
+        )),
         _ => None,
     }
 }

@@ -298,6 +298,24 @@ pub enum ObsEvent {
         /// Task id.
         task: u32,
     },
+    /// Residency outcome of one placement: when the engine commits
+    /// `task` to `gpu`'s pipeline it splits the task's input footprint
+    /// into bytes already resident (or in flight) on that GPU
+    /// (`hit_bytes`) and bytes that must still be fetched
+    /// (`miss_bytes`). Emitted exactly once per task placement, so
+    /// `hit + miss` sums to the task's footprint.
+    CacheAccess {
+        /// Placement time (the pop that committed the task).
+        t: Nanos,
+        /// GPU the task was placed on.
+        gpu: u32,
+        /// Task id.
+        task: u32,
+        /// Input bytes already resident/in flight on `gpu`.
+        hit_bytes: u64,
+        /// Input bytes still missing from `gpu`.
+        miss_bytes: u64,
+    },
 }
 
 impl ObsEvent {
@@ -320,7 +338,8 @@ impl ObsEvent {
             | ObsEvent::TaskAdmitted { t, .. }
             | ObsEvent::TaskDeferred { t, .. }
             | ObsEvent::TaskShed { t, .. }
-            | ObsEvent::DeadlineExpired { t, .. } => t,
+            | ObsEvent::DeadlineExpired { t, .. }
+            | ObsEvent::CacheAccess { t, .. } => t,
         }
     }
 
@@ -344,7 +363,9 @@ impl ObsEvent {
             | ObsEvent::GpuFailed { gpu, .. }
             | ObsEvent::CapacityShrunk { gpu, .. }
             | ObsEvent::GpuSlowed { gpu, .. } => Track::Gpu(gpu),
-            ObsEvent::Decision { gpu, .. } => Track::Sched(gpu),
+            ObsEvent::Decision { gpu, .. } | ObsEvent::CacheAccess { gpu, .. } => {
+                Track::Sched(gpu)
+            }
             ObsEvent::Steal { to, .. } => Track::Sched(to),
             ObsEvent::Gauge { gpu, .. } => match gpu {
                 Some(g) => Track::Sched(g),

@@ -37,11 +37,16 @@ pub enum Counter {
     TasksShed,
     /// Deferred tasks dropped after their deadline lapsed.
     DeadlinesExpired,
+    /// Input bytes already resident (or in flight) on the chosen GPU at
+    /// placement time, summed over all placed tasks.
+    CacheHitBytes,
+    /// Input bytes that still had to be fetched at placement time.
+    CacheMissBytes,
 }
 
 impl Counter {
     /// All counters, in stable serialization order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 15] = [
         Counter::Loads,
         Counter::Evictions,
         Counter::TransferRetries,
@@ -55,6 +60,8 @@ impl Counter {
         Counter::TasksDeferred,
         Counter::TasksShed,
         Counter::DeadlinesExpired,
+        Counter::CacheHitBytes,
+        Counter::CacheMissBytes,
     ];
 
     /// Stable metric name.
@@ -73,6 +80,8 @@ impl Counter {
             Counter::TasksDeferred => "tasks_deferred",
             Counter::TasksShed => "tasks_shed",
             Counter::DeadlinesExpired => "deadlines_expired",
+            Counter::CacheHitBytes => "cache_hit_bytes",
+            Counter::CacheMissBytes => "cache_miss_bytes",
         }
     }
 
@@ -441,6 +450,12 @@ impl TraceSink for Metrics {
                 self.bump(Counter::DeadlinesExpired);
                 self.arrival_ns.remove(&task);
             }
+            ObsEvent::CacheAccess {
+                hit_bytes, miss_bytes, ..
+            } => {
+                self.counters[Counter::CacheHitBytes.index()] += hit_bytes;
+                self.counters[Counter::CacheMissBytes.index()] += miss_bytes;
+            }
         }
     }
 }
@@ -462,6 +477,29 @@ mod tests {
         assert_eq!(h.quantile(0.0), 0, "lowest value is in the zero bucket");
         assert!(h.quantile(1.0) >= 1_000_000, "p100 covers the max");
         assert!(h.quantile(0.5) <= 4, "median is tiny");
+    }
+
+    #[test]
+    fn cache_access_bumps_byte_counters() {
+        let mut m = Metrics::new();
+        m.ingest(&[
+            ObsEvent::CacheAccess {
+                t: 10,
+                gpu: 0,
+                task: 1,
+                hit_bytes: 100,
+                miss_bytes: 40,
+            },
+            ObsEvent::CacheAccess {
+                t: 20,
+                gpu: 1,
+                task: 2,
+                hit_bytes: 0,
+                miss_bytes: 64,
+            },
+        ]);
+        assert_eq!(m.counter(Counter::CacheHitBytes), 100);
+        assert_eq!(m.counter(Counter::CacheMissBytes), 104);
     }
 
     #[test]

@@ -145,6 +145,9 @@ fn instant_value(ev: &ObsEvent) -> Option<(&'static str, String)> {
         ObsEvent::TaskDeferred { task, .. } => Some(("AD", format!("defer_t{task}"))),
         ObsEvent::TaskShed { task, .. } => Some(("AD", format!("shed_t{task}"))),
         ObsEvent::DeadlineExpired { task, .. } => Some(("AD", format!("expire_t{task}"))),
+        ObsEvent::CacheAccess {
+            task, hit_bytes, miss_bytes, ..
+        } => Some(("CH", format!("cache_t{task}_h{hit_bytes}_m{miss_bytes}"))),
         _ => None,
     }
 }
@@ -170,6 +173,7 @@ pub fn paje_trace(events: &[ObsEvent]) -> Result<String, WellFormedError> {
     out.push_str("2 FA CG \"fault\"\n");
     out.push_str("2 DE CS \"decision\"\n");
     out.push_str("2 SL CS \"steal\"\n");
+    out.push_str("2 CH CS \"cache access\"\n");
     out.push_str("2 AD CA \"admission event\"\n");
     out.push_str("3 VO CS \"occupancy\"\n");
     out.push_str("3 VQ CS \"ready queue depth\"\n");

@@ -931,6 +931,8 @@ fn gpu_stats(st: &State, sched_wall: &[Nanos], makespan: Nanos, g: usize) -> Gpu
         sched_wall: sched_wall[g],
         nvlink_loads: st.nvlink_loads[g],
         nvlink_bytes: st.nvlink_bytes[g],
+        cache_hit_bytes: st.cache_hit_bytes[g],
+        cache_miss_bytes: st.cache_miss_bytes[g],
     }
 }
 
@@ -969,6 +971,8 @@ fn new_state(
         tasks_done: vec![0; k],
         nvlink_loads: vec![0; k],
         nvlink_bytes: vec![0; k],
+        cache_hit_bytes: vec![0; k],
+        cache_miss_bytes: vec![0; k],
         completed: 0,
         flops_done: 0.0,
         // A batch run emits one LoadIssued+LoadDone pair per load plus a
@@ -1077,6 +1081,11 @@ struct State {
     tasks_done: Vec<usize>,
     nvlink_loads: Vec<u64>,
     nvlink_bytes: Vec<u64>,
+    /// Per-GPU input bytes resident/in-flight at placement time, summed
+    /// over placements (and its complement). Counted once per pop, when
+    /// the task commits to a pipeline.
+    cache_hit_bytes: Vec<u64>,
+    cache_miss_bytes: Vec<u64>,
     completed: usize,
     flops_done: f64,
     trace: TraceSink,
@@ -1288,6 +1297,22 @@ fn progress(
                         task: t,
                         footprint: ts.task_footprint(t),
                         capacity: st.mem[g].capacity(),
+                    });
+                }
+                // Residency split of the placement, counted exactly once
+                // per pop: missing bytes still need a fetch, the rest of
+                // the footprint is a prefix-cache hit.
+                let miss = st.missing.bytes(g, t.index());
+                let hit = ts.task_footprint(t).saturating_sub(miss);
+                st.cache_hit_bytes[g] += hit;
+                st.cache_miss_bytes[g] += miss;
+                if st.observed() {
+                    st.emit(ObsEvent::CacheAccess {
+                        t: st.now,
+                        gpu: g as u32,
+                        task: t.0,
+                        hit_bytes: hit,
+                        miss_bytes: miss,
                     });
                 }
                 st.pipeline.push_back(g, t)

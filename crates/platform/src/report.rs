@@ -33,6 +33,14 @@ pub struct GpuRunStats {
     pub nvlink_loads: u64,
     /// Bytes received over NVLink.
     pub nvlink_bytes: u64,
+    /// Input bytes already resident (or in flight) here when a task was
+    /// committed to this GPU's pipeline, summed over placements.
+    #[serde(default)]
+    pub cache_hit_bytes: u64,
+    /// Input bytes still missing at placement time (the recomputation /
+    /// re-fetch cost the placement incurred).
+    #[serde(default)]
+    pub cache_miss_bytes: u64,
 }
 
 /// Result of one simulated run.
@@ -201,6 +209,18 @@ impl RunReport {
     /// Host→GPU traffic over the shared PCI bus, in megabytes.
     pub fn pci_transfers_mb(&self) -> f64 {
         self.transfers_mb() - self.nvlink_mb()
+    }
+
+    /// Fraction of placed input bytes already resident on the chosen
+    /// GPU (`hit / (hit + miss)` over all placements; 1.0 for an empty
+    /// run so a cache-free workload reads as "nothing missed").
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hit: u64 = self.per_gpu.iter().map(|g| g.cache_hit_bytes).sum();
+        let miss: u64 = self.per_gpu.iter().map(|g| g.cache_miss_bytes).sum();
+        if hit + miss == 0 {
+            return 1.0;
+        }
+        hit as f64 / (hit + miss) as f64
     }
 
     /// `max_k nb_k` — Objective 1.

@@ -12,7 +12,10 @@
 //!   §IV-C);
 //! * [`DartsScheduler`] — the paper's contribution: Data-Aware Reactive
 //!   Task Scheduling with the LUF eviction policy and its 3inputs / OPTI /
-//!   threshold variants (Algorithms 5–6, §IV-D).
+//!   threshold variants (Algorithms 5–6, §IV-D);
+//! * [`RouterScheduler`] — the residency-aware request router for
+//!   shared-prefix serving workloads (Preble-style `recomp + α·load`
+//!   scoring over the engine's residency cache).
 
 #![warn(missing_docs)]
 
@@ -22,6 +25,7 @@ mod eager;
 mod hfp;
 mod hmetis_r;
 mod ready;
+mod router;
 mod stealing;
 
 pub use darts::{DartsConfig, DartsEviction, DartsScheduler};
@@ -29,6 +33,7 @@ pub use dmda::DmdaScheduler;
 pub use eager::EagerScheduler;
 pub use hfp::{pack as hfp_pack, pack_with as hfp_pack_with, HfpScheduler, PackConfig};
 pub use hmetis_r::{HmetisRScheduler, PartitionerOptions};
+pub use router::{RouterScheduler, DEFAULT_ALPHA_MILLI};
 pub use ready::{ready_pick, DEFAULT_READY_WINDOW};
 #[cfg(feature = "naive")]
 pub use ready::ready_pick_scan;
@@ -67,6 +72,8 @@ pub enum NamedScheduler {
     DartsLufOpti3,
     /// DARTS+LUF with a candidate threshold.
     DartsLufThreshold(usize),
+    /// Residency-aware request router (`recomp_bytes + α·load`).
+    Router,
 }
 
 impl NamedScheduler {
@@ -98,6 +105,7 @@ impl NamedScheduler {
             NamedScheduler::DartsLufThreshold(cap) => {
                 Box::new(DartsScheduler::new(DartsConfig::luf().with_threshold(cap)))
             }
+            NamedScheduler::Router => Box::new(RouterScheduler::new()),
         }
     }
 
@@ -118,6 +126,7 @@ fn _assert_schedulers_send() {
     is_send::<HmetisRScheduler>();
     is_send::<HfpScheduler>();
     is_send::<DartsScheduler>();
+    is_send::<RouterScheduler>();
     is_send::<Box<dyn Scheduler + Send>>();
 }
 
@@ -143,6 +152,7 @@ mod tests {
             NamedScheduler::DartsLufOpti,
             NamedScheduler::DartsLufOpti3,
             NamedScheduler::DartsLufThreshold(4),
+            NamedScheduler::Router,
         ];
         for named in all {
             let mut sched = named.build();

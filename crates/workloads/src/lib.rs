@@ -22,11 +22,13 @@
 mod cholesky;
 pub mod constants;
 mod gemm;
+pub mod prefix;
 mod sparse;
 pub mod traffic;
 
 pub use cholesky::{cholesky, cholesky_task_count, cholesky_with_kinds, CholeskyKernel};
 pub use gemm::{gemm_2d, gemm_2d_random, gemm_3d, gemm_3d_with_c};
+pub use prefix::{prefix_tree, PrefixConfig};
 pub use sparse::{sparse_2d, sparse_2d_paper};
 pub use traffic::{
     assign_classes, closed_loop_arrivals, deadline_stamps, open_loop_arrivals, ArrivalPattern,
@@ -69,6 +71,12 @@ pub enum Workload {
         /// Selection seed.
         seed: u64,
     },
+    /// Prefix-tree serving workload (shared-prefix requests; see
+    /// [`prefix`]).
+    Prefix {
+        /// Full tree/traffic configuration.
+        cfg: PrefixConfig,
+    },
 }
 
 impl Workload {
@@ -80,6 +88,7 @@ impl Workload {
             Workload::Gemm3d { n } => gemm_3d(n),
             Workload::Cholesky { n } => cholesky(n),
             Workload::Sparse2d { n, density, seed } => sparse_2d(n, density, seed),
+            Workload::Prefix { cfg } => prefix_tree(&cfg),
         }
     }
 
@@ -93,6 +102,10 @@ impl Workload {
             Workload::Sparse2d { n, density, seed } => {
                 format!("sparse2d(n={n},density={density},seed={seed})")
             }
+            Workload::Prefix { cfg } => format!(
+                "prefix(depth={},fanout={},tasks={},seed={})",
+                cfg.depth, cfg.fanout, cfg.tasks, cfg.seed
+            ),
         }
     }
 }

@@ -13,9 +13,11 @@
 //! * [`model`] — the bipartite task/data model, schedules, offline replay;
 //! * [`platform`] — the discrete-event multi-GPU runtime simulator;
 //! * [`obs`] — structured tracing, Chrome/Paje export, metrics registry;
-//! * [`schedulers`] — EAGER, DMDA(R), hMETIS+R, mHFP, DARTS(+LUF);
+//! * [`schedulers`] — EAGER, DMDA(R), hMETIS+R, mHFP, DARTS(+LUF), and
+//!   the residency-aware prefix Router;
 //! * [`hypergraph`] — the multilevel K-way partitioner;
-//! * [`workloads`] — 2D/3D gemm, Cholesky and sparse generators;
+//! * [`workloads`] — 2D/3D gemm, Cholesky, sparse and prefix-tree
+//!   generators, plus seeded arrival traffic;
 //! * [`experiments`] — the per-figure evaluation harness.
 //!
 //! ## Quickstart

@@ -155,6 +155,7 @@ const ENGINE_FAMILIES: &[NamedScheduler] = &[
     NamedScheduler::HmetisR,
     NamedScheduler::Mhfp,
     NamedScheduler::DartsLuf,
+    NamedScheduler::Router,
 ];
 
 /// Run `named` once on the pre-refactor engine core (`naive_core`: binary

@@ -17,6 +17,7 @@
 use memsched::platform::TraceEvent;
 use memsched::prelude::*;
 use memsched::workloads::constants::GEMM2D_DATA_BYTES;
+use memsched::workloads::prefix::{prefix_tree, PrefixConfig};
 use memsched::workloads::{gemm_2d, open_loop_arrivals, ArrivalPattern};
 use std::path::PathBuf;
 
@@ -96,8 +97,37 @@ fn stream_workload() -> (TaskSet, PlatformSpec) {
     (ts, spec)
 }
 
-fn render_stream_trace(named: &NamedScheduler) -> String {
-    let (ts, spec) = stream_workload();
+/// The router golden rides its native workload: a tiny seeded prefix
+/// tree (depth 3 × fanout 2 — 14 nodes, 8 leaves) streamed at the same
+/// Poisson rate, with memory tight enough that evictions appear in the
+/// snapshot and pin `choose_victim` alongside the routing decisions.
+fn prefix_stream_workload() -> (TaskSet, PlatformSpec) {
+    let cfg = PrefixConfig {
+        depth: 3,
+        fanout: 2,
+        tasks: 16,
+        item_bytes: 1 << 20,
+        zipf_s: 1.1,
+        seed: 42,
+    };
+    let base = prefix_tree(&cfg);
+    let arrivals = open_loop_arrivals(
+        &ArrivalPattern::Poisson {
+            rate_per_sec: 2000.0,
+        },
+        42,
+        base.num_tasks(),
+    );
+    let ts = base.with_arrivals(arrivals);
+    let spec = PlatformSpec::v100(2).with_memory(5 * cfg.item_bytes);
+    (ts, spec)
+}
+
+fn render_stream_trace_on(
+    named: &NamedScheduler,
+    (ts, spec): (TaskSet, PlatformSpec),
+    workload_line: &str,
+) -> String {
     let config = RunConfig {
         trace: TraceMode::Full,
         admission: Some(AdmissionConfig::default()),
@@ -107,8 +137,7 @@ fn render_stream_trace(named: &NamedScheduler) -> String {
     let (report, trace) =
         run_with_config(&ts, &spec, sched.as_mut(), &config).expect("golden stream run");
     let mut out = format!(
-        "# scheduler: {} (online)\n\
-         # workload: gemm_2d(3) + poisson(2000/s, seed 42), 2x V100, M = 4 tiles\n",
+        "# scheduler: {} (online)\n# workload: {workload_line}\n",
         report.scheduler
     );
     for ev in &trace {
@@ -129,8 +158,19 @@ fn render_stream_trace(named: &NamedScheduler) -> String {
     out
 }
 
+fn render_stream_trace(named: &NamedScheduler) -> String {
+    render_stream_trace_on(
+        named,
+        stream_workload(),
+        "gemm_2d(3) + poisson(2000/s, seed 42), 2x V100, M = 4 tiles",
+    )
+}
+
 fn check_golden(name: &str, named: NamedScheduler) {
-    let got = render_stream_trace(&named);
+    check_golden_with(name, &named, render_stream_trace(&named));
+}
+
+fn check_golden_with(name: &str, _named: &NamedScheduler, got: String) {
     let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
         .iter()
         .collect();
@@ -175,6 +215,22 @@ fn golden_stream_mhfp() {
 #[test]
 fn golden_stream_darts_luf() {
     check_golden("darts_luf.stream.trace", NamedScheduler::DartsLuf);
+}
+
+/// The router family, on its native workload: a seeded prefix-tree
+/// stream under memory pressure. Pins the `recomp + α·load` routing
+/// decisions, the LUF-or-LRU eviction choices and the admission
+/// interleaving in one readable snapshot.
+#[test]
+fn golden_stream_router() {
+    let named = NamedScheduler::Router;
+    let got = render_stream_trace_on(
+        &named,
+        prefix_stream_workload(),
+        "prefix(depth=3,fanout=2,tasks=16,seed=42) + poisson(2000/s, seed 42), \
+         2x V100, M = 5 MiB",
+    );
+    check_golden_with("router.stream.trace", &named, got);
 }
 
 /// Zero-cost assertion: the batch golden snapshot is reproduced by an

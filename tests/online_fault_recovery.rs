@@ -25,12 +25,13 @@ use memsched::platform::TraceEvent;
 use memsched::prelude::*;
 use proptest::prelude::*;
 
-const FAMILIES: [NamedScheduler; 5] = [
+const FAMILIES: [NamedScheduler; 6] = [
     NamedScheduler::Eager,
     NamedScheduler::Dmdar,
     NamedScheduler::HmetisR,
     NamedScheduler::Mhfp,
     NamedScheduler::DartsLuf,
+    NamedScheduler::Router,
 ];
 
 const POLICIES: [ShedPolicy; 3] = [

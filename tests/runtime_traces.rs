@@ -33,6 +33,7 @@ fn all_schedulers() -> Vec<NamedScheduler> {
         NamedScheduler::Darts,
         NamedScheduler::DartsLuf,
         NamedScheduler::DartsLufOpti3,
+        NamedScheduler::Router,
     ]
 }
 
